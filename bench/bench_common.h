@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction binaries.
+ */
+#ifndef FACILE_BENCH_COMMON_H
+#define FACILE_BENCH_COMMON_H
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "eval/harness.h"
+
+namespace facile::bench {
+
+/** The evaluation suite used by every table/figure binary. */
+inline const std::vector<bhive::Benchmark> &
+evalSuite()
+{
+    return bhive::defaultSuite();
+}
+
+/** Prepared (simulated) suite for one µarch, cached per process. */
+inline const eval::ArchSuite &
+archSuite(uarch::UArch arch)
+{
+    static std::map<uarch::UArch, eval::ArchSuite> cache;
+    auto it = cache.find(arch);
+    if (it == cache.end()) {
+        std::fprintf(stderr, "[prepare] measuring ground truth for %s...\n",
+                     uarch::config(arch).abbrev);
+        it = cache.emplace(arch, eval::prepare(arch, evalSuite())).first;
+    }
+    return it->second;
+}
+
+inline void
+printRule(int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+} // namespace facile::bench
+
+#endif // FACILE_BENCH_COMMON_H

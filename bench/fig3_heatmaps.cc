@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces Figure 3: heat maps relating measured and predicted
+ * throughput for BHiveL benchmarks with measured throughput below 10
+ * cycles on Rocket Lake, for Facile, the reference simulator (uiCA's
+ * role), llvm-mca-like, and CQA-like.
+ *
+ * Rendered as ASCII density plots (log-shaded); the paper's key
+ * observations to check: Facile and the simulator concentrate on the
+ * diagonal, llvm-mca and CQA scatter below it (optimistic predictions
+ * appear under the diagonal).
+ */
+#include "bench_common.h"
+
+#include "baselines/predictor_iface.h"
+
+using namespace facile;
+
+int
+main()
+{
+    const auto &suite = bench::archSuite(uarch::UArch::RKL);
+
+    std::vector<std::unique_ptr<baselines::ThroughputPredictor>> preds;
+    preds.push_back(std::make_unique<baselines::FacilePredictor>());
+    preds.push_back(std::make_unique<baselines::SimulatorPredictor>());
+    preds.push_back(baselines::makeBaseline("llvm-mca-like"));
+    preds.push_back(baselines::makeBaseline("CQA-like"));
+
+    std::printf("FIGURE 3: measured vs predicted throughput, BHiveL on "
+                "Rocket Lake (TP < 10 cycles)\n\n");
+
+    for (const auto &p : preds) {
+        auto predictions = eval::runPredictor(*p, suite, true);
+        // Filter to measured < 10 as in the paper.
+        std::vector<double> m, q;
+        for (std::size_t i = 0; i < predictions.size(); ++i) {
+            if (suite.measuredL[i] < 10.0) {
+                m.push_back(suite.measuredL[i]);
+                q.push_back(predictions[i]);
+            }
+        }
+        auto grid = eval::heatmap(m, q, 10.0, 20);
+
+        // Diagonal concentration statistic for the caption.
+        int onDiag = 0;
+        for (std::size_t i = 0; i < m.size(); ++i)
+            onDiag += std::abs(m[i] - q[i]) <= 0.25;
+        std::printf("--- %s (%zu blocks, %.1f%% within 0.25 cycles of the "
+                    "diagonal) ---\n",
+                    p->name().c_str(), m.size(),
+                    m.empty() ? 0.0 : 100.0 * onDiag / m.size());
+        std::printf("%s\n", eval::renderHeatmap(grid, 10.0).c_str());
+    }
+    return 0;
+}

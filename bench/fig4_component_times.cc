@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Reproduces Figure 4: distributions of the execution time of Facile's
+ * components under TPU and TPL, including the fixed per-benchmark
+ * overhead (parsing + disassembly + annotation).
+ *
+ * For each component we report mean, median, p90, and max time per
+ * benchmark in milliseconds over the suite, measured on Skylake blocks
+ * (as in the paper's efficiency experiments).
+ */
+#include "bench_common.h"
+
+#include <chrono>
+#include <functional>
+
+#include "facile/dec.h"
+#include "facile/ports.h"
+#include "facile/precedence.h"
+#include "facile/predec.h"
+#include "facile/simple_components.h"
+#include "support/stats.h"
+
+using namespace facile;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct Row
+{
+    std::string name;
+    std::vector<double> timesMs;
+};
+
+void
+printRows(const std::vector<Row> &rows)
+{
+    std::printf("%-12s %10s %10s %10s %10s\n", "Component", "mean(ms)",
+                "median", "p90", "max");
+    for (const auto &r : rows) {
+        auto t = r.timesMs;
+        std::printf("%-12s %10.5f %10.5f %10.5f %10.5f\n", r.name.c_str(),
+                    mean(t), percentile(t, 50), percentile(t, 90),
+                    percentile(t, 100));
+    }
+}
+
+Row
+timeComponent(const std::string &name,
+              const std::vector<const std::vector<std::uint8_t> *> &blocks,
+              const std::function<double(const bb::BasicBlock &)> &fn)
+{
+    Row row{name, {}};
+    volatile double sink = 0.0;
+    for (const auto *bytes : blocks) {
+        bb::BasicBlock blk = bb::analyze(*bytes, uarch::UArch::SKL);
+        auto t0 = Clock::now();
+        sink = sink + fn(blk);
+        auto t1 = Clock::now();
+        row.timesMs.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    (void)sink;
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto &suite = bench::evalSuite();
+
+    for (bool loop : {false, true}) {
+        std::vector<const std::vector<std::uint8_t> *> blocks;
+        for (const auto &b : suite)
+            blocks.push_back(loop ? &b.bytesL : &b.bytesU);
+
+        std::printf("FIGURE 4%s: component execution times under %s\n",
+                    loop ? "b" : "a", loop ? "TPL" : "TPU");
+        bench::printRule();
+
+        std::vector<Row> rows;
+
+        // Overhead: decoding + annotation, i.e. everything before any
+        // component prediction runs.
+        {
+            Row row{"Overhead", {}};
+            for (const auto *bytes : blocks) {
+                auto t0 = Clock::now();
+                bb::BasicBlock blk =
+                    bb::analyze(*bytes, uarch::UArch::SKL);
+                auto t1 = Clock::now();
+                (void)blk;
+                row.timesMs.push_back(
+                    std::chrono::duration<double, std::milli>(t1 - t0)
+                        .count());
+            }
+            rows.push_back(std::move(row));
+        }
+
+        // FACILE: the full prediction (components + combination).
+        rows.push_back(timeComponent(
+            "FACILE", blocks, [&](const bb::BasicBlock &blk) {
+                return model::predict(blk, loop).throughput;
+            }));
+
+        rows.push_back(timeComponent(
+            "Predec", blocks, [&](const bb::BasicBlock &blk) {
+                return model::predec(blk, !loop);
+            }));
+        rows.push_back(timeComponent("Dec", blocks,
+                                     [](const bb::BasicBlock &blk) {
+                                         return model::dec(blk);
+                                     }));
+        if (loop) {
+            rows.push_back(timeComponent("DSB", blocks,
+                                         [](const bb::BasicBlock &blk) {
+                                             return model::dsb(blk);
+                                         }));
+            rows.push_back(timeComponent("LSD", blocks,
+                                         [](const bb::BasicBlock &blk) {
+                                             return model::lsd(blk);
+                                         }));
+        }
+        rows.push_back(timeComponent("Issue", blocks,
+                                     [](const bb::BasicBlock &blk) {
+                                         return model::issue(blk);
+                                     }));
+        rows.push_back(timeComponent(
+            "Ports", blocks, [](const bb::BasicBlock &blk) {
+                return model::ports(blk).throughput;
+            }));
+        rows.push_back(timeComponent(
+            "Precedence", blocks, [](const bb::BasicBlock &blk) {
+                return model::precedence(blk).throughput;
+            }));
+
+        printRows(rows);
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Reproduces Figure 6: the evolution of bottlenecks under TPU from
+ * Sandy Bridge via Haswell and Cascade Lake to Rocket Lake.
+ *
+ * For every benchmark the bottleneck component is determined with the
+ * paper's front-end-first tie-break (Predec > Dec > Issue > Ports >
+ * Precedence); the Sankey diagram is rendered as per-µarch shares plus
+ * the three transition matrices between consecutive generations.
+ */
+#include "bench_common.h"
+
+using namespace facile;
+using model::Component;
+
+namespace {
+
+constexpr int kNumC = model::kNumComponents;
+
+int
+bottleneckOf(const bb::BasicBlock &blk)
+{
+    return static_cast<int>(model::predictUnrolled(blk).primaryBottleneck);
+}
+
+} // namespace
+
+int
+main()
+{
+    const uarch::UArch chain[] = {uarch::UArch::SNB, uarch::UArch::HSW,
+                                  uarch::UArch::CLX, uarch::UArch::RKL};
+
+    std::printf("FIGURE 6: evolution of bottlenecks under TPU\n");
+    std::printf("(share of benchmarks per bottleneck component; "
+                "front-end-first tie-break)\n\n");
+
+    // Classify every benchmark on every µarch of the chain.
+    std::vector<std::vector<int>> cls; // [arch][benchmark]
+    for (uarch::UArch a : chain) {
+        const auto &suite = bench::archSuite(a);
+        std::vector<int> v;
+        v.reserve(suite.blocksU.size());
+        for (const auto &blk : suite.blocksU)
+            v.push_back(bottleneckOf(blk));
+        cls.push_back(std::move(v));
+    }
+    const std::size_t n = cls[0].size();
+
+    // Shares per µarch.
+    std::printf("%-12s", "Bottleneck");
+    for (uarch::UArch a : chain)
+        std::printf(" %8s", uarch::config(a).abbrev);
+    std::printf("\n");
+    bench::printRule(48);
+    for (int c = 0; c < kNumC; ++c) {
+        Component comp = static_cast<Component>(c);
+        if (comp == Component::DSB || comp == Component::LSD)
+            continue; // not used under TPU
+        std::printf("%-12s", model::componentName(comp).c_str());
+        for (std::size_t ai = 0; ai < cls.size(); ++ai) {
+            int count = 0;
+            for (std::size_t i = 0; i < n; ++i)
+                count += cls[ai][i] == c;
+            std::printf(" %7.1f%%", 100.0 * count / static_cast<double>(n));
+        }
+        std::printf("\n");
+    }
+
+    // Transition matrices (the Sankey flows).
+    for (std::size_t step = 0; step + 1 < cls.size(); ++step) {
+        std::printf("\nFlows from %s to %s (%% of all benchmarks):\n",
+                    uarch::config(chain[step]).abbrev,
+                    uarch::config(chain[step + 1]).abbrev);
+        std::printf("%-12s", "from\\to");
+        for (int c = 0; c < kNumC; ++c) {
+            Component comp = static_cast<Component>(c);
+            if (comp == Component::DSB || comp == Component::LSD)
+                continue;
+            std::printf(" %10s", model::componentName(comp).c_str());
+        }
+        std::printf("\n");
+        for (int from = 0; from < kNumC; ++from) {
+            Component fc = static_cast<Component>(from);
+            if (fc == Component::DSB || fc == Component::LSD)
+                continue;
+            std::printf("%-12s", model::componentName(fc).c_str());
+            for (int to = 0; to < kNumC; ++to) {
+                Component tc = static_cast<Component>(to);
+                if (tc == Component::DSB || tc == Component::LSD)
+                    continue;
+                int count = 0;
+                for (std::size_t i = 0; i < n; ++i)
+                    count += cls[step][i] == from &&
+                             cls[step + 1][i] == to;
+                std::printf(" %9.1f%%",
+                            100.0 * count / static_cast<double>(n));
+            }
+            std::printf("\n");
+        }
+    }
+
+    // The paper's headline observation.
+    auto share = [&](std::size_t ai, Component c) {
+        int count = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            count += cls[ai][i] == static_cast<int>(c);
+        return 100.0 * count / static_cast<double>(n);
+    };
+    std::printf("\nPredec-bound share: %.1f%% (SNB) -> %.1f%% (RKL); "
+                "Ports-bound share: %.1f%% (SNB) -> %.1f%% (RKL)\n",
+                share(0, Component::Predec), share(3, Component::Predec),
+                share(0, Component::Ports), share(3, Component::Ports));
+    return 0;
+}

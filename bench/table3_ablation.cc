@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Reproduces Table 3: influence of Facile's components on prediction
+ * accuracy for Rocket Lake, Skylake, and Sandy Bridge — the Simple*
+ * substitutions, the "only X" single-component predictors, and the
+ * "w/o X" leave-one-out variants, on BHiveU and BHiveL.
+ *
+ * Cells the paper leaves empty (components unused under a notion) are
+ * printed as "-".
+ */
+#include "bench_common.h"
+
+#include "baselines/predictor_iface.h"
+
+using namespace facile;
+using model::Component;
+using model::ModelConfig;
+
+namespace {
+
+struct Variant
+{
+    std::string name;
+    ModelConfig config;
+    bool runU = true;
+    bool runL = true;
+};
+
+std::vector<Variant>
+variants()
+{
+    std::vector<Variant> v;
+    v.push_back({"Facile", {}, true, true});
+
+    ModelConfig simplePredec;
+    simplePredec.simplePredec = true;
+    v.push_back({"Facile w/ SimplePredec", simplePredec, true, false});
+
+    ModelConfig simpleDec;
+    simpleDec.simpleDec = true;
+    v.push_back({"Facile w/ SimpleDec", simpleDec, true, false});
+
+    struct OnlyRow
+    {
+        Component c;
+        bool u, l;
+    };
+    const OnlyRow onlyRows[] = {
+        {Component::Predec, true, false},
+        {Component::Dec, true, false},
+        {Component::DSB, false, true},
+        {Component::LSD, false, true},
+        {Component::Issue, true, true},
+        {Component::Ports, true, true},
+        {Component::Precedence, true, true},
+    };
+    for (const auto &r : onlyRows)
+        v.push_back({"only " + model::componentName(r.c),
+                     ModelConfig::only(r.c), r.u, r.l});
+
+    // Combination rows of Table 3.
+    ModelConfig predecPorts = ModelConfig::only(Component::Predec);
+    predecPorts.usePorts = true;
+    v.push_back({"only Predec+Ports", predecPorts, true, false});
+
+    ModelConfig precPorts = ModelConfig::only(Component::Precedence);
+    precPorts.usePorts = true;
+    v.push_back({"only Precedence+Ports", precPorts, true, true});
+
+    const OnlyRow withoutRows[] = {
+        {Component::Predec, true, false},
+        {Component::Dec, true, false},
+        {Component::DSB, false, true},
+        {Component::LSD, false, true},
+        {Component::Issue, true, true},
+        {Component::Ports, true, true},
+        {Component::Precedence, true, true},
+    };
+    for (const auto &r : withoutRows)
+        v.push_back({"Facile w/o " + model::componentName(r.c),
+                     ModelConfig::without(r.c), r.u, r.l});
+    return v;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("TABLE 3: Influence of components on prediction accuracy\n");
+    std::printf("(ground truth: reference simulator; '-' where the paper "
+                "leaves cells empty)\n");
+    bench::printRule();
+    std::printf("%-24s %10s %10s %12s %10s\n", "Predictor", "MAPE(U)",
+                "Kendall(U)", "MAPE(L)", "Kendall(L)");
+
+    for (uarch::UArch a :
+         {uarch::UArch::RKL, uarch::UArch::SKL, uarch::UArch::SNB}) {
+        const auto &suite = bench::archSuite(a);
+        bench::printRule();
+        std::printf("%s\n", uarch::config(a).name);
+        bench::printRule();
+        for (const auto &variant : variants()) {
+            baselines::FacilePredictor p(variant.config, variant.name);
+            std::printf("%-24s", variant.name.c_str());
+            if (variant.runU) {
+                eval::Accuracy u = eval::evaluate(p, suite, false);
+                std::printf(" %9.2f%% %10.4f", u.mape * 100.0, u.kendall);
+            } else {
+                std::printf(" %10s %10s", "-", "-");
+            }
+            if (variant.runL) {
+                eval::Accuracy l = eval::evaluate(p, suite, true);
+                std::printf(" %11.2f%% %10.4f", l.mape * 100.0, l.kendall);
+            } else {
+                std::printf(" %12s %10s", "-", "-");
+            }
+            std::printf("\n");
+        }
+    }
+    return 0;
+}

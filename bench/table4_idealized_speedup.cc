@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Reproduces Table 4: the counterfactual speedup obtained when a single
+ * pipeline component is made infinitely fast, per microarchitecture,
+ * under the TPU notion (paper section 6.4).
+ *
+ * Speedup is aggregated as total predicted cycles over total idealized
+ * cycles across the suite (a throughput-weighted mean, which matches
+ * the "overall performance improvement" reading of the paper).
+ */
+#include "bench_common.h"
+
+using namespace facile;
+using model::Component;
+
+int
+main()
+{
+    const Component cols[] = {Component::Predec, Component::Dec,
+                              Component::Issue, Component::Ports,
+                              Component::Precedence};
+
+    std::printf("TABLE 4: Speedup when idealizing a single component "
+                "(TPU)\n");
+    bench::printRule();
+    std::printf("%-5s", "");
+    for (Component c : cols)
+        std::printf(" %10s", model::componentName(c).c_str());
+    std::printf("\n");
+    bench::printRule();
+
+    // Table 4 is ordered oldest -> newest; allUArchs() is newest-first.
+    auto order = uarch::allUArchs();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const auto &suite = bench::archSuite(*it);
+        double base = 0.0;
+        double ideal[5] = {};
+        for (const auto &blk : suite.blocksU) {
+            model::Prediction p = model::predictUnrolled(blk);
+            base += p.throughput;
+            for (int k = 0; k < 5; ++k)
+                ideal[k] += p.idealized(cols[k]);
+        }
+        std::printf("%-5s", uarch::config(*it).abbrev);
+        for (int k = 0; k < 5; ++k)
+            std::printf(" %10.2f", ideal[k] > 0 ? base / ideal[k] : 1.0);
+        std::printf("\n");
+    }
+    return 0;
+}

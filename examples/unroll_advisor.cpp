@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Loop-unrolling advisor: uses the TPL/TPU distinction (paper section
+ * 3.1) the way a compiler would. For each unroll factor, the loop body
+ * is replicated (with rotated accumulator registers to relax the
+ * dependence chain) and Facile's TPL prediction of the unrolled loop
+ * gives cycles per original iteration; the advisor reports the factor
+ * where the bottleneck flips from Precedence to a throughput resource
+ * and further unrolling stops paying.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bb/basic_block.h"
+#include "facile/predictor.h"
+#include "isa/builder.h"
+
+using namespace facile;
+using namespace facile::isa;
+
+namespace {
+
+/** One reduction step: acc += a[i] * b[i], with a chosen accumulator. */
+std::vector<Inst>
+reductionStep(int accumulator, int offset)
+{
+    return {
+        make(Mnemonic::MOVSD, {R(xmm(8)), M(mem(RSI, offset * 8, 8))}),
+        make(Mnemonic::MOVSD, {R(xmm(9)), M(mem(RDI, offset * 8, 8))}),
+        make(Mnemonic::VFMADD231SD,
+             {R(xmm(accumulator)), R(xmm(8)), R(xmm(9))}),
+    };
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Unroll advisor: sum += a[i]*b[i] on Skylake (TPL)\n\n");
+    std::printf("%-8s %14s %16s %s\n", "unroll", "cyc/loop-iter",
+                "cyc/element", "bottleneck");
+
+    double bestPerElement = 1e9;
+    int bestFactor = 1;
+    for (int unroll : {1, 2, 4, 8}) {
+        std::vector<Inst> body;
+        for (int k = 0; k < unroll; ++k) {
+            // Rotate accumulators so independent chains can overlap.
+            auto step = reductionStep(k % 4, k);
+            body.insert(body.end(), step.begin(), step.end());
+        }
+        body.push_back(make(Mnemonic::ADD, {R(RSI), I(unroll * 8, 1)}));
+        body.push_back(make(Mnemonic::ADD, {R(RDI), I(unroll * 8, 1)}));
+        body.push_back(make(Mnemonic::DEC, {R(RCX)}));
+        body.push_back(backEdge(Cond::NE));
+
+        bb::BasicBlock blk = bb::analyze(body, uarch::UArch::SKL);
+        model::Prediction p = model::predictLoop(blk);
+        double perElement = p.throughput / unroll;
+
+        std::printf("%-8d %14.2f %16.3f %s\n", unroll, p.throughput,
+                    perElement,
+                    model::componentName(p.primaryBottleneck).c_str());
+
+        if (perElement < bestPerElement - 1e-9) {
+            bestPerElement = perElement;
+            bestFactor = unroll;
+        }
+    }
+
+    std::printf("\nRecommended unroll factor: %d (%.3f cycles/element)\n",
+                bestFactor, bestPerElement);
+    std::printf("Rationale: unrolling pays until the FMA dependence chain "
+                "(Precedence) stops being the bottleneck; past that point "
+                "the loop is bound by throughput resources and further "
+                "unrolling only grows the code.\n");
+    return 0;
+}

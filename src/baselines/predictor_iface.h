@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Common interface for all throughput predictors evaluated in Table 2,
+ * plus the adapters for Facile itself and for the reference simulator
+ * (which plays the role of uiCA / the measurement in this reproduction).
+ */
+#ifndef FACILE_BASELINES_PREDICTOR_IFACE_H
+#define FACILE_BASELINES_PREDICTOR_IFACE_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bb/basic_block.h"
+#include "facile/predictor.h"
+
+namespace facile::baselines {
+
+/** A basic-block throughput predictor. */
+class ThroughputPredictor
+{
+  public:
+    virtual ~ThroughputPredictor() = default;
+
+    /** Display name used in tables (e.g. "Facile", "llvm-mca-like"). */
+    virtual std::string name() const = 0;
+
+    /** Predicted throughput in cycles/iteration for the TPU/TPL notion. */
+    virtual double predict(const bb::BasicBlock &blk, bool loop) const = 0;
+};
+
+/** Facile with a given ablation configuration. */
+class FacilePredictor : public ThroughputPredictor
+{
+  public:
+    explicit FacilePredictor(model::ModelConfig config = {},
+                             std::string name = "Facile")
+        : config_(config), name_(std::move(name))
+    {}
+
+    std::string name() const override { return name_; }
+
+    double
+    predict(const bb::BasicBlock &blk, bool loop) const override
+    {
+        return model::predict(blk, loop, config_).throughput;
+    }
+
+  private:
+    model::ModelConfig config_;
+    std::string name_;
+};
+
+/**
+ * The reference cycle-level simulator as a predictor. In this
+ * reproduction it is also the ground truth, standing in for uiCA
+ * (whose predictions define the measurement-accurate end of Table 2)
+ * and for the hardware measurements themselves.
+ */
+class SimulatorPredictor : public ThroughputPredictor
+{
+  public:
+    std::string name() const override { return "uiCA-like (ref. sim)"; }
+    double predict(const bb::BasicBlock &blk, bool loop) const override;
+};
+
+/** All comparator baselines (llvm-mca-like, CQA-like, ...). */
+std::vector<std::unique_ptr<ThroughputPredictor>> makeBaselines();
+
+/** One specific baseline by name; throws std::invalid_argument. */
+std::unique_ptr<ThroughputPredictor> makeBaseline(const std::string &name);
+
+} // namespace facile::baselines
+
+#endif // FACILE_BASELINES_PREDICTOR_IFACE_H

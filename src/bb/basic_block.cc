@@ -1,0 +1,110 @@
+#include "bb/basic_block.h"
+
+#include "isa/encoder.h"
+
+namespace facile::bb {
+
+int
+BasicBlock::fusedUops() const
+{
+    int n = 0;
+    for (const auto &ai : insts)
+        n += ai.info.fusedUops;
+    return n;
+}
+
+int
+BasicBlock::issueUops() const
+{
+    int n = 0;
+    for (const auto &ai : insts)
+        n += ai.info.issueUops;
+    return n;
+}
+
+bool
+BasicBlock::touchesJccErratumBoundary() const
+{
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        const AnnotatedInst &ai = insts[i];
+        if (!ai.dec.inst.isBranch())
+            continue;
+        // For a macro-fused pair, the fused unit starts at the first
+        // instruction of the pair.
+        int start = ai.start;
+        if (ai.fusedWithPrev && i > 0)
+            start = insts[i - 1].start;
+        int lastByte = ai.end - 1;
+        if (start / 32 != lastByte / 32 || ai.end % 32 == 0)
+            return true;
+    }
+    return false;
+}
+
+BasicBlock
+analyze(const std::vector<std::uint8_t> &bytes, uarch::UArch arch)
+{
+    const uarch::MicroArchConfig &cfg = uarch::config(arch);
+
+    BasicBlock blk;
+    blk.bytes = bytes;
+    blk.arch = arch;
+
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+        AnnotatedInst ai;
+        ai.dec = isa::decodeOne(bytes.data(), bytes.size(), pos);
+        ai.start = static_cast<int>(pos);
+        ai.opcodePos = static_cast<int>(pos) + ai.dec.opcodeOffset;
+        ai.end = static_cast<int>(pos) + ai.dec.length;
+        ai.info = uops::lookup(ai.dec.inst, cfg);
+        pos += ai.dec.length;
+        blk.insts.push_back(std::move(ai));
+    }
+
+    // Macro-fusion pairing: fold a fusible instruction and the directly
+    // following conditional branch into one unit. The combined unit lives
+    // in the first instruction; the branch is marked fusedWithPrev and
+    // carries no µops of its own.
+    for (std::size_t i = 0; i + 1 < blk.insts.size(); ++i) {
+        AnnotatedInst &first = blk.insts[i];
+        AnnotatedInst &second = blk.insts[i + 1];
+        if (first.fusedWithPrev || !first.info.macroFusible)
+            continue;
+        if (!uops::macroFusesWith(first.dec.inst, second.dec.inst, cfg))
+            continue;
+
+        uops::InstrInfo branchInfo = second.info;
+
+        // The pair executes as a single µop on the branch ports; a
+        // micro-fused load of the first instruction is retained.
+        uops::InstrInfo merged = first.info;
+        std::vector<uops::Uop> uops;
+        for (const auto &u : merged.portUops)
+            if (u.kind != uops::UopKind::Compute)
+                uops.push_back(u);
+        for (const auto &u : branchInfo.portUops)
+            uops.push_back(u);
+        merged.portUops = std::move(uops);
+        // Fused-domain counts stay those of the first instruction: the
+        // branch no longer occupies a decode, issue, or retire slot.
+        first.info = std::move(merged);
+
+        second.fusedWithPrev = true;
+        second.info.fusedUops = 0;
+        second.info.issueUops = 0;
+        second.info.portUops.clear();
+        second.info.needsComplexDecoder = false;
+        ++i; // a branch cannot itself start another pair
+    }
+
+    return blk;
+}
+
+BasicBlock
+analyze(const std::vector<isa::Inst> &insts, uarch::UArch arch)
+{
+    return analyze(isa::encodeBlock(insts), arch);
+}
+
+} // namespace facile::bb

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Basic-block representation used by all predictors.
+ *
+ * A BasicBlock bundles the raw bytes, the decoded instructions with
+ * their byte-layout facts, and the per-instruction characteristics
+ * resolved against one microarchitecture — including macro-fusion
+ * pairing, which merges a fusible instruction with a directly
+ * following conditional branch into a single unit for everything
+ * downstream of the instruction queue.
+ */
+#ifndef FACILE_BB_BASIC_BLOCK_H
+#define FACILE_BB_BASIC_BLOCK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/decoder.h"
+#include "uarch/config.h"
+#include "uops/info.h"
+
+namespace facile::bb {
+
+/** One instruction with layout and microarchitectural annotations. */
+struct AnnotatedInst
+{
+    isa::DecodedInst dec;
+    uops::InstrInfo info;
+
+    /** Byte offset of the instruction within the block. */
+    int start = 0;
+
+    /** Byte offset of the nominal opcode within the block. */
+    int opcodePos = 0;
+
+    /** Byte offset one past the last byte. */
+    int end = 0;
+
+    /**
+     * True if this (conditional branch) instruction is macro-fused with
+     * the preceding instruction. Its µop counts have been folded into
+     * the predecessor; components that count instructions skip it.
+     */
+    bool fusedWithPrev = false;
+};
+
+/** A basic block analyzed for one microarchitecture. */
+struct BasicBlock
+{
+    std::vector<std::uint8_t> bytes;
+    std::vector<AnnotatedInst> insts;
+    uarch::UArch arch;
+
+    int lengthBytes() const { return static_cast<int>(bytes.size()); }
+
+    bool
+    endsInBranch() const
+    {
+        return !insts.empty() && insts.back().dec.inst.isBranch();
+    }
+
+    /** Fused-domain µops at decode (DSB/LSD counting, paper 4.5/4.6). */
+    int fusedUops() const;
+
+    /** Fused-domain µops after unlamination (Issue counting, paper 4.7). */
+    int issueUops() const;
+
+    /**
+     * True if a branch instruction (or a macro-fused pair ending in one)
+     * crosses or ends on a 32-byte boundary, assuming the block is placed
+     * at a 32-byte-aligned address — the JCC-erratum trigger condition.
+     */
+    bool touchesJccErratumBoundary() const;
+};
+
+/**
+ * Decode @p bytes and annotate every instruction for @p arch, applying
+ * macro-fusion pairing.
+ *
+ * @throws isa::DecodeError on malformed input.
+ */
+BasicBlock analyze(const std::vector<std::uint8_t> &bytes,
+                   uarch::UArch arch);
+
+/** Convenience: encode @p insts and analyze the result. */
+BasicBlock analyze(const std::vector<isa::Inst> &insts, uarch::UArch arch);
+
+} // namespace facile::bb
+
+#endif // FACILE_BB_BASIC_BLOCK_H

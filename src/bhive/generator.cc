@@ -1,0 +1,384 @@
+#include "bhive/generator.h"
+
+#include <array>
+
+#include "isa/builder.h"
+#include "isa/encoder.h"
+#include "support/rng.h"
+
+namespace facile::bhive {
+
+namespace {
+
+using namespace facile::isa;
+using facile::Rng;
+
+// R15 is reserved as the loop counter of the L variant; RSP is reserved
+// for (balanced) stack traffic.
+const std::vector<Reg> kGprPool = {RAX, RBX, RCX, RDX, RSI, RDI,
+                                   R8,  R9,  R10, R11, R12, R13, R14};
+const std::vector<Reg> kBasePool = {RBX, RSI, RDI, R12, R13, R14};
+
+Reg
+vecReg(Rng &rng)
+{
+    return xmm(static_cast<int>(rng.below(8)));
+}
+
+Reg
+gpr64(Rng &rng)
+{
+    return rng.pick(kGprPool);
+}
+
+Reg
+gpr32(Rng &rng)
+{
+    Reg r = gpr64(rng);
+    return gpr(4, r.idx);
+}
+
+MemOp
+randomMem(Rng &rng, int width)
+{
+    Reg base = rng.pick(kBasePool);
+    if (rng.chance(0.35)) {
+        Reg index = rng.pick(kGprPool);
+        if (index.idx == base.idx || index.idx == 4)
+            index = RCX;
+        int scale = 1 << rng.below(4);
+        return memIdx(base, index, scale,
+                      static_cast<std::int32_t>(rng.range(0, 15)) * 8,
+                      width);
+    }
+    return mem(base, static_cast<std::int32_t>(rng.range(-16, 64)), width);
+}
+
+/** Per-category instruction generators. Each returns one instruction. */
+Inst
+genScalarAlu(Rng &rng)
+{
+    switch (rng.below(10)) {
+      case 0:
+        return make(Mnemonic::ADD, {R(gpr64(rng)), R(gpr64(rng))});
+      case 1:
+        return make(Mnemonic::SUB, {R(gpr64(rng)), R(gpr64(rng))});
+      case 2:
+        return make(Mnemonic::AND, {R(gpr32(rng)), R(gpr32(rng))});
+      case 3:
+        return make(Mnemonic::OR, {R(gpr64(rng)), R(gpr64(rng))});
+      case 4:
+        return make(Mnemonic::MOV, {R(gpr64(rng)), R(gpr64(rng))});
+      case 5:
+        return make(Mnemonic::LEA,
+                    {R(gpr64(rng)), M(memIdx(rng.pick(kBasePool), RCX, 4,
+                                             rng.chance(0.5) ? 8 : 0))});
+      case 6:
+        return make(Mnemonic::XOR, {R(gpr32(rng)),
+                                    autoImm(rng.range(1, 4000), 4)});
+      case 7:
+        return make(Mnemonic::CMP, {R(gpr64(rng)),
+                                    autoImm(rng.range(0, 100), 8)});
+      case 8:
+        return makeCC(Mnemonic::CMOVCC,
+                      static_cast<Cond>(4 + rng.below(4)),
+                      {R(gpr64(rng)), R(gpr64(rng))});
+      default:
+        return make(Mnemonic::MOVZX, {R(gpr64(rng)),
+                                      R(gpr(1, gpr64(rng).idx))});
+    }
+}
+
+Inst
+genDepChain(Rng &rng, Reg chainReg)
+{
+    switch (rng.below(6)) {
+      case 0:
+        return make(Mnemonic::IMUL, {R(chainReg), R(chainReg)});
+      case 1:
+        return make(Mnemonic::ADD, {R(chainReg), R(gpr64(rng))});
+      case 2:
+        return make(Mnemonic::ADD, {R(chainReg),
+                                    autoImm(rng.range(1, 100), 8)});
+      case 3:
+        return make(Mnemonic::LEA,
+                    {R(chainReg), M(memIdx(chainReg, chainReg, 2, 0))});
+      case 4:
+        return make(Mnemonic::SHL, {R(chainReg), I(rng.range(1, 7), 1)});
+      default:
+        return make(Mnemonic::POPCNT, {R(chainReg), R(chainReg)});
+    }
+}
+
+Inst
+genLoadHeavy(Rng &rng)
+{
+    switch (rng.below(5)) {
+      case 0:
+        return make(Mnemonic::MOV, {R(gpr64(rng)), M(randomMem(rng, 8))});
+      case 1:
+        return make(Mnemonic::MOV, {R(gpr32(rng)), M(randomMem(rng, 4))});
+      case 2:
+        return make(Mnemonic::ADD, {R(gpr64(rng)), M(randomMem(rng, 8))});
+      case 3:
+        return make(Mnemonic::MOVZX, {R(gpr64(rng)),
+                                      M(randomMem(rng, 1))});
+      default:
+        return make(Mnemonic::CMP, {R(gpr64(rng)), M(randomMem(rng, 8))});
+    }
+}
+
+Inst
+genStoreHeavy(Rng &rng)
+{
+    switch (rng.below(4)) {
+      case 0:
+        return make(Mnemonic::MOV, {M(randomMem(rng, 8)), R(gpr64(rng))});
+      case 1:
+        return make(Mnemonic::MOV, {M(randomMem(rng, 4)), R(gpr32(rng))});
+      case 2:
+        return make(Mnemonic::MOV,
+                    {M(randomMem(rng, 4)), autoImm(rng.range(0, 4000), 4)});
+      default:
+        return make(Mnemonic::ADD, {M(randomMem(rng, 8)), R(gpr64(rng))});
+    }
+}
+
+Inst
+genNumerical(Rng &rng)
+{
+    Reg a = vecReg(rng), b = vecReg(rng), c = vecReg(rng);
+    switch (rng.below(9)) {
+      case 0:
+        return make(Mnemonic::MULSD, {R(a), R(b)});
+      case 1:
+        return make(Mnemonic::ADDSD, {R(a), R(b)});
+      case 2:
+        return make(Mnemonic::ADDPD, {R(a), R(b)});
+      case 3:
+        return make(Mnemonic::MULPS, {R(a), R(b)});
+      case 4:
+        return make(Mnemonic::VFMADD231PD, {R(a), R(b), R(c)});
+      case 5:
+        return make(Mnemonic::MOVAPS, {R(a), R(b)});
+      case 6:
+        return make(Mnemonic::MOVSD, {R(a), M(randomMem(rng, 8))});
+      case 7:
+        return make(Mnemonic::VADDPS, {R(a), R(b), R(c)});
+      default:
+        return rng.chance(0.2)
+                   ? make(Mnemonic::DIVSD, {R(a), R(b)})
+                   : make(Mnemonic::VMULPD, {R(a), R(b), R(c)});
+    }
+}
+
+Inst
+genVectorInt(Rng &rng)
+{
+    Reg a = vecReg(rng), b = vecReg(rng), c = vecReg(rng);
+    switch (rng.below(8)) {
+      case 0:
+        return make(Mnemonic::PADDD, {R(a), R(b)});
+      case 1:
+        return make(Mnemonic::PXOR, {R(a), R(b)});
+      case 2:
+        return make(Mnemonic::PAND, {R(a), R(b)});
+      case 3:
+        return make(Mnemonic::PMULLD, {R(a), R(b)});
+      case 4:
+        return make(Mnemonic::PSLLD, {R(a), I(rng.range(1, 15), 1)});
+      case 5:
+        return make(Mnemonic::SHUFPS, {R(a), R(b), I(rng.range(0, 255), 1)});
+      case 6:
+        return make(Mnemonic::VPADDD, {R(a), R(b), R(c)});
+      default:
+        return make(Mnemonic::MOVUPS, {R(a), M(randomMem(rng, 16))});
+    }
+}
+
+Inst
+genHashing(Rng &rng)
+{
+    switch (rng.below(7)) {
+      case 0:
+        return make(Mnemonic::ROL, {R(gpr64(rng)), I(rng.range(1, 31), 1)});
+      case 1:
+        return make(Mnemonic::SHR, {R(gpr64(rng)), I(rng.range(1, 31), 1)});
+      case 2:
+        return make(Mnemonic::IMUL, {R(gpr64(rng)), R(gpr64(rng)),
+                                     I(rng.range(3, 127), 1)});
+      case 3:
+        return make(Mnemonic::XOR, {R(gpr64(rng)), R(gpr64(rng))});
+      case 4:
+        return make(Mnemonic::BSWAP, {R(gpr64(rng))});
+      case 5:
+        return make(Mnemonic::LZCNT, {R(gpr64(rng)), R(gpr64(rng))});
+      default:
+        return make(Mnemonic::ADD, {R(gpr64(rng)), R(gpr64(rng))});
+    }
+}
+
+Inst
+genDecodeStress(Rng &rng)
+{
+    switch (rng.below(6)) {
+      case 0: // RMW: 2 fused µops, complex decoder
+        return make(Mnemonic::ADD, {M(randomMem(rng, 8)), R(gpr64(rng))});
+      case 1:
+        return make(Mnemonic::XCHG, {R(gpr64(rng)), R(gpr64(rng))});
+      case 2:
+        return make(Mnemonic::PUSH, {R(gpr64(rng))});
+      case 3:
+        return make(Mnemonic::POP, {R(gpr64(rng))});
+      case 4:
+        return make(Mnemonic::MUL, {R(gpr64(rng))});
+      default:
+        return make(Mnemonic::SHL, {R(gpr64(rng)), R(CL)});
+    }
+}
+
+Inst
+genLcpStress(Rng &rng)
+{
+    Reg r16 = gpr(2, gpr64(rng).idx);
+    std::int64_t imm16 = rng.range(256, 30000);
+    switch (rng.below(4)) {
+      case 0:
+        return make(Mnemonic::ADD, {R(r16), I(imm16, 2)});
+      case 1:
+        return make(Mnemonic::CMP, {R(r16), I(imm16, 2)});
+      case 2:
+        return make(Mnemonic::MOV, {R(r16), I(imm16, 2)});
+      default:
+        // Non-LCP filler so LCP density varies.
+        return make(Mnemonic::ADD, {R(gpr64(rng)), R(gpr64(rng))});
+    }
+}
+
+std::string
+pad4(int v)
+{
+    std::string s = std::to_string(v);
+    return std::string(4 - s.size(), '0') + s;
+}
+
+} // namespace
+
+std::string
+categoryName(Category c)
+{
+    switch (c) {
+      case Category::ScalarAlu: return "scalar_alu";
+      case Category::DepChain: return "dep_chain";
+      case Category::LoadHeavy: return "load_heavy";
+      case Category::StoreHeavy: return "store_heavy";
+      case Category::Numerical: return "numerical";
+      case Category::VectorInt: return "vector_int";
+      case Category::Hashing: return "hashing";
+      case Category::DecodeStress: return "decode_stress";
+      case Category::LcpStress: return "lcp_stress";
+      case Category::Mixed: return "mixed";
+      case Category::kNumCategories: break;
+    }
+    return "<bad>";
+}
+
+std::vector<Benchmark>
+generateSuite(std::uint64_t seed, int per_category)
+{
+    std::vector<Benchmark> suite;
+    suite.reserve(static_cast<std::size_t>(per_category) * kNumCategories);
+
+    for (int ci = 0; ci < kNumCategories; ++ci) {
+        const Category cat = static_cast<Category>(ci);
+        for (int k = 0; k < per_category; ++k) {
+            Rng rng(seed * 1315423911ULL + ci * 2654435761ULL + k);
+
+            // Block sizes biased toward the small blocks dominating BHive.
+            int size;
+            switch (rng.below(4)) {
+              case 0: size = static_cast<int>(rng.range(1, 4)); break;
+              case 1: size = static_cast<int>(rng.range(3, 8)); break;
+              case 2: size = static_cast<int>(rng.range(6, 16)); break;
+              default: size = static_cast<int>(rng.range(12, 28)); break;
+            }
+
+            Benchmark b;
+            b.category = cat;
+            b.id = categoryName(cat) + "/" + pad4(k);
+
+            Reg chainReg = gpr64(rng);
+            int stackDepth = 0;
+            for (int n = 0; n < size; ++n) {
+                Inst inst = nop();
+                Category effective = cat;
+                if (cat == Category::Mixed)
+                    effective = static_cast<Category>(
+                        rng.below(kNumCategories - 1));
+                switch (effective) {
+                  case Category::ScalarAlu:
+                    inst = genScalarAlu(rng);
+                    break;
+                  case Category::DepChain:
+                    inst = rng.chance(0.7) ? genDepChain(rng, chainReg)
+                                           : genScalarAlu(rng);
+                    break;
+                  case Category::LoadHeavy:
+                    inst = rng.chance(0.75) ? genLoadHeavy(rng)
+                                            : genScalarAlu(rng);
+                    break;
+                  case Category::StoreHeavy:
+                    inst = rng.chance(0.7) ? genStoreHeavy(rng)
+                                           : genScalarAlu(rng);
+                    break;
+                  case Category::Numerical:
+                    inst = genNumerical(rng);
+                    break;
+                  case Category::VectorInt:
+                    inst = genVectorInt(rng);
+                    break;
+                  case Category::Hashing:
+                    inst = genHashing(rng);
+                    break;
+                  case Category::DecodeStress:
+                    inst = genDecodeStress(rng);
+                    break;
+                  case Category::LcpStress:
+                    inst = genLcpStress(rng);
+                    break;
+                  default:
+                    inst = genScalarAlu(rng);
+                    break;
+                }
+                // Keep stack traffic balanced within the block.
+                if (inst.mnem == Mnemonic::POP && stackDepth == 0)
+                    inst = make(Mnemonic::PUSH, {R(gpr64(rng))});
+                if (inst.mnem == Mnemonic::PUSH)
+                    ++stackDepth;
+                else if (inst.mnem == Mnemonic::POP)
+                    --stackDepth;
+                b.bodyU.push_back(inst);
+            }
+            while (stackDepth-- > 0)
+                b.bodyU.push_back(make(Mnemonic::POP, {R(gpr64(rng))}));
+
+            b.bodyL = b.bodyU;
+            b.bodyL.push_back(make(Mnemonic::DEC, {R(R15)}));
+            b.bodyL.push_back(backEdge(Cond::NE));
+
+            b.bytesU = encodeBlock(b.bodyU);
+            b.bytesL = encodeBlock(b.bodyL);
+            suite.push_back(std::move(b));
+        }
+    }
+    return suite;
+}
+
+const std::vector<Benchmark> &
+defaultSuite()
+{
+    static const std::vector<Benchmark> suite = generateSuite(20231020, 60);
+    return suite;
+}
+
+} // namespace facile::bhive

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * BHive-substitute benchmark suite (see DESIGN.md section 1).
+ *
+ * Generates deterministic, stratified basic blocks covering the distinct
+ * bottleneck regimes the BHive applications exercise: scalar integer
+ * code, dependence chains, load/store-dominated code, vectorized
+ * numerical kernels, hash-like bit manipulation, decode- and
+ * predecode-stressing instruction mixes, and LCP-carrying immediates.
+ *
+ * Every benchmark comes in the two variants the paper distinguishes:
+ * a U variant (no terminal branch; measured under unrolling, TPU) and an
+ * L variant (same body ending in a macro-fusible dec/jnz pair, TPL).
+ */
+#ifndef FACILE_BHIVE_GENERATOR_H
+#define FACILE_BHIVE_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/inst.h"
+
+namespace facile::bhive {
+
+/** Workload categories (application domains of the BHive suite). */
+enum class Category : int {
+    ScalarAlu = 0, ///< compiler-generated-looking scalar integer code
+    DepChain,      ///< serial dependence chains (pointer chasing, reductions)
+    LoadHeavy,     ///< load-dominated (database/scan-like)
+    StoreHeavy,    ///< store-dominated (memset/serialization-like)
+    Numerical,     ///< scalar/packed FP (BLAS-like; daxpy, dot, fma)
+    VectorInt,     ///< packed integer SIMD (codec-like)
+    Hashing,       ///< shifts/rotates/multiplies (hash/crypto-like)
+    DecodeStress,  ///< multi-µop instructions stressing the complex decoder
+    LcpStress,     ///< 16-bit immediates (length-changing prefixes)
+    Mixed,         ///< mixtures of everything above
+    kNumCategories,
+};
+
+inline constexpr int kNumCategories =
+    static_cast<int>(Category::kNumCategories);
+
+/** Category name ("scalar_alu", ...). */
+std::string categoryName(Category c);
+
+/** One benchmark in both throughput-notion variants. */
+struct Benchmark
+{
+    std::string id;
+    Category category = Category::ScalarAlu;
+
+    std::vector<isa::Inst> bodyU; ///< without terminal branch (TPU)
+    std::vector<isa::Inst> bodyL; ///< with dec/jnz back edge (TPL)
+
+    std::vector<std::uint8_t> bytesU;
+    std::vector<std::uint8_t> bytesL;
+};
+
+/**
+ * Generate a deterministic suite with @p per_category benchmarks per
+ * category. The same seed always yields the same suite.
+ */
+std::vector<Benchmark> generateSuite(std::uint64_t seed, int per_category);
+
+/** The default suite used by tests and benches (seed 20231020). */
+const std::vector<Benchmark> &defaultSuite();
+
+} // namespace facile::bhive
+
+#endif // FACILE_BHIVE_GENERATOR_H

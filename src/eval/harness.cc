@@ -1,0 +1,139 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "sim/pipeline.h"
+#include "support/math_util.h"
+#include "support/stats.h"
+
+namespace facile::eval {
+
+ArchSuite
+prepare(uarch::UArch arch, const std::vector<bhive::Benchmark> &benchmarks)
+{
+    ArchSuite s;
+    s.arch = arch;
+    s.benchmarks.reserve(benchmarks.size());
+    for (const auto &b : benchmarks) {
+        s.benchmarks.push_back(&b);
+        s.blocksU.push_back(bb::analyze(b.bytesU, arch));
+        s.blocksL.push_back(bb::analyze(b.bytesL, arch));
+        s.measuredU.push_back(
+            round2(sim::measuredThroughput(s.blocksU.back(), false)));
+        s.measuredL.push_back(
+            round2(sim::measuredThroughput(s.blocksL.back(), true)));
+    }
+    return s;
+}
+
+std::vector<double>
+runPredictor(const baselines::ThroughputPredictor &p, const ArchSuite &suite,
+             bool loop)
+{
+    const auto &blocks = loop ? suite.blocksL : suite.blocksU;
+    std::vector<double> out;
+    out.reserve(blocks.size());
+    for (const auto &blk : blocks) {
+        double tp = 0.0;
+        try {
+            tp = p.predict(blk, loop);
+        } catch (const std::exception &) {
+            tp = 0.0; // crash -> throughput 0, as in the paper's protocol
+        }
+        out.push_back(round2(tp));
+    }
+    return out;
+}
+
+Accuracy
+score(const std::vector<double> &measured,
+      const std::vector<double> &predicted)
+{
+    Accuracy a;
+    a.mape = mape(measured, predicted);
+    a.kendall = kendallTau(measured, predicted);
+    return a;
+}
+
+Accuracy
+evaluate(const baselines::ThroughputPredictor &p, const ArchSuite &suite,
+         bool loop)
+{
+    return score(loop ? suite.measuredL : suite.measuredU,
+                 runPredictor(p, suite, loop));
+}
+
+double
+timePerBenchmarkMs(const baselines::ThroughputPredictor &p,
+                   const ArchSuite &suite, bool loop)
+{
+    const auto &blocks = loop ? suite.blocksL : suite.blocksU;
+    if (blocks.empty())
+        return 0.0;
+    volatile double sink = 0.0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (const auto &blk : blocks)
+        sink += p.predict(blk, loop);
+    auto t1 = std::chrono::steady_clock::now();
+    (void)sink;
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return ms / static_cast<double>(blocks.size());
+}
+
+std::vector<std::vector<int>>
+heatmap(const std::vector<double> &measured,
+        const std::vector<double> &predicted, double max_tp, int bins)
+{
+    std::vector<std::vector<int>> grid(
+        static_cast<std::size_t>(bins),
+        std::vector<int>(static_cast<std::size_t>(bins), 0));
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+        if (measured[i] >= max_tp || measured[i] < 0)
+            continue;
+        double pv = std::clamp(predicted[i], 0.0, max_tp - 1e-9);
+        int x = static_cast<int>(measured[i] / max_tp * bins);
+        int y = static_cast<int>(pv / max_tp * bins);
+        ++grid[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)];
+    }
+    return grid;
+}
+
+std::string
+renderHeatmap(const std::vector<std::vector<int>> &grid, double max_tp)
+{
+    // Log-shaded density, diagonal marks perfect prediction.
+    static const char shades[] = " .:+*#@";
+    const int bins = static_cast<int>(grid.size());
+    std::string out;
+    out += "predicted\n";
+    for (int y = bins - 1; y >= 0; --y) {
+        char rowLabel[32];
+        std::snprintf(rowLabel, sizeof(rowLabel), "%5.1f |",
+                      max_tp * (y + 1) / bins);
+        out += rowLabel;
+        for (int x = 0; x < bins; ++x) {
+            int c = grid[static_cast<std::size_t>(y)]
+                        [static_cast<std::size_t>(x)];
+            int shade = 0;
+            if (c > 0)
+                shade = std::min<int>(6, 1 + static_cast<int>(
+                                             std::log10(c) * 2));
+            char ch = shades[shade];
+            if (c == 0 && x == y)
+                ch = '-'; // diagonal guide
+            out += ch;
+            out += ' ';
+        }
+        out += '\n';
+    }
+    out += "      +";
+    for (int x = 0; x < bins; ++x)
+        out += "--";
+    out += "> measured (0.." + std::to_string(static_cast<int>(max_tp)) +
+           " cycles)\n";
+    return out;
+}
+
+} // namespace facile::eval

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Evaluation harness: prepares per-microarchitecture suites with ground
+ * truth (the reference simulator standing in for hardware measurement),
+ * scores predictors (MAPE, Kendall's tau), measures per-benchmark
+ * execution times, and provides the aggregation helpers behind every
+ * table and figure of the paper.
+ */
+#ifndef FACILE_EVAL_HARNESS_H
+#define FACILE_EVAL_HARNESS_H
+
+#include <string>
+#include <vector>
+
+#include "baselines/predictor_iface.h"
+#include "bhive/generator.h"
+
+namespace facile::eval {
+
+/** One microarchitecture's analyzed suite with measured ground truth. */
+struct ArchSuite
+{
+    uarch::UArch arch;
+    std::vector<const bhive::Benchmark *> benchmarks;
+    std::vector<bb::BasicBlock> blocksU;
+    std::vector<bb::BasicBlock> blocksL;
+    std::vector<double> measuredU; ///< rounded to 2 decimals, cycles/iter
+    std::vector<double> measuredL;
+};
+
+/**
+ * Analyze and measure the given benchmarks on @p arch. The measurement
+ * pass (cycle-level simulation of every block in both variants) is the
+ * expensive part; prepare once and evaluate many predictors against it.
+ */
+ArchSuite prepare(uarch::UArch arch,
+                  const std::vector<bhive::Benchmark> &benchmarks);
+
+/** Accuracy of one predictor against the suite's ground truth. */
+struct Accuracy
+{
+    double mape = 0.0;    ///< mean absolute percentage error
+    double kendall = 0.0; ///< Kendall's tau-b rank correlation
+};
+
+/** Predictions of one predictor over a suite (rounded to 2 decimals). */
+std::vector<double> runPredictor(const baselines::ThroughputPredictor &p,
+                                 const ArchSuite &suite, bool loop);
+
+/** Score a prediction vector against the ground truth. */
+Accuracy score(const std::vector<double> &measured,
+               const std::vector<double> &predicted);
+
+/** Convenience: run and score in one step. */
+Accuracy evaluate(const baselines::ThroughputPredictor &p,
+                  const ArchSuite &suite, bool loop);
+
+/** Wall-clock time per benchmark in milliseconds (one sequential pass). */
+double timePerBenchmarkMs(const baselines::ThroughputPredictor &p,
+                          const ArchSuite &suite, bool loop);
+
+/**
+ * 2-D histogram relating measured and predicted throughput (Figure 3).
+ * Cells count benchmarks with (measured, predicted) in the respective
+ * bin; both axes span [0, max_tp) with @p bins bins.
+ */
+std::vector<std::vector<int>> heatmap(const std::vector<double> &measured,
+                                      const std::vector<double> &predicted,
+                                      double max_tp, int bins);
+
+/** Render a heatmap as an ASCII density plot with log shading. */
+std::string renderHeatmap(const std::vector<std::vector<int>> &grid,
+                          double max_tp);
+
+} // namespace facile::eval
+
+#endif // FACILE_EVAL_HARNESS_H

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Decoder throughput predictor (paper section 4.4, Algorithm 1).
+ *
+ * The decoding unit has one complex decoder (instructions with more than
+ * one fused-domain µop) and nDecoders-1 simple decoders. The predictor
+ * simulates the allocation of instructions to decoders until the first
+ * instruction of the benchmark lands on the same decoder for the second
+ * time; the cycle count between those two events divided by the number
+ * of benchmark iterations in between is the steady-state throughput.
+ */
+#ifndef FACILE_FACILE_DEC_H
+#define FACILE_FACILE_DEC_H
+
+#include "bb/basic_block.h"
+
+namespace facile::model {
+
+/** Steady-state decoder throughput in cycles per iteration. */
+double dec(const bb::BasicBlock &blk);
+
+/**
+ * Simple decoder model: max(n/d, c) where n is the number of
+ * instructions (macro-fused pairs count once), d the number of decoders,
+ * and c the number of instructions requiring the complex decoder.
+ */
+double simpleDec(const bb::BasicBlock &blk);
+
+} // namespace facile::model
+
+#endif // FACILE_FACILE_DEC_H

@@ -1,0 +1,98 @@
+#include "facile/ports.h"
+
+#include <algorithm>
+#include <map>
+
+#include "uarch/config.h"
+
+namespace facile::model {
+
+namespace {
+
+using uarch::PortMask;
+
+/** Collect the port masks of all port-consuming µops of the block. */
+std::vector<std::pair<PortMask, int>>
+collectUopMasks(const bb::BasicBlock &blk)
+{
+    std::vector<std::pair<PortMask, int>> uops; // (mask, instruction index)
+    for (std::size_t i = 0; i < blk.insts.size(); ++i) {
+        const auto &ai = blk.insts[i];
+        if (ai.fusedWithPrev || ai.info.eliminated)
+            continue;
+        for (const auto &u : ai.info.portUops)
+            if (u.ports)
+                uops.emplace_back(u.ports, static_cast<int>(i));
+    }
+    return uops;
+}
+
+PortsResult
+boundForCombinations(const bb::BasicBlock &blk,
+                     const std::vector<PortMask> &combinations)
+{
+    auto uops = collectUopMasks(blk);
+    PortsResult best;
+    for (PortMask pc : combinations) {
+        int u = 0;
+        for (const auto &[mask, idx] : uops)
+            if ((mask & ~pc) == 0)
+                ++u;
+        if (u == 0)
+            continue;
+        double tp = static_cast<double>(u) / uarch::portCount(pc);
+        if (tp > best.throughput) {
+            best.throughput = tp;
+            best.bottleneckPorts = pc;
+        }
+    }
+    // Extract the contending instructions for interpretability.
+    if (best.bottleneckPorts) {
+        for (const auto &[mask, idx] : uops)
+            if ((mask & ~best.bottleneckPorts) == 0)
+                best.contendingInsts.push_back(idx);
+        best.contendingInsts.erase(std::unique(best.contendingInsts.begin(),
+                                               best.contendingInsts.end()),
+                                   best.contendingInsts.end());
+    }
+    return best;
+}
+
+} // namespace
+
+PortsResult
+ports(const bb::BasicBlock &blk)
+{
+    auto uops = collectUopMasks(blk);
+
+    // PC: distinct port combinations used by µops of the benchmark.
+    std::vector<PortMask> pcs;
+    for (const auto &[mask, idx] : uops)
+        pcs.push_back(mask);
+    std::sort(pcs.begin(), pcs.end());
+    pcs.erase(std::unique(pcs.begin(), pcs.end()), pcs.end());
+
+    // PC' = { pc | pc' : pc, pc' in PC } (includes singletons: pc | pc).
+    std::vector<PortMask> pairs;
+    for (std::size_t a = 0; a < pcs.size(); ++a)
+        for (std::size_t b = a; b < pcs.size(); ++b)
+            pairs.push_back(static_cast<PortMask>(pcs[a] | pcs[b]));
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+    return boundForCombinations(blk, pairs);
+}
+
+PortsResult
+portsExact(const bb::BasicBlock &blk)
+{
+    const uarch::MicroArchConfig &cfg = uarch::config(blk.arch);
+    const unsigned nSubsets = 1u << cfg.nPorts;
+    std::vector<PortMask> all;
+    all.reserve(nSubsets - 1);
+    for (unsigned s = 1; s < nSubsets; ++s)
+        all.push_back(static_cast<PortMask>(s));
+    return boundForCombinations(blk, all);
+}
+
+} // namespace facile::model

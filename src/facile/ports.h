@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Execution-port contention predictor (paper section 4.8).
+ *
+ * Under the idealizing assumption that the renamer distributes µops
+ * optimally across their admissible ports, the throughput bound induced
+ * by a set of µops that can collectively only use the ports in pc is
+ * u/|pc|. The paper's heuristic considers the port combinations of all
+ * *pairs* of µops; this module implements that heuristic as well as the
+ * exact bound (maximum over all port subsets, equivalent to the linear
+ * program of [8] by LP duality), which is used for validation.
+ */
+#ifndef FACILE_FACILE_PORTS_H
+#define FACILE_FACILE_PORTS_H
+
+#include <string>
+#include <vector>
+
+#include "bb/basic_block.h"
+
+namespace facile::model {
+
+/** Result of the port-contention analysis, with interpretability data. */
+struct PortsResult
+{
+    double throughput = 0.0;
+
+    /** The port combination achieving the bound. */
+    uarch::PortMask bottleneckPorts = 0;
+
+    /** Indices of instructions whose µops contend on bottleneckPorts. */
+    std::vector<int> contendingInsts;
+};
+
+/** Pairwise port-combination heuristic (the model Facile uses). */
+PortsResult ports(const bb::BasicBlock &blk);
+
+/**
+ * Exact port-contention bound: max over every subset S of ports of
+ * (µops dispatchable only within S) / |S|. Exponential in the port
+ * count (at most 2^10 subsets), used in tests and ablations to confirm
+ * the heuristic is exact on the benchmark suite, as the paper reports
+ * for BHive.
+ */
+PortsResult portsExact(const bb::BasicBlock &blk);
+
+} // namespace facile::model
+
+#endif // FACILE_FACILE_PORTS_H

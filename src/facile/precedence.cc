@@ -1,0 +1,440 @@
+#include "facile/precedence.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "isa/semantics.h"
+#include "uarch/config.h"
+
+namespace facile::model {
+
+namespace {
+
+/**
+ * Detect a cycle of strictly positive total weight under the modified
+ * weights w(e) = weight(e) - lambda * count(e), using Bellman-Ford in
+ * the max-plus semiring. Returns the node indices of one such cycle,
+ * or an empty vector if none exists.
+ */
+std::vector<int>
+positiveCycle(int n, const std::vector<RatioEdge> &edges, double lambda)
+{
+    std::vector<double> dist(n, 0.0);
+    std::vector<int> pred(n, -1);
+    int updatedNode = -1;
+    for (int round = 0; round < n; ++round) {
+        updatedNode = -1;
+        for (const auto &e : edges) {
+            double w = e.weight - lambda * e.count;
+            if (dist[e.from] + w > dist[e.to] + 1e-12) {
+                dist[e.to] = dist[e.from] + w;
+                pred[e.to] = e.from;
+                updatedNode = e.to;
+            }
+        }
+        if (updatedNode < 0)
+            return {};
+    }
+    // A node updated in round n lies on or is reachable from a positive
+    // cycle; walk back n steps to land inside the cycle, then collect it.
+    int v = updatedNode;
+    for (int i = 0; i < n; ++i)
+        v = pred[v];
+    std::vector<int> cycle;
+    int start = v;
+    do {
+        cycle.push_back(v);
+        v = pred[v];
+    } while (v != start && static_cast<int>(cycle.size()) <= n);
+    std::reverse(cycle.begin(), cycle.end());
+    return cycle;
+}
+
+/**
+ * Kosaraju strongly-connected components; returns component id per node
+ * (ids are arbitrary but equal within a component).
+ */
+std::vector<int>
+sccIds(int n, const std::vector<RatioEdge> &edges)
+{
+    std::vector<std::vector<int>> fwd(n), rev(n);
+    for (const auto &e : edges) {
+        fwd[e.from].push_back(e.to);
+        rev[e.to].push_back(e.from);
+    }
+
+    // First pass: finish order on the forward graph (iterative DFS).
+    std::vector<int> order;
+    order.reserve(n);
+    std::vector<char> seen(n, 0);
+    std::vector<std::pair<int, std::size_t>> stack;
+    for (int s = 0; s < n; ++s) {
+        if (seen[s])
+            continue;
+        stack.emplace_back(s, 0);
+        seen[s] = 1;
+        while (!stack.empty()) {
+            auto &[v, i] = stack.back();
+            if (i < fwd[v].size()) {
+                int w = fwd[v][i++];
+                if (!seen[w]) {
+                    seen[w] = 1;
+                    stack.emplace_back(w, 0);
+                }
+            } else {
+                order.push_back(v);
+                stack.pop_back();
+            }
+        }
+    }
+
+    // Second pass: components on the reverse graph.
+    std::vector<int> comp(n, -1);
+    int nComp = 0;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        if (comp[*it] >= 0)
+            continue;
+        std::vector<int> work = {*it};
+        comp[*it] = nComp;
+        while (!work.empty()) {
+            int v = work.back();
+            work.pop_back();
+            for (int w : rev[v]) {
+                if (comp[w] < 0) {
+                    comp[w] = nComp;
+                    work.push_back(w);
+                }
+            }
+        }
+        ++nComp;
+    }
+    return comp;
+}
+
+/** Binary-search cycle-ratio maximization on one (small) subgraph. */
+CycleRatioResult
+maxCycleRatioDense(int n_nodes, const std::vector<RatioEdge> &edges)
+{
+    CycleRatioResult result;
+
+    double lo = 0.0, hi = 0.0;
+    for (const auto &e : edges)
+        hi += std::max(0.0, e.weight);
+    if (hi == 0.0)
+        hi = 1.0;
+
+    // Is there a cycle at all? Probe with lambda slightly below zero so
+    // zero-weight cycles register as positive.
+    if (positiveCycle(n_nodes, edges, -1e-6).empty())
+        return result;
+
+    // Binary search for the largest lambda admitting a positive cycle.
+    for (int it = 0; it < 64 && hi - lo > 1e-10 * (1.0 + hi); ++it) {
+        double mid = 0.5 * (lo + hi);
+        if (!positiveCycle(n_nodes, edges, mid).empty())
+            lo = mid;
+        else
+            hi = mid;
+    }
+    result.ratio = 0.5 * (lo + hi);
+    if (result.ratio < 1e-9)
+        result.ratio = 0.0;
+
+    // Extract a critical cycle just below the optimum.
+    double probe = result.ratio - std::max(1e-7, result.ratio * 1e-6);
+    result.cycleNodes = positiveCycle(n_nodes, edges, probe);
+    return result;
+}
+
+/**
+ * Howard's policy iteration for the maximum cycle ratio on one strongly
+ * connected subgraph (every node must lie on a cycle). Maintains a
+ * policy (one out-edge per node); each round evaluates the policy's
+ * cycles, takes the best ratio r, solves the value function d under r,
+ * and switches any edge (u,v) with d[u] < w(u,v) - r*t(u,v) + d[v].
+ * Terminates when no edge improves; guarded by an iteration cap with a
+ * binary-search fallback (never observed to trigger on dependence
+ * graphs, but cheap insurance).
+ */
+CycleRatioResult
+howardDense(int n, const std::vector<RatioEdge> &edges)
+{
+    CycleRatioResult result;
+    std::vector<std::vector<int>> adj(n); // edge indices
+    for (std::size_t e = 0; e < edges.size(); ++e)
+        adj[edges[e].from].push_back(static_cast<int>(e));
+    for (int v = 0; v < n; ++v)
+        if (adj[v].empty())
+            return result; // not strongly connected: caller filtered SCCs
+
+    std::vector<int> policy(n); // chosen edge index per node
+    for (int v = 0; v < n; ++v)
+        policy[v] = adj[v][0];
+
+    std::vector<double> d(n, 0.0);
+    std::vector<int> mark(n, -1);
+    std::vector<int> bestCycle;
+
+    const int maxRounds = 4 * n + 16;
+    for (int round = 0; round < maxRounds; ++round) {
+        // --- evaluate: find the cycles of the policy graph ----------------
+        double r = -1.0;
+        bestCycle.clear();
+        std::fill(mark.begin(), mark.end(), -1);
+        std::vector<int> cycleAnchor(n, -1); // anchor node of v's cycle
+        for (int s = 0; s < n; ++s) {
+            if (mark[s] >= 0)
+                continue;
+            // Walk the policy path until we hit something visited.
+            std::vector<int> path;
+            int v = s;
+            while (mark[v] < 0) {
+                mark[v] = s;
+                path.push_back(v);
+                v = edges[policy[v]].to;
+            }
+            if (mark[v] == s && cycleAnchor[v] < 0) {
+                // Found a new cycle; extract it.
+                std::vector<int> cycle;
+                double w = 0.0;
+                int t = 0;
+                int u = v;
+                do {
+                    cycle.push_back(u);
+                    w += edges[policy[u]].weight;
+                    t += edges[policy[u]].count;
+                    u = edges[policy[u]].to;
+                } while (u != v);
+                double ratio = t > 0 ? w / t : 0.0;
+                for (int c : cycle)
+                    cycleAnchor[c] = v;
+                if (ratio > r) {
+                    r = ratio;
+                    bestCycle = cycle;
+                }
+            }
+        }
+        if (r < 0)
+            break;
+
+        // --- value determination under the global ratio r -----------------
+        // d is consistent along policy edges: d[u] = w - r*t + d[succ].
+        // Solve by walking each node's policy path to its cycle; anchor
+        // nodes get d = 0 (per-cycle drift is absorbed by improvement).
+        std::vector<char> solved(n, 0);
+        for (int v = 0; v < n; ++v) {
+            if (cycleAnchor[v] == v) {
+                d[v] = 0.0;
+                solved[v] = 1;
+            }
+        }
+        for (int s = 0; s < n; ++s) {
+            if (solved[s])
+                continue;
+            std::vector<int> path;
+            int v = s;
+            while (!solved[v]) {
+                path.push_back(v);
+                v = edges[policy[v]].to;
+            }
+            for (auto it = path.rbegin(); it != path.rend(); ++it) {
+                const RatioEdge &e = edges[policy[*it]];
+                d[*it] = e.weight - r * e.count + d[e.to];
+                solved[*it] = 1;
+            }
+        }
+
+        // --- improvement ------------------------------------------------------
+        bool improved = false;
+        for (int v = 0; v < n; ++v) {
+            for (int ei : adj[v]) {
+                const RatioEdge &e = edges[ei];
+                double cand = e.weight - r * e.count + d[e.to];
+                if (cand > d[v] + 1e-9) {
+                    d[v] = cand;
+                    policy[v] = ei;
+                    improved = true;
+                }
+            }
+        }
+        if (!improved) {
+            result.ratio = std::max(0.0, r);
+            result.cycleNodes = bestCycle;
+            return result;
+        }
+    }
+    // Fallback: the guard fired; use the exhaustive engine.
+    return maxCycleRatioDense(n, edges);
+}
+
+/** Solve per SCC with the given dense engine; take the maximum. */
+template <typename Engine>
+CycleRatioResult
+perScc(int n_nodes, const std::vector<RatioEdge> &edges, Engine engine)
+{
+    CycleRatioResult result;
+    if (n_nodes == 0 || edges.empty())
+        return result;
+
+    // Cycles live entirely within strongly connected components; solve
+    // each component separately (they are typically tiny) and take the
+    // maximum. Self-loops are components of size one with an edge.
+    std::vector<int> comp = sccIds(n_nodes, edges);
+    int nComp = *std::max_element(comp.begin(), comp.end()) + 1;
+
+    std::vector<std::vector<RatioEdge>> compEdges(nComp);
+    for (const auto &e : edges)
+        if (comp[e.from] == comp[e.to])
+            compEdges[comp[e.from]].push_back(e);
+
+    for (int c = 0; c < nComp; ++c) {
+        if (compEdges[c].empty())
+            continue;
+        // Renumber nodes of this component densely.
+        std::vector<int> localId(n_nodes, -1), globalId;
+        std::vector<RatioEdge> local;
+        local.reserve(compEdges[c].size());
+        for (const auto &e : compEdges[c]) {
+            for (int v : {e.from, e.to}) {
+                if (localId[v] < 0) {
+                    localId[v] = static_cast<int>(globalId.size());
+                    globalId.push_back(v);
+                }
+            }
+            local.push_back({localId[e.from], localId[e.to], e.weight,
+                             e.count});
+        }
+        CycleRatioResult sub =
+            engine(static_cast<int>(globalId.size()), local);
+        if (sub.ratio > result.ratio ||
+            (result.cycleNodes.empty() && !sub.cycleNodes.empty())) {
+            result.ratio = std::max(result.ratio, sub.ratio);
+            result.cycleNodes.clear();
+            for (int v : sub.cycleNodes)
+                result.cycleNodes.push_back(globalId[v]);
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+CycleRatioResult
+maxCycleRatioHoward(int n_nodes, const std::vector<RatioEdge> &edges)
+{
+    return perScc(n_nodes, edges, howardDense);
+}
+
+CycleRatioResult
+maxCycleRatioLawler(int n_nodes, const std::vector<RatioEdge> &edges)
+{
+    return perScc(n_nodes, edges, maxCycleRatioDense);
+}
+
+CycleRatioResult
+maxCycleRatio(int n_nodes, const std::vector<RatioEdge> &edges)
+{
+    // Howard's algorithm is the paper's engine of choice [16, 18] and is
+    // the fastest in practice; it carries its own exhaustive fallback.
+    return maxCycleRatioHoward(n_nodes, edges);
+}
+
+PrecedenceResult
+precedence(const bb::BasicBlock &blk)
+{
+    const uarch::MicroArchConfig &cfg = uarch::config(blk.arch);
+
+    // One node per (instruction, written value).
+    struct WriteNode
+    {
+        int instIdx;
+        int value;
+    };
+    std::vector<WriteNode> nodes;
+    std::vector<isa::RwSets> rw(blk.insts.size());
+
+    std::array<int, isa::kNumValues> lastWriterEnd;
+    lastWriterEnd.fill(-1);
+
+    for (std::size_t i = 0; i < blk.insts.size(); ++i) {
+        rw[i] = isa::instRw(blk.insts[i].dec.inst);
+        for (int v : rw[i].writes) {
+            lastWriterEnd[v] = static_cast<int>(nodes.size());
+            nodes.push_back({static_cast<int>(i), v});
+        }
+    }
+
+    std::vector<RatioEdge> edges;
+    std::array<int, isa::kNumValues> lastWriter;
+    lastWriter.fill(-1);
+
+    int nodeCursor = 0;
+    for (std::size_t i = 0; i < blk.insts.size(); ++i) {
+        const auto &ai = blk.insts[i];
+        const auto &sets = rw[i];
+        const int firstWriteNode = nodeCursor;
+        const int nWrites = static_cast<int>(sets.writes.size());
+
+        if (!sets.depBreaking && nWrites > 0) {
+            // Determine which reads are address registers of a load.
+            const isa::MemOp *m = ai.dec.inst.memOperand();
+            const bool loads = ai.dec.inst.isLoad();
+            auto isAddrReg = [&](int v) {
+                if (!m || !loads)
+                    return false;
+                return (m->base.valid() && m->base.family() == v) ||
+                       (m->index.valid() && m->index.family() == v);
+            };
+            const bool stackOp =
+                ai.dec.inst.mnem == isa::Mnemonic::PUSH ||
+                ai.dec.inst.mnem == isa::Mnemonic::POP ||
+                ai.dec.inst.mnem == isa::Mnemonic::CALL ||
+                ai.dec.inst.mnem == isa::Mnemonic::RET;
+
+            for (int r : sets.reads) {
+                int producer = lastWriter[r];
+                int iterCount = 0;
+                if (producer < 0) {
+                    producer = lastWriterEnd[r];
+                    iterCount = 1;
+                }
+                if (producer < 0)
+                    continue; // loop-invariant input
+                double lat = static_cast<double>(ai.info.latency);
+                if (isAddrReg(r))
+                    lat += cfg.loadLatency;
+                for (int w = 0; w < nWrites; ++w) {
+                    double edgeLat = lat;
+                    // The stack engine updates rsp outside the execution
+                    // core; rsp results of stack ops are available
+                    // immediately.
+                    if (stackOp && nodes[firstWriteNode + w].value == 4)
+                        edgeLat = 0.0;
+                    edges.push_back(
+                        {producer, firstWriteNode + w, edgeLat, iterCount});
+                }
+            }
+        }
+
+        for (int w = 0; w < nWrites; ++w)
+            lastWriter[nodes[firstWriteNode + w].value] =
+                firstWriteNode + w;
+        nodeCursor += nWrites;
+    }
+
+    CycleRatioResult crr =
+        maxCycleRatio(static_cast<int>(nodes.size()), edges);
+
+    PrecedenceResult result;
+    result.throughput = crr.ratio;
+    for (int n : crr.cycleNodes) {
+        int inst = nodes[n].instIdx;
+        if (result.criticalChain.empty() ||
+            result.criticalChain.back() != inst)
+            result.criticalChain.push_back(inst);
+    }
+    return result;
+}
+
+} // namespace facile::model

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Precedence-constraint predictor (paper section 4.9).
+ *
+ * Builds a weighted dependence graph over the values produced and
+ * consumed by the block's instructions. Intra-iteration edges carry
+ * iteration count 0, loop-carried edges count 1; edge weights are
+ * instruction latencies (plus the load-to-use latency for address
+ * registers of loads). The throughput bound is the maximum ratio of
+ * cycle latency to cycle iteration count over all cycles of the graph
+ * — the recurrence-constrained minimum initiation interval of modulo
+ * scheduling.
+ */
+#ifndef FACILE_FACILE_PRECEDENCE_H
+#define FACILE_FACILE_PRECEDENCE_H
+
+#include <vector>
+
+#include "bb/basic_block.h"
+
+namespace facile::model {
+
+/** Result of the precedence analysis, with interpretability data. */
+struct PrecedenceResult
+{
+    double throughput = 0.0;
+
+    /**
+     * Instruction indices along the critical dependence cycle, for
+     * interpretable feedback when Precedence is the bottleneck.
+     */
+    std::vector<int> criticalChain;
+};
+
+/** Throughput bound due to loop-carried dependence chains. */
+PrecedenceResult precedence(const bb::BasicBlock &blk);
+
+/**
+ * Maximum cycle ratio sum(weight)/sum(count) over all cycles of a
+ * directed graph; 0 if the graph is acyclic. Exposed for testing.
+ *
+ * Every cycle must contain at least one edge with count > 0 (guaranteed
+ * by the dependence-graph construction; asserted here).
+ */
+struct RatioEdge
+{
+    int from;
+    int to;
+    double weight;
+    int count;
+};
+
+struct CycleRatioResult
+{
+    double ratio = 0.0;
+    std::vector<int> cycleNodes; ///< nodes on a critical cycle
+};
+
+CycleRatioResult maxCycleRatio(int n_nodes,
+                               const std::vector<RatioEdge> &edges);
+
+/**
+ * Howard's value/policy-iteration algorithm for the maximum cycle
+ * ratio (the algorithm the paper employs, [16, 18]). Used as the
+ * default engine inside maxCycleRatio; exposed for testing against the
+ * binary-search engine and brute force.
+ */
+CycleRatioResult maxCycleRatioHoward(int n_nodes,
+                                     const std::vector<RatioEdge> &edges);
+
+/**
+ * Lawler-style binary search with Bellman-Ford positive-cycle
+ * detection; the cross-check engine.
+ */
+CycleRatioResult maxCycleRatioLawler(int n_nodes,
+                                     const std::vector<RatioEdge> &edges);
+
+} // namespace facile::model
+
+#endif // FACILE_FACILE_PRECEDENCE_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Predecoder throughput predictor (paper section 4.3).
+ *
+ * The predecoder fetches aligned 16-byte blocks from the instruction
+ * cache and identifies up to five instruction starts per cycle. Penalties
+ * arise when more than five instructions end in one block, when an
+ * instruction straddles a block boundary (modeled through the O(b)
+ * opcode-position counts), and — at three cycles each — for instructions
+ * with a length-changing prefix (LCP).
+ */
+#ifndef FACILE_FACILE_PREDEC_H
+#define FACILE_FACILE_PREDEC_H
+
+#include "bb/basic_block.h"
+
+namespace facile::model {
+
+/**
+ * Steady-state predecoder throughput in cycles per iteration.
+ *
+ * @param blk the analyzed basic block
+ * @param unrolled true for the TPU notion (the block is replicated
+ *        contiguously; alignment shifts per copy and the analysis spans
+ *        u = lcm(l,16)/l copies), false for TPL (the block sits at a
+ *        fixed 16-byte-aligned address)
+ */
+double predec(const bb::BasicBlock &blk, bool unrolled);
+
+/**
+ * Simple predecoder model: one 16-byte block per cycle, i.e. l/16
+ * (paper's SimplePredec comparison model).
+ */
+double simplePredec(const bb::BasicBlock &blk);
+
+} // namespace facile::model
+
+#endif // FACILE_FACILE_PREDEC_H

@@ -1,0 +1,191 @@
+#include "facile/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "facile/dec.h"
+#include "facile/predec.h"
+#include "facile/simple_components.h"
+#include "uarch/config.h"
+
+namespace facile::model {
+
+std::string
+componentName(Component c)
+{
+    switch (c) {
+      case Component::Predec: return "Predec";
+      case Component::Dec: return "Dec";
+      case Component::DSB: return "DSB";
+      case Component::LSD: return "LSD";
+      case Component::Issue: return "Issue";
+      case Component::Ports: return "Ports";
+      case Component::Precedence: return "Precedence";
+      case Component::kNumComponents: break;
+    }
+    return "<bad>";
+}
+
+bool &
+ModelConfig::flag(Component c)
+{
+    switch (c) {
+      case Component::Predec: return usePredec;
+      case Component::Dec: return useDec;
+      case Component::DSB: return useDsb;
+      case Component::LSD: return useLsd;
+      case Component::Issue: return useIssue;
+      case Component::Ports: return usePorts;
+      case Component::Precedence:
+      default: return usePrecedence;
+    }
+}
+
+ModelConfig
+ModelConfig::only(Component c)
+{
+    ModelConfig cfg;
+    cfg.usePredec = cfg.useDec = cfg.useDsb = cfg.useLsd = cfg.useIssue =
+        cfg.usePorts = cfg.usePrecedence = false;
+    cfg.flag(c) = true;
+    return cfg;
+}
+
+ModelConfig
+ModelConfig::without(Component c)
+{
+    ModelConfig cfg;
+    cfg.flag(c) = false;
+    return cfg;
+}
+
+Prediction::Prediction()
+{
+    componentValue.fill(std::numeric_limits<double>::quiet_NaN());
+}
+
+double
+Prediction::idealized(Component c) const
+{
+    double best = 0.0;
+    for (int i = 0; i < kNumComponents; ++i) {
+        if (i == static_cast<int>(c))
+            continue;
+        double v = componentValue[i];
+        if (!std::isnan(v))
+            best = std::max(best, v);
+    }
+    return best;
+}
+
+namespace {
+
+/** Record a component bound and keep the running maximum. */
+void
+record(Prediction &p, Component c, double value)
+{
+    p.componentValue[static_cast<int>(c)] = value;
+    p.throughput = std::max(p.throughput, value);
+}
+
+/** Fill bottleneck list and primary bottleneck after all bounds are in. */
+void
+finalize(Prediction &p)
+{
+    // Front-end-first priority for ties (paper section 6.4 / Figure 6).
+    static const Component priority[] = {
+        Component::Predec, Component::Dec,        Component::DSB,
+        Component::LSD,    Component::Issue,      Component::Ports,
+        Component::Precedence,
+    };
+    bool primarySet = false;
+    for (Component c : priority) {
+        double v = p.componentValue[static_cast<int>(c)];
+        if (std::isnan(v))
+            continue;
+        if (v >= p.throughput - 1e-9 && p.throughput > 0.0) {
+            p.bottlenecks.push_back(c);
+            if (!primarySet) {
+                p.primaryBottleneck = c;
+                primarySet = true;
+            }
+        }
+    }
+}
+
+/** Evaluate Ports and Precedence (shared by TPU and TPL). */
+void
+backEndBounds(Prediction &p, const bb::BasicBlock &blk,
+              const ModelConfig &config)
+{
+    if (config.useIssue)
+        record(p, Component::Issue, issue(blk));
+    if (config.usePorts) {
+        PortsResult pr = ports(blk);
+        record(p, Component::Ports, pr.throughput);
+        p.contendedPorts = pr.bottleneckPorts;
+        p.contendingInsts = std::move(pr.contendingInsts);
+    }
+    if (config.usePrecedence) {
+        PrecedenceResult pr = precedence(blk);
+        record(p, Component::Precedence, pr.throughput);
+        p.criticalChain = std::move(pr.criticalChain);
+    }
+}
+
+} // namespace
+
+Prediction
+predictUnrolled(const bb::BasicBlock &blk, const ModelConfig &config)
+{
+    Prediction p;
+    if (config.usePredec)
+        record(p, Component::Predec,
+               config.simplePredec ? simplePredec(blk) : predec(blk, true));
+    if (config.useDec)
+        record(p, Component::Dec,
+               config.simpleDec ? simpleDec(blk) : dec(blk));
+    backEndBounds(p, blk, config);
+    finalize(p);
+    return p;
+}
+
+Prediction
+predictLoop(const bb::BasicBlock &blk, const ModelConfig &config)
+{
+    const uarch::MicroArchConfig &cfg = uarch::config(blk.arch);
+    Prediction p;
+
+    // Front end (paper equation 3): with the JCC erratum triggered,
+    // neither the DSB nor the LSD are usable and the loop is fed by the
+    // legacy decode path; otherwise the LSD serves loops that fit the
+    // IDQ, and the DSB everything else.
+    const bool jccAffected =
+        cfg.jccErratum && blk.touchesJccErratumBoundary();
+    if (jccAffected) {
+        if (config.usePredec)
+            record(p, Component::Predec,
+                   config.simplePredec ? simplePredec(blk)
+                                       : predec(blk, false));
+        if (config.useDec)
+            record(p, Component::Dec,
+                   config.simpleDec ? simpleDec(blk) : dec(blk));
+    } else if (cfg.lsdEnabled && config.useLsd && lsdEligible(blk)) {
+        record(p, Component::LSD, lsd(blk));
+    } else if (config.useDsb) {
+        record(p, Component::DSB, dsb(blk));
+    }
+
+    backEndBounds(p, blk, config);
+    finalize(p);
+    return p;
+}
+
+Prediction
+predict(const bb::BasicBlock &blk, bool loop, const ModelConfig &config)
+{
+    return loop ? predictLoop(blk, config) : predictUnrolled(blk, config);
+}
+
+} // namespace facile::model

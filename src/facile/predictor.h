@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The Facile throughput model: combination of the component predictors
+ * (paper sections 4.1 and 4.2), bottleneck identification, ablation
+ * switches (Table 3), and the counterfactual "idealize one component"
+ * analysis (Table 4).
+ */
+#ifndef FACILE_FACILE_PREDICTOR_H
+#define FACILE_FACILE_PREDICTOR_H
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bb/basic_block.h"
+#include "facile/ports.h"
+#include "facile/precedence.h"
+
+namespace facile::model {
+
+/** The potential bottleneck components. */
+enum class Component : int {
+    Predec = 0,
+    Dec,
+    DSB,
+    LSD,
+    Issue,
+    Ports,
+    Precedence,
+    kNumComponents,
+};
+
+inline constexpr int kNumComponents =
+    static_cast<int>(Component::kNumComponents);
+
+/** Short component name ("Predec", "Dec", ...). */
+std::string componentName(Component c);
+
+/** Ablation switches (Table 3 variants). All-default is full Facile. */
+struct ModelConfig
+{
+    bool usePredec = true;
+    bool useDec = true;
+    bool useDsb = true;
+    bool useLsd = true;
+    bool useIssue = true;
+    bool usePorts = true;
+    bool usePrecedence = true;
+
+    /** Replace the Predec component with the SimplePredec model. */
+    bool simplePredec = false;
+
+    /** Replace the Dec component with the SimpleDec model. */
+    bool simpleDec = false;
+
+    /** Disable every component except @p c ("only X" rows of Table 3). */
+    static ModelConfig only(Component c);
+
+    /** Disable a single component ("w/o X" rows of Table 3). */
+    static ModelConfig without(Component c);
+
+    bool &flag(Component c);
+};
+
+/** A throughput prediction with full interpretability payload. */
+struct Prediction
+{
+    /** Predicted throughput in cycles per iteration. */
+    double throughput = 0.0;
+
+    /** Per-component bounds; NaN where the component was not evaluated. */
+    std::array<double, kNumComponents> componentValue;
+
+    /** Components whose bound equals the predicted throughput. */
+    std::vector<Component> bottlenecks;
+
+    /**
+     * The single bottleneck under the paper's front-end-first tie-break
+     * (Predec > Dec > Issue > Ports > Precedence; Figure 6).
+     */
+    Component primaryBottleneck = Component::Ports;
+
+    /** Interpretability: critical dependence chain (instruction indices). */
+    std::vector<int> criticalChain;
+
+    /** Interpretability: contended ports and contending instructions. */
+    uarch::PortMask contendedPorts = 0;
+    std::vector<int> contendingInsts;
+
+    /**
+     * Counterfactual: throughput if @p c were infinitely fast, i.e. the
+     * maximum over the remaining components (paper section 6.4).
+     */
+    double idealized(Component c) const;
+
+    Prediction();
+};
+
+/** Predict TPU: throughput under unrolling (paper equation 1). */
+Prediction predictUnrolled(const bb::BasicBlock &blk,
+                           const ModelConfig &config = {});
+
+/**
+ * Predict TPL: throughput when executed as a loop (paper equations 2/3).
+ * The front end is served by the predecoder+decoder when the block
+ * triggers the JCC erratum, by the LSD when enabled and the loop fits
+ * the IDQ, and by the DSB otherwise.
+ */
+Prediction predictLoop(const bb::BasicBlock &blk,
+                       const ModelConfig &config = {});
+
+/** Dispatch on the throughput notion. */
+Prediction predict(const bb::BasicBlock &blk, bool loop,
+                   const ModelConfig &config = {});
+
+} // namespace facile::model
+
+#endif // FACILE_FACILE_PREDICTOR_H

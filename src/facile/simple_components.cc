@@ -1,0 +1,47 @@
+#include "facile/simple_components.h"
+
+#include "support/math_util.h"
+#include "uarch/config.h"
+
+namespace facile::model {
+
+double
+dsb(const bb::BasicBlock &blk)
+{
+    const uarch::MicroArchConfig &cfg = uarch::config(blk.arch);
+    const int n = blk.fusedUops();
+    const int w = cfg.dsbWidth;
+    if (blk.lengthBytes() < 32)
+        return static_cast<double>(ceilDiv(n, w));
+    return static_cast<double>(n) / w;
+}
+
+bool
+lsdEligible(const bb::BasicBlock &blk)
+{
+    const uarch::MicroArchConfig &cfg = uarch::config(blk.arch);
+    return blk.fusedUops() <= cfg.idqWidth;
+}
+
+double
+lsd(const bb::BasicBlock &blk)
+{
+    const uarch::MicroArchConfig &cfg = uarch::config(blk.arch);
+    const int n = blk.fusedUops();
+    if (n == 0)
+        return 0.0;
+    const int u = cfg.lsdUnrollFactor(n);
+    const int i = cfg.issueWidth;
+    return static_cast<double>(ceilDiv(static_cast<std::int64_t>(n) * u, i)) /
+           static_cast<double>(u);
+}
+
+double
+issue(const bb::BasicBlock &blk)
+{
+    const uarch::MicroArchConfig &cfg = uarch::config(blk.arch);
+    return static_cast<double>(blk.issueUops()) /
+           static_cast<double>(cfg.issueWidth);
+}
+
+} // namespace facile::model

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The arithmetic component predictors: DSB (paper 4.5), LSD (4.6),
+ * and Issue (4.7).
+ */
+#ifndef FACILE_FACILE_SIMPLE_COMPONENTS_H
+#define FACILE_FACILE_SIMPLE_COMPONENTS_H
+
+#include "bb/basic_block.h"
+
+namespace facile::model {
+
+/**
+ * DSB (µop cache) throughput in cycles per iteration:
+ * ceil(n/w) for blocks shorter than 32 bytes (after a branch, no
+ * further µops from the same 32-byte window can be delivered in the
+ * same cycle), n/w otherwise; n counts fused-domain µops.
+ */
+double dsb(const bb::BasicBlock &blk);
+
+/**
+ * LSD throughput in cycles per iteration: ceil(n*u/i)/u, where u is the
+ * microarchitecture's unroll factor for an n-µop loop and i the issue
+ * width. The last µop of an iteration and the first µop of the next
+ * cannot be streamed in the same cycle, which the ceiling captures.
+ */
+double lsd(const bb::BasicBlock &blk);
+
+/** True if the loop's µops fit into the IDQ, making it LSD-eligible. */
+bool lsdEligible(const bb::BasicBlock &blk);
+
+/**
+ * Issue-stage throughput in cycles per iteration: n/i with n the
+ * fused-domain µop count after unlamination.
+ */
+double issue(const bb::BasicBlock &blk);
+
+} // namespace facile::model
+
+#endif // FACILE_FACILE_SIMPLE_COMPONENTS_H

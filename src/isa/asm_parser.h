@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Intel-syntax assembly text parser for the supported subset.
+ *
+ * Accepts the same notation toString() emits, e.g.:
+ *
+ *   add rax, rbx
+ *   mov qword ptr [rbx+rcx*4+8], 5
+ *   vfmadd231pd xmm0, xmm1, xmm2
+ *   jne -2
+ *   nop5                 ; NOP with an explicit 5-byte encoding
+ *
+ * Used by the facile_tool example to provide the command-line front end
+ * the original facile.py offers.
+ */
+#ifndef FACILE_ISA_ASM_PARSER_H
+#define FACILE_ISA_ASM_PARSER_H
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "isa/inst.h"
+
+namespace facile::isa {
+
+/** Thrown on malformed assembly text. */
+class ParseError : public std::runtime_error
+{
+  public:
+    explicit ParseError(const std::string &what)
+        : std::runtime_error("parse: " + what)
+    {}
+};
+
+/** Parse a single instruction line. Comments after ';' are ignored. */
+Inst parseInst(const std::string &line);
+
+/**
+ * Parse a multi-line listing; empty lines and pure-comment lines are
+ * skipped.
+ */
+std::vector<Inst> parseListing(const std::string &text);
+
+/**
+ * Parse a hex byte string ("48 01 d8 ..." or "4801d8...") into bytes.
+ */
+std::vector<std::uint8_t> parseHex(const std::string &text);
+
+} // namespace facile::isa
+
+#endif // FACILE_ISA_ASM_PARSER_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * x86-64 instruction decoder (XED substitute).
+ *
+ * Decodes machine code back into Inst structures and reports the
+ * byte-layout facts Facile's predecoder model needs: total length,
+ * the position of the nominal opcode (first non-prefix byte), and
+ * whether the instruction carries a length-changing prefix (LCP),
+ * i.e. a 0x66 operand-size prefix combined with a 16-bit immediate.
+ *
+ * The decoder is written independently of the encoder (table/switch
+ * driven from the opcode maps); decode(encode(i)) == i is enforced by
+ * property tests.
+ */
+#ifndef FACILE_ISA_DECODER_H
+#define FACILE_ISA_DECODER_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "isa/inst.h"
+
+namespace facile::isa {
+
+/** Thrown on malformed or unsupported byte sequences. */
+class DecodeError : public std::runtime_error
+{
+  public:
+    explicit DecodeError(const std::string &what)
+        : std::runtime_error("decode: " + what)
+    {}
+};
+
+/** One decoded instruction plus its byte-layout facts. */
+struct DecodedInst
+{
+    Inst inst;
+    std::uint8_t length = 0;       ///< total encoded length in bytes
+    std::uint8_t opcodeOffset = 0; ///< offset of the nominal opcode byte
+    bool lcp = false;              ///< has a length-changing prefix
+};
+
+/**
+ * Decode a single instruction starting at data[pos].
+ * @throws DecodeError on malformed input.
+ */
+DecodedInst decodeOne(const std::uint8_t *data, std::size_t size,
+                      std::size_t pos = 0);
+
+/** Decode a whole byte buffer into consecutive instructions. */
+std::vector<DecodedInst> decodeBlock(const std::vector<std::uint8_t> &bytes);
+
+} // namespace facile::isa
+
+#endif // FACILE_ISA_DECODER_H

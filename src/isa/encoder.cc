@@ -1,0 +1,825 @@
+#include "isa/encoder.h"
+
+#include <cassert>
+
+namespace facile::isa {
+
+namespace {
+
+/** Accumulates the byte encoding of one instruction. */
+class Emitter
+{
+  public:
+    explicit Emitter(std::vector<std::uint8_t> &out) : out_(out) {}
+
+    void byte(std::uint8_t b) { out_.push_back(b); }
+
+    void
+    bytes(std::initializer_list<std::uint8_t> bs)
+    {
+        for (auto b : bs)
+            out_.push_back(b);
+    }
+
+    void
+    imm(std::int64_t v, int width)
+    {
+        for (int i = 0; i < width; ++i)
+            out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+  private:
+    std::vector<std::uint8_t> &out_;
+};
+
+/** Pending REX computation for legacy-encoded instructions. */
+struct Rex
+{
+    bool w = false, r = false, x = false, b = false;
+    bool force = false; ///< required for spl/bpl/sil/dil access
+
+    bool needed() const { return w || r || x || b || force; }
+    std::uint8_t
+    value() const
+    {
+        return static_cast<std::uint8_t>(0x40 | (w << 3) | (r << 2) |
+                                         (x << 1) | (b << 0));
+    }
+};
+
+/** True if the register requires a REX prefix to be addressable. */
+bool
+needsRexPresence(Reg reg)
+{
+    // spl, bpl, sil, dil: encodings 4..7 in Gpr8 mean ah..bh without REX.
+    return reg.cls == RegClass::Gpr8 && reg.idx >= 4 && reg.idx <= 7;
+}
+
+/** ModRM + SIB + displacement for a memory operand; sets REX X/B bits. */
+void
+emitMem(Emitter &e, const MemOp &m, int regField)
+{
+    if (!m.base.valid() || m.base.cls != RegClass::Gpr64)
+        throw EncodeError("memory operand requires a 64-bit base register");
+    if (m.index.valid() && m.index.idx == 4 && !(m.index.idx & 8))
+        throw EncodeError("rsp cannot be an index register");
+
+    const int baseLow = m.base.idx & 7;
+    const bool needSib = m.index.valid() || baseLow == 4;
+
+    int mod;
+    if (m.disp == 0 && baseLow != 5) {
+        mod = 0;
+    } else if (m.disp >= -128 && m.disp <= 127) {
+        mod = 1;
+    } else {
+        mod = 2;
+    }
+
+    if (needSib) {
+        e.byte(static_cast<std::uint8_t>((mod << 6) | (regField << 3) | 4));
+        int scaleBits;
+        switch (m.scale) {
+          case 1: scaleBits = 0; break;
+          case 2: scaleBits = 1; break;
+          case 4: scaleBits = 2; break;
+          case 8: scaleBits = 3; break;
+          default:
+            throw EncodeError("bad scale");
+        }
+        const int indexLow = m.index.valid() ? (m.index.idx & 7) : 4;
+        e.byte(static_cast<std::uint8_t>((scaleBits << 6) | (indexLow << 3) |
+                                         baseLow));
+    } else {
+        e.byte(static_cast<std::uint8_t>((mod << 6) | (regField << 3) |
+                                         baseLow));
+    }
+
+    if (mod == 1)
+        e.imm(m.disp, 1);
+    else if (mod == 2)
+        e.imm(m.disp, 4);
+}
+
+/** ModRM for a register r/m operand. */
+void
+emitRegRm(Emitter &e, Reg rm, int regField)
+{
+    e.byte(static_cast<std::uint8_t>(0xC0 | (regField << 3) | (rm.idx & 7)));
+}
+
+/**
+ * Encoder for one instruction. Collects prefix requirements, then emits
+ * prefixes, opcode, ModRM/SIB, and immediates in canonical order.
+ */
+class InstEncoder
+{
+  public:
+    InstEncoder(const Inst &inst, std::vector<std::uint8_t> &out)
+        : inst_(inst), out_(out)
+    {}
+
+    int run();
+
+  private:
+    const Inst &inst_;
+    std::vector<std::uint8_t> &out_;
+
+    // -- helpers ---------------------------------------------------------
+
+    [[noreturn]] void
+    bad(const std::string &msg) const
+    {
+        throw EncodeError(mnemonicName(inst_.mnem) + ": " + msg);
+    }
+
+    const Operand &
+    op(std::size_t i) const
+    {
+        if (i >= inst_.ops.size())
+            bad("missing operand");
+        return inst_.ops[i];
+    }
+
+    std::size_t nops() const { return inst_.ops.size(); }
+
+    /**
+     * Emit a legacy-encoded instruction:
+     * [66] [F2/F3 mandatory] [REX] opcode... modrm(+sib+disp) [imm].
+     *
+     * @param mandatory 0, 0xF2, or 0xF3 mandatory prefix
+     * @param opWidth operand width in bytes (for 66 prefix and REX.W);
+     *                0 means neither applies
+     * @param opcode opcode bytes (escape bytes included)
+     * @param regField either a register operand (sets REX.R) or an
+     *                 opcode-extension digit
+     * @param rm the r/m operand (register or memory)
+     * @param immOp optional immediate and its width
+     */
+    void
+    legacy(int mandatory, int opWidth,
+           std::initializer_list<std::uint8_t> opcode, Reg regReg,
+           int regDigit, const Operand &rm, std::int64_t immVal = 0,
+           int immWidth = 0)
+    {
+        Emitter e(out_);
+        if (opWidth == 2)
+            e.byte(0x66);
+        if (mandatory)
+            e.byte(static_cast<std::uint8_t>(mandatory));
+
+        Rex rex;
+        rex.w = (opWidth == 8);
+        int regField;
+        if (regReg.valid()) {
+            rex.r = regReg.idx >= 8;
+            rex.force |= needsRexPresence(regReg);
+            regField = regReg.idx & 7;
+        } else {
+            regField = regDigit;
+        }
+        if (rm.isReg()) {
+            rex.b = rm.reg.idx >= 8;
+            rex.force |= needsRexPresence(rm.reg);
+        } else if (rm.isMem()) {
+            rex.b = rm.mem.base.valid() && rm.mem.base.idx >= 8;
+            rex.x = rm.mem.index.valid() && rm.mem.index.idx >= 8;
+        }
+        if (rex.needed())
+            e.byte(rex.value());
+
+        for (auto b : opcode)
+            e.byte(b);
+
+        if (rm.isReg())
+            emitRegRm(e, rm.reg, regField);
+        else if (rm.isMem())
+            emitMem(e, rm.mem, regField);
+        else
+            bad("r/m operand expected");
+
+        if (immWidth)
+            e.imm(immVal, immWidth);
+    }
+
+    /** Legacy instruction with no ModRM (opcode+reg forms, plain opcodes). */
+    void
+    plain(int opWidth, std::initializer_list<std::uint8_t> opcode,
+          Reg plusReg = Reg{}, std::int64_t immVal = 0, int immWidth = 0)
+    {
+        Emitter e(out_);
+        if (opWidth == 2)
+            e.byte(0x66);
+        Rex rex;
+        rex.w = (opWidth == 8);
+        if (plusReg.valid()) {
+            rex.b = plusReg.idx >= 8;
+            rex.force |= needsRexPresence(plusReg);
+        }
+        if (rex.needed())
+            e.byte(rex.value());
+        auto it = opcode.begin();
+        auto last = opcode.end();
+        --last;
+        for (; it != last; ++it)
+            e.byte(*it);
+        if (plusReg.valid())
+            e.byte(static_cast<std::uint8_t>(*last + (plusReg.idx & 7)));
+        else
+            e.byte(*last);
+        if (immWidth)
+            e.imm(immVal, immWidth);
+    }
+
+    /**
+     * Emit a VEX-encoded instruction.
+     *
+     * @param pp implied prefix: 0=none, 1=66, 2=F3, 3=F2
+     * @param map opcode map: 1=0F, 2=0F38, 3=0F3A
+     * @param w VEX.W bit
+     * @param l VEX.L bit (0 = 128-bit, 1 = 256-bit)
+     * @param opcode single opcode byte
+     * @param regReg ModRM.reg register
+     * @param vvvv the VEX.vvvv register (invalid -> 0b1111 i.e. unused)
+     * @param rm the r/m operand
+     */
+    void
+    vex(int pp, int map, bool w, bool l, std::uint8_t opcode, Reg regReg,
+        Reg vvvvReg, const Operand &rm, std::int64_t immVal = 0,
+        int immWidth = 0)
+    {
+        Emitter e(out_);
+        bool rBit = regReg.valid() && regReg.idx >= 8;
+        bool xBit = false, bBit = false;
+        if (rm.isReg()) {
+            bBit = rm.reg.idx >= 8;
+        } else if (rm.isMem()) {
+            bBit = rm.mem.base.valid() && rm.mem.base.idx >= 8;
+            xBit = rm.mem.index.valid() && rm.mem.index.idx >= 8;
+        }
+        int vvvv = vvvvReg.valid() ? vvvvReg.idx : 0xF;
+
+        if (map == 1 && !w && !xBit && !bBit) {
+            // 2-byte VEX.
+            e.byte(0xC5);
+            e.byte(static_cast<std::uint8_t>(((rBit ? 0 : 1) << 7) |
+                                             ((~vvvv & 0xF) << 3) |
+                                             ((l ? 1 : 0) << 2) | pp));
+        } else {
+            e.byte(0xC4);
+            e.byte(static_cast<std::uint8_t>(((rBit ? 0 : 1) << 7) |
+                                             ((xBit ? 0 : 1) << 6) |
+                                             ((bBit ? 0 : 1) << 5) | map));
+            e.byte(static_cast<std::uint8_t>(((w ? 1 : 0) << 7) |
+                                             ((~vvvv & 0xF) << 3) |
+                                             ((l ? 1 : 0) << 2) | pp));
+        }
+        e.byte(opcode);
+        int regField = regReg.valid() ? (regReg.idx & 7) : 0;
+        if (rm.isReg())
+            emitRegRm(e, rm.reg, regField);
+        else if (rm.isMem())
+            emitMem(e, rm.mem, regField);
+        else
+            bad("r/m operand expected");
+        if (immWidth)
+            e.imm(immVal, immWidth);
+    }
+
+    // -- per-family encoders ---------------------------------------------
+
+    void encodeAluFamily(std::uint8_t base, int digit);
+    void encodeShift(int digit);
+    void encodeSseArith(int pp, std::uint8_t opcode);
+    void encodeSseMov(int pp, std::uint8_t loadOp, std::uint8_t storeOp);
+    void encodeVexArith(int pp, int map, bool w, std::uint8_t opcode);
+    void encodeNop();
+};
+
+void
+InstEncoder::encodeAluFamily(std::uint8_t base, int digit)
+{
+    const Operand &dst = op(0);
+    const Operand &src = op(1);
+    int w = inst_.operandWidth();
+
+    if (src.isImm()) {
+        std::uint8_t opc;
+        int immW;
+        if (w == 1) {
+            opc = 0x80;
+            immW = 1;
+        } else if (src.immWidth == 1) {
+            opc = 0x83; // sign-extended imm8
+            immW = 1;
+        } else {
+            opc = 0x81;
+            immW = (w == 2) ? 2 : 4; // 16-bit form carries an LCP
+        }
+        legacy(0, w, {opc}, Reg{}, digit, dst, src.imm, immW);
+    } else if (src.isReg() && (dst.isReg() || dst.isMem())) {
+        // r/m, r form.
+        legacy(0, w, {static_cast<std::uint8_t>(base + (w == 1 ? 0 : 1))},
+               src.reg, 0, dst);
+    } else if (dst.isReg() && src.isMem()) {
+        legacy(0, w, {static_cast<std::uint8_t>(base + (w == 1 ? 2 : 3))},
+               dst.reg, 0, src);
+    } else {
+        bad("unsupported operand combination");
+    }
+}
+
+void
+InstEncoder::encodeShift(int digit)
+{
+    const Operand &dst = op(0);
+    const Operand &amt = op(1);
+    int w = inst_.operandWidth();
+    if (amt.isImm()) {
+        legacy(0, w, {static_cast<std::uint8_t>(w == 1 ? 0xC0 : 0xC1)}, Reg{},
+               digit, dst, amt.imm, 1);
+    } else if (amt.isReg() && amt.reg == CL) {
+        legacy(0, w, {static_cast<std::uint8_t>(w == 1 ? 0xD2 : 0xD3)}, Reg{},
+               digit, dst);
+    } else {
+        bad("shift amount must be imm8 or cl");
+    }
+}
+
+void
+InstEncoder::encodeSseArith(int pp, std::uint8_t opcode)
+{
+    // (xmm, xmm/mem) form; pp: 0=none, 0x66, 0xF2, 0xF3 literal prefix byte.
+    const Operand &dst = op(0);
+    const Operand &src = op(1);
+    if (!dst.isReg() || !dst.reg.isVec())
+        bad("destination must be a vector register");
+    if (dst.reg.cls == RegClass::Ymm)
+        bad("ymm requires the VEX-encoded variant");
+    legacy(pp, 0, {0x0F, opcode}, dst.reg, 0, src);
+}
+
+void
+InstEncoder::encodeSseMov(int pp, std::uint8_t loadOp, std::uint8_t storeOp)
+{
+    const Operand &dst = op(0);
+    const Operand &src = op(1);
+    if (dst.isReg() && dst.reg.isVec()) {
+        legacy(pp, 0, {0x0F, loadOp}, dst.reg, 0, src);
+    } else if (dst.isMem() && src.isReg()) {
+        legacy(pp, 0, {0x0F, storeOp}, src.reg, 0, dst);
+    } else {
+        bad("unsupported mov form");
+    }
+}
+
+void
+InstEncoder::encodeVexArith(int pp, int map, bool w, std::uint8_t opcode)
+{
+    // 3-operand form: dst, src1 (vvvv), src2 (r/m).
+    const Operand &dst = op(0);
+    const Operand &src1 = op(1);
+    const Operand &src2 = op(2);
+    if (!dst.isReg() || !src1.isReg())
+        bad("vex arith needs register dst and src1");
+    bool l = dst.reg.cls == RegClass::Ymm;
+    vex(pp, map, w, l, opcode, dst.reg, src1.reg, src2);
+}
+
+void
+InstEncoder::encodeNop()
+{
+    Emitter e(out_);
+    int len = inst_.nopLen;
+    if (len < 1 || len > 15)
+        bad("nop length must be 1..15");
+    switch (len) {
+      case 1: e.bytes({0x90}); return;
+      case 2: e.bytes({0x66, 0x90}); return;
+      case 3: e.bytes({0x0F, 0x1F, 0x00}); return;
+      case 4: e.bytes({0x0F, 0x1F, 0x40, 0x00}); return;
+      case 5: e.bytes({0x0F, 0x1F, 0x44, 0x00, 0x00}); return;
+      case 6: e.bytes({0x66, 0x0F, 0x1F, 0x44, 0x00, 0x00}); return;
+      case 7: e.bytes({0x0F, 0x1F, 0x80, 0x00, 0x00, 0x00, 0x00}); return;
+      case 8:
+        e.bytes({0x0F, 0x1F, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00});
+        return;
+      default:
+        // 9..15: 66-prefix padding on the 8-byte form.
+        for (int i = 0; i < len - 8; ++i)
+            e.byte(0x66);
+        e.bytes({0x0F, 0x1F, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00});
+        return;
+    }
+}
+
+int
+InstEncoder::run()
+{
+    const std::size_t start = out_.size();
+    using M = Mnemonic;
+
+    switch (inst_.mnem) {
+      case M::ADD: encodeAluFamily(0x00, 0); break;
+      case M::OR: encodeAluFamily(0x08, 1); break;
+      case M::ADC: encodeAluFamily(0x10, 2); break;
+      case M::SBB: encodeAluFamily(0x18, 3); break;
+      case M::AND: encodeAluFamily(0x20, 4); break;
+      case M::SUB: encodeAluFamily(0x28, 5); break;
+      case M::XOR: encodeAluFamily(0x30, 6); break;
+      case M::CMP: encodeAluFamily(0x38, 7); break;
+
+      case M::TEST: {
+        const Operand &dst = op(0);
+        const Operand &src = op(1);
+        int w = inst_.operandWidth();
+        if (src.isImm()) {
+            int immW = (w == 1) ? 1 : (w == 2 ? 2 : 4);
+            legacy(0, w, {static_cast<std::uint8_t>(w == 1 ? 0xF6 : 0xF7)},
+                   Reg{}, 0, dst, src.imm, immW);
+        } else {
+            legacy(0, w, {static_cast<std::uint8_t>(w == 1 ? 0x84 : 0x85)},
+                   src.reg, 0, dst);
+        }
+        break;
+      }
+
+      case M::MOV: {
+        const Operand &dst = op(0);
+        const Operand &src = op(1);
+        int w = inst_.operandWidth();
+        if (src.isImm()) {
+            if (dst.isReg()) {
+                if (w == 1)
+                    plain(0, {0xB0}, dst.reg, src.imm, 1);
+                else if (w == 2)
+                    plain(2, {0xB8}, dst.reg, src.imm, 2); // LCP form
+                else if (w == 4)
+                    plain(4, {0xB8}, dst.reg, src.imm, 4);
+                else
+                    legacy(0, 8, {0xC7}, Reg{}, 0, dst, src.imm, 4);
+            } else {
+                int immW = (w == 1) ? 1 : (w == 2 ? 2 : 4);
+                legacy(0, w,
+                       {static_cast<std::uint8_t>(w == 1 ? 0xC6 : 0xC7)},
+                       Reg{}, 0, dst, src.imm, immW);
+            }
+        } else if (src.isReg() && (dst.isMem() || dst.isReg())) {
+            legacy(0, w, {static_cast<std::uint8_t>(w == 1 ? 0x88 : 0x89)},
+                   src.reg, 0, dst);
+        } else if (dst.isReg() && src.isMem()) {
+            legacy(0, w, {static_cast<std::uint8_t>(w == 1 ? 0x8A : 0x8B)},
+                   dst.reg, 0, src);
+        } else {
+            bad("unsupported mov form");
+        }
+        break;
+      }
+
+      case M::MOVZX:
+      case M::MOVSX: {
+        const Operand &dst = op(0);
+        const Operand &src = op(1);
+        if (!dst.isReg())
+            bad("movzx/movsx destination must be a register");
+        int srcW = src.isReg() ? src.reg.width() : src.mem.width;
+        int dstW = dst.reg.width();
+        if (srcW != 1 && srcW != 2)
+            bad("source width must be 1 or 2");
+        if (dstW <= srcW)
+            bad("destination must be wider than source");
+        std::uint8_t opc = inst_.mnem == M::MOVZX
+                               ? (srcW == 1 ? 0xB6 : 0xB7)
+                               : (srcW == 1 ? 0xBE : 0xBF);
+        legacy(0, dstW, {0x0F, opc}, dst.reg, 0, src);
+        break;
+      }
+
+      case M::LEA: {
+        const Operand &dst = op(0);
+        const Operand &src = op(1);
+        if (!dst.isReg() || !src.isMem())
+            bad("lea requires reg, mem");
+        legacy(0, dst.reg.width(), {0x8D}, dst.reg, 0, src);
+        break;
+      }
+
+      case M::INC:
+      case M::DEC: {
+        int w = inst_.operandWidth();
+        int digit = inst_.mnem == M::INC ? 0 : 1;
+        legacy(0, w, {static_cast<std::uint8_t>(w == 1 ? 0xFE : 0xFF)}, Reg{},
+               digit, op(0));
+        break;
+      }
+
+      case M::NOT:
+      case M::NEG: {
+        int w = inst_.operandWidth();
+        int digit = inst_.mnem == M::NOT ? 2 : 3;
+        legacy(0, w, {static_cast<std::uint8_t>(w == 1 ? 0xF6 : 0xF7)}, Reg{},
+               digit, op(0));
+        break;
+      }
+
+      case M::IMUL: {
+        if (nops() == 1) {
+            int w = inst_.operandWidth();
+            legacy(0, w, {static_cast<std::uint8_t>(w == 1 ? 0xF6 : 0xF7)},
+                   Reg{}, 5, op(0));
+        } else if (nops() == 2) {
+            legacy(0, op(0).reg.width(), {0x0F, 0xAF}, op(0).reg, 0, op(1));
+        } else {
+            const Operand &imm = op(2);
+            int w = op(0).reg.width();
+            if (imm.immWidth == 1)
+                legacy(0, w, {0x6B}, op(0).reg, 0, op(1), imm.imm, 1);
+            else
+                legacy(0, w, {0x69}, op(0).reg, 0, op(1), imm.imm,
+                       w == 2 ? 2 : 4);
+        }
+        break;
+      }
+
+      case M::MUL:
+      case M::DIV:
+      case M::IDIV: {
+        int w = inst_.operandWidth();
+        int digit = inst_.mnem == M::MUL ? 4 : (inst_.mnem == M::DIV ? 6 : 7);
+        legacy(0, w, {static_cast<std::uint8_t>(w == 1 ? 0xF6 : 0xF7)}, Reg{},
+               digit, op(0));
+        break;
+      }
+
+      case M::ROL: encodeShift(0); break;
+      case M::ROR: encodeShift(1); break;
+      case M::SHL: encodeShift(4); break;
+      case M::SHR: encodeShift(5); break;
+      case M::SAR: encodeShift(7); break;
+
+      case M::XCHG: {
+        int w = inst_.operandWidth();
+        const Operand &a = op(0);
+        const Operand &b = op(1);
+        if (b.isReg())
+            legacy(0, w, {static_cast<std::uint8_t>(w == 1 ? 0x86 : 0x87)},
+                   b.reg, 0, a);
+        else
+            bad("xchg second operand must be a register");
+        break;
+      }
+
+      case M::PUSH: {
+        const Operand &o = op(0);
+        if (o.isReg())
+            plain(0, {0x50}, o.reg);
+        else if (o.isImm())
+            plain(0, {0x68}, Reg{}, o.imm, 4);
+        else
+            legacy(0, 0, {0xFF}, Reg{}, 6, o);
+        break;
+      }
+
+      case M::POP: {
+        const Operand &o = op(0);
+        if (o.isReg())
+            plain(0, {0x58}, o.reg);
+        else
+            legacy(0, 0, {0x8F}, Reg{}, 0, o);
+        break;
+      }
+
+      case M::BSWAP:
+        plain(op(0).reg.width(), {0x0F, 0xC8}, op(0).reg);
+        break;
+
+      case M::BSF:
+        legacy(0, op(0).reg.width(), {0x0F, 0xBC}, op(0).reg, 0, op(1));
+        break;
+      case M::BSR:
+        legacy(0, op(0).reg.width(), {0x0F, 0xBD}, op(0).reg, 0, op(1));
+        break;
+      case M::POPCNT:
+        legacy(0xF3, op(0).reg.width(), {0x0F, 0xB8}, op(0).reg, 0, op(1));
+        break;
+      case M::LZCNT:
+        legacy(0xF3, op(0).reg.width(), {0x0F, 0xBD}, op(0).reg, 0, op(1));
+        break;
+      case M::TZCNT:
+        legacy(0xF3, op(0).reg.width(), {0x0F, 0xBC}, op(0).reg, 0, op(1));
+        break;
+
+      case M::NOP: encodeNop(); break;
+
+      case M::JCC: {
+        std::int64_t rel = nops() >= 1 && op(0).isImm() ? op(0).imm : 0;
+        if (rel >= -128 && rel <= 127) {
+            plain(0, {static_cast<std::uint8_t>(0x70 +
+                                                static_cast<int>(inst_.cc))},
+                  Reg{}, rel, 1);
+        } else {
+            plain(0, {0x0F, static_cast<std::uint8_t>(
+                                0x80 + static_cast<int>(inst_.cc))},
+                  Reg{}, rel, 4);
+        }
+        break;
+      }
+
+      case M::JMP: {
+        std::int64_t rel = nops() >= 1 && op(0).isImm() ? op(0).imm : 0;
+        if (rel >= -128 && rel <= 127)
+            plain(0, {0xEB}, Reg{}, rel, 1);
+        else
+            plain(0, {0xE9}, Reg{}, rel, 4);
+        break;
+      }
+
+      case M::CALL: {
+        std::int64_t rel = nops() >= 1 && op(0).isImm() ? op(0).imm : 0;
+        plain(0, {0xE8}, Reg{}, rel, 4);
+        break;
+      }
+
+      case M::RET: plain(0, {0xC3}); break;
+
+      case M::SETCC:
+        legacy(0, 1,
+               {0x0F,
+                static_cast<std::uint8_t>(0x90 + static_cast<int>(inst_.cc))},
+               Reg{}, 0, op(0));
+        break;
+
+      case M::CMOVCC:
+        legacy(0, op(0).reg.width(),
+               {0x0F,
+                static_cast<std::uint8_t>(0x40 + static_cast<int>(inst_.cc))},
+               op(0).reg, 0, op(1));
+        break;
+
+      // ---- SSE ----
+      case M::MOVAPS: encodeSseMov(0, 0x28, 0x29); break;
+      case M::MOVUPS: encodeSseMov(0, 0x10, 0x11); break;
+      case M::MOVAPD: encodeSseMov(0x66, 0x28, 0x29); break;
+      case M::MOVSS: encodeSseMov(0xF3, 0x10, 0x11); break;
+      case M::MOVSD: encodeSseMov(0xF2, 0x10, 0x11); break;
+
+      case M::ADDPS: encodeSseArith(0, 0x58); break;
+      case M::ADDPD: encodeSseArith(0x66, 0x58); break;
+      case M::ADDSS: encodeSseArith(0xF3, 0x58); break;
+      case M::ADDSD: encodeSseArith(0xF2, 0x58); break;
+      case M::SUBPS: encodeSseArith(0, 0x5C); break;
+      case M::SUBPD: encodeSseArith(0x66, 0x5C); break;
+      case M::SUBSD: encodeSseArith(0xF2, 0x5C); break;
+      case M::MULPS: encodeSseArith(0, 0x59); break;
+      case M::MULPD: encodeSseArith(0x66, 0x59); break;
+      case M::MULSS: encodeSseArith(0xF3, 0x59); break;
+      case M::MULSD: encodeSseArith(0xF2, 0x59); break;
+      case M::DIVPS: encodeSseArith(0, 0x5E); break;
+      case M::DIVPD: encodeSseArith(0x66, 0x5E); break;
+      case M::DIVSS: encodeSseArith(0xF3, 0x5E); break;
+      case M::DIVSD: encodeSseArith(0xF2, 0x5E); break;
+      case M::SQRTPS: encodeSseArith(0, 0x51); break;
+      case M::SQRTPD: encodeSseArith(0x66, 0x51); break;
+      case M::SQRTSD: encodeSseArith(0xF2, 0x51); break;
+      case M::MINPS: encodeSseArith(0, 0x5D); break;
+      case M::MAXPS: encodeSseArith(0, 0x5F); break;
+      case M::ANDPS: encodeSseArith(0, 0x54); break;
+      case M::ORPS: encodeSseArith(0, 0x56); break;
+      case M::XORPS: encodeSseArith(0, 0x57); break;
+
+      case M::PXOR: encodeSseArith(0x66, 0xEF); break;
+      case M::PADDD: encodeSseArith(0x66, 0xFE); break;
+      case M::PADDQ: encodeSseArith(0x66, 0xD4); break;
+      case M::PSUBD: encodeSseArith(0x66, 0xFA); break;
+      case M::PAND: encodeSseArith(0x66, 0xDB); break;
+      case M::POR: encodeSseArith(0x66, 0xEB); break;
+      case M::PUNPCKLDQ: encodeSseArith(0x66, 0x62); break;
+
+      case M::PMULLD:
+        legacy(0x66, 0, {0x0F, 0x38, 0x40}, op(0).reg, 0, op(1));
+        break;
+
+      case M::PSLLD:
+      case M::PSRLD: {
+        int digit = inst_.mnem == M::PSLLD ? 6 : 2;
+        legacy(0x66, 0, {0x0F, 0x72}, Reg{}, digit, op(0), op(1).imm, 1);
+        break;
+      }
+
+      case M::SHUFPS:
+        legacy(0, 0, {0x0F, 0xC6}, op(0).reg, 0, op(1), op(2).imm, 1);
+        break;
+
+      case M::CVTSI2SD: {
+        int srcW = op(1).isReg() ? op(1).reg.width() : op(1).mem.width;
+        legacy(0xF2, srcW == 8 ? 8 : 0, {0x0F, 0x2A}, op(0).reg, 0, op(1));
+        break;
+      }
+      case M::CVTTSD2SI:
+        legacy(0xF2, op(0).reg.width() == 8 ? 8 : 0, {0x0F, 0x2C}, op(0).reg,
+               0, op(1));
+        break;
+
+      case M::MOVD: {
+        const Operand &dst = op(0);
+        if (dst.isReg() && dst.reg.isVec())
+            legacy(0x66, 0, {0x0F, 0x6E}, dst.reg, 0, op(1));
+        else
+            legacy(0x66, 0, {0x0F, 0x7E}, op(1).reg, 0, dst);
+        break;
+      }
+      case M::MOVQ: {
+        const Operand &dst = op(0);
+        if (dst.isReg() && dst.reg.isVec())
+            legacy(0x66, 8, {0x0F, 0x6E}, dst.reg, 0, op(1));
+        else
+            legacy(0x66, 8, {0x0F, 0x7E}, op(1).reg, 0, dst);
+        break;
+      }
+
+      // ---- AVX / VEX ----
+      case M::VMOVAPS: {
+        const Operand &dst = op(0);
+        const Operand &src = op(1);
+        if (dst.isReg() && dst.reg.isVec())
+            vex(0, 1, false, dst.reg.cls == RegClass::Ymm, 0x28, dst.reg,
+                Reg{}, src);
+        else
+            vex(0, 1, false, src.reg.cls == RegClass::Ymm, 0x29, src.reg,
+                Reg{}, dst);
+        break;
+      }
+      case M::VMOVUPS: {
+        const Operand &dst = op(0);
+        const Operand &src = op(1);
+        if (dst.isReg() && dst.reg.isVec())
+            vex(0, 1, false, dst.reg.cls == RegClass::Ymm, 0x10, dst.reg,
+                Reg{}, src);
+        else
+            vex(0, 1, false, src.reg.cls == RegClass::Ymm, 0x11, src.reg,
+                Reg{}, dst);
+        break;
+      }
+
+      case M::VADDPS: encodeVexArith(0, 1, false, 0x58); break;
+      case M::VADDPD: encodeVexArith(1, 1, false, 0x58); break;
+      case M::VADDSD: encodeVexArith(3, 1, false, 0x58); break;
+      case M::VSUBPS: encodeVexArith(0, 1, false, 0x5C); break;
+      case M::VMULPS: encodeVexArith(0, 1, false, 0x59); break;
+      case M::VMULPD: encodeVexArith(1, 1, false, 0x59); break;
+      case M::VMULSD: encodeVexArith(3, 1, false, 0x59); break;
+      case M::VDIVPS: encodeVexArith(0, 1, false, 0x5E); break;
+      case M::VDIVSD: encodeVexArith(3, 1, false, 0x5E); break;
+      case M::VANDPS: encodeVexArith(0, 1, false, 0x54); break;
+      case M::VXORPS: encodeVexArith(0, 1, false, 0x57); break;
+      case M::VPXOR: encodeVexArith(1, 1, false, 0xEF); break;
+      case M::VPADDD: encodeVexArith(1, 1, false, 0xFE); break;
+      case M::VPMULLD: encodeVexArith(1, 2, false, 0x40); break;
+      case M::VFMADD231PS: encodeVexArith(1, 2, false, 0xB8); break;
+      case M::VFMADD231PD: encodeVexArith(1, 2, true, 0xB8); break;
+      case M::VFMADD231SD: encodeVexArith(1, 2, true, 0xB9); break;
+
+      case M::VSQRTPD: {
+        const Operand &dst = op(0);
+        vex(1, 1, false, dst.reg.cls == RegClass::Ymm, 0x51, dst.reg, Reg{},
+            op(1));
+        break;
+      }
+
+      case M::kNumMnemonics:
+        bad("invalid mnemonic");
+    }
+
+    const int len = static_cast<int>(out_.size() - start);
+    if (len == 0 || len > 15)
+        throw EncodeError("encoded length out of range");
+    return len;
+}
+
+} // namespace
+
+int
+encode(const Inst &inst, std::vector<std::uint8_t> &out)
+{
+    InstEncoder enc(inst, out);
+    return enc.run();
+}
+
+std::vector<std::uint8_t>
+encode(const Inst &inst)
+{
+    std::vector<std::uint8_t> out;
+    encode(inst, out);
+    return out;
+}
+
+std::vector<std::uint8_t>
+encodeBlock(const std::vector<Inst> &insts)
+{
+    std::vector<std::uint8_t> out;
+    for (const auto &inst : insts)
+        encode(inst, out);
+    return out;
+}
+
+} // namespace facile::isa

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * x86-64 instruction encoder for the supported subset.
+ *
+ * Produces genuine machine code (legacy/REX/VEX encodings, ModRM/SIB,
+ * displacements, immediates). Byte-accurate encoding matters: Facile's
+ * predecoder model depends on real instruction lengths, 16-byte-window
+ * placement, nominal-opcode positions, and length-changing prefixes.
+ *
+ * Encoding choices are deterministic (one canonical encoding per
+ * instruction form), so decode(encode(i)) == i is a testable property.
+ */
+#ifndef FACILE_ISA_ENCODER_H
+#define FACILE_ISA_ENCODER_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "isa/inst.h"
+
+namespace facile::isa {
+
+/** Thrown when an instruction has no encodable form in the subset. */
+class EncodeError : public std::runtime_error
+{
+  public:
+    explicit EncodeError(const std::string &what)
+        : std::runtime_error("encode: " + what)
+    {}
+};
+
+/** Append the encoding of @p inst to @p out. Returns encoded length. */
+int encode(const Inst &inst, std::vector<std::uint8_t> &out);
+
+/** Encode a single instruction into a fresh byte vector. */
+std::vector<std::uint8_t> encode(const Inst &inst);
+
+/** Encode a whole basic block (concatenated instructions). */
+std::vector<std::uint8_t> encodeBlock(const std::vector<Inst> &insts);
+
+} // namespace facile::isa
+
+#endif // FACILE_ISA_ENCODER_H

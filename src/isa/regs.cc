@@ -1,0 +1,113 @@
+#include "isa/regs.h"
+
+#include <stdexcept>
+
+namespace facile::isa {
+
+int
+Reg::width() const
+{
+    switch (cls) {
+      case RegClass::Gpr8:
+        return 1;
+      case RegClass::Gpr16:
+        return 2;
+      case RegClass::Gpr32:
+        return 4;
+      case RegClass::Gpr64:
+        return 8;
+      case RegClass::Xmm:
+        return 16;
+      case RegClass::Ymm:
+        return 32;
+      case RegClass::None:
+        return 0;
+    }
+    return 0;
+}
+
+int
+Reg::family() const
+{
+    if (isGpr())
+        return idx;
+    if (isVec())
+        return 16 + idx;
+    return -1;
+}
+
+RegClass
+gprClass(int width_bytes)
+{
+    switch (width_bytes) {
+      case 1:
+        return RegClass::Gpr8;
+      case 2:
+        return RegClass::Gpr16;
+      case 4:
+        return RegClass::Gpr32;
+      case 8:
+        return RegClass::Gpr64;
+      default:
+        throw std::invalid_argument("gprClass: bad width");
+    }
+}
+
+Reg
+gpr(int width_bytes, int idx)
+{
+    return Reg{gprClass(width_bytes), static_cast<std::uint8_t>(idx)};
+}
+
+Reg
+xmm(int idx)
+{
+    return Reg{RegClass::Xmm, static_cast<std::uint8_t>(idx)};
+}
+
+Reg
+ymm(int idx)
+{
+    return Reg{RegClass::Ymm, static_cast<std::uint8_t>(idx)};
+}
+
+namespace {
+
+const char *gpr64Names[16] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp",
+                              "rsi", "rdi", "r8",  "r9",  "r10", "r11",
+                              "r12", "r13", "r14", "r15"};
+const char *gpr32Names[16] = {"eax",  "ecx",  "edx",  "ebx", "esp", "ebp",
+                              "esi",  "edi",  "r8d",  "r9d", "r10d", "r11d",
+                              "r12d", "r13d", "r14d", "r15d"};
+const char *gpr16Names[16] = {"ax",   "cx",   "dx",   "bx",  "sp",  "bp",
+                              "si",   "di",   "r8w",  "r9w", "r10w", "r11w",
+                              "r12w", "r13w", "r14w", "r15w"};
+const char *gpr8Names[16] = {"al",   "cl",   "dl",   "bl",  "spl", "bpl",
+                             "sil",  "dil",  "r8b",  "r9b", "r10b", "r11b",
+                             "r12b", "r13b", "r14b", "r15b"};
+
+} // namespace
+
+std::string
+regName(Reg r)
+{
+    switch (r.cls) {
+      case RegClass::Gpr64:
+        return gpr64Names[r.idx];
+      case RegClass::Gpr32:
+        return gpr32Names[r.idx];
+      case RegClass::Gpr16:
+        return gpr16Names[r.idx];
+      case RegClass::Gpr8:
+        return gpr8Names[r.idx];
+      case RegClass::Xmm:
+        return "xmm" + std::to_string(r.idx);
+      case RegClass::Ymm:
+        return "ymm" + std::to_string(r.idx);
+      case RegClass::None:
+        return "<none>";
+    }
+    return "<bad>";
+}
+
+} // namespace facile::isa

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Register model for the supported x86-64 subset.
+ *
+ * Registers are (class, index) pairs. GPRs of all widths with the same
+ * index belong to one architectural register family; XMM/YMM likewise.
+ * The family id is what dependence analysis tracks.
+ */
+#ifndef FACILE_ISA_REGS_H
+#define FACILE_ISA_REGS_H
+
+#include <cstdint>
+#include <string>
+
+namespace facile::isa {
+
+/** Architectural register classes. */
+enum class RegClass : std::uint8_t {
+    None,  ///< no register (empty operand slot / no index reg)
+    Gpr8,  ///< low-byte registers AL..R15B (REX-style, no AH/CH/DH/BH)
+    Gpr16,
+    Gpr32,
+    Gpr64,
+    Xmm,
+    Ymm,
+};
+
+/** A register: class plus encoding index (0..15). */
+struct Reg
+{
+    RegClass cls = RegClass::None;
+    std::uint8_t idx = 0;
+
+    bool valid() const { return cls != RegClass::None; }
+    bool isGpr() const
+    {
+        return cls == RegClass::Gpr8 || cls == RegClass::Gpr16 ||
+               cls == RegClass::Gpr32 || cls == RegClass::Gpr64;
+    }
+    bool isVec() const { return cls == RegClass::Xmm || cls == RegClass::Ymm; }
+
+    /** Operand width in bytes. */
+    int width() const;
+
+    /**
+     * Architectural family id used for dependence tracking:
+     * GPR families 0..15, vector families 16..31.
+     */
+    int family() const;
+
+    bool operator==(const Reg &o) const = default;
+};
+
+/** Width (1/2/4/8 bytes) to GPR register class. */
+RegClass gprClass(int width_bytes);
+
+/** GPR of the given width (bytes) and index. */
+Reg gpr(int width_bytes, int idx);
+
+/** XMM register of the given index. */
+Reg xmm(int idx);
+
+/** YMM register of the given index. */
+Reg ymm(int idx);
+
+/** Canonical Intel-syntax name, e.g. "rax", "r10d", "xmm3". */
+std::string regName(Reg r);
+
+// Convenience constants (64-bit GPRs).
+inline constexpr Reg RAX{RegClass::Gpr64, 0};
+inline constexpr Reg RCX{RegClass::Gpr64, 1};
+inline constexpr Reg RDX{RegClass::Gpr64, 2};
+inline constexpr Reg RBX{RegClass::Gpr64, 3};
+inline constexpr Reg RSP{RegClass::Gpr64, 4};
+inline constexpr Reg RBP{RegClass::Gpr64, 5};
+inline constexpr Reg RSI{RegClass::Gpr64, 6};
+inline constexpr Reg RDI{RegClass::Gpr64, 7};
+inline constexpr Reg R8{RegClass::Gpr64, 8};
+inline constexpr Reg R9{RegClass::Gpr64, 9};
+inline constexpr Reg R10{RegClass::Gpr64, 10};
+inline constexpr Reg R11{RegClass::Gpr64, 11};
+inline constexpr Reg R12{RegClass::Gpr64, 12};
+inline constexpr Reg R13{RegClass::Gpr64, 13};
+inline constexpr Reg R14{RegClass::Gpr64, 14};
+inline constexpr Reg R15{RegClass::Gpr64, 15};
+
+inline constexpr Reg EAX{RegClass::Gpr32, 0};
+inline constexpr Reg ECX{RegClass::Gpr32, 1};
+inline constexpr Reg EDX{RegClass::Gpr32, 2};
+inline constexpr Reg EBX{RegClass::Gpr32, 3};
+inline constexpr Reg ESI{RegClass::Gpr32, 6};
+inline constexpr Reg EDI{RegClass::Gpr32, 7};
+
+inline constexpr Reg AX{RegClass::Gpr16, 0};
+inline constexpr Reg CX{RegClass::Gpr16, 1};
+inline constexpr Reg DX{RegClass::Gpr16, 2};
+inline constexpr Reg BX{RegClass::Gpr16, 3};
+
+inline constexpr Reg AL{RegClass::Gpr8, 0};
+inline constexpr Reg CL{RegClass::Gpr8, 1};
+inline constexpr Reg DL{RegClass::Gpr8, 2};
+inline constexpr Reg BL{RegClass::Gpr8, 3};
+
+inline constexpr Reg XMM0{RegClass::Xmm, 0};
+inline constexpr Reg XMM1{RegClass::Xmm, 1};
+inline constexpr Reg XMM2{RegClass::Xmm, 2};
+inline constexpr Reg XMM3{RegClass::Xmm, 3};
+inline constexpr Reg XMM4{RegClass::Xmm, 4};
+inline constexpr Reg XMM5{RegClass::Xmm, 5};
+inline constexpr Reg YMM0{RegClass::Ymm, 0};
+inline constexpr Reg YMM1{RegClass::Ymm, 1};
+inline constexpr Reg YMM2{RegClass::Ymm, 2};
+inline constexpr Reg YMM3{RegClass::Ymm, 3};
+
+} // namespace facile::isa
+
+#endif // FACILE_ISA_REGS_H

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Cycle-level reference pipeline simulator — the measurement substitute.
+ *
+ * Plays the role hardware measurements (and uiCA's validated simulation)
+ * play in the paper: the ground truth all predictors are scored against.
+ * It models the pipeline of Figure 1 structurally, cycle by cycle:
+ *
+ *   front end:  16-byte fetch windows -> 5-wide predecode with LCP
+ *               stalls -> instruction queue -> 1 complex + k simple
+ *               decoders with macro-fusion steering; or the DSB
+ *               (w µops/cycle, 32-byte-window rule); or the LSD
+ *               (locked loop with hardware unrolling)
+ *   back end:   rename/issue (width-limited, unlamination, move
+ *               elimination, stack engine) -> reservation station ->
+ *               per-port dispatch, oldest-ready-first, with real
+ *               latencies -> in-order retirement through the ROB
+ *
+ * The simulator shares the microarchitecture configurations and the
+ * instruction database with Facile but none of Facile's analytical
+ * shortcuts; its throughput emerges from the cycle-by-cycle interaction
+ * of all components and buffers.
+ */
+#ifndef FACILE_SIM_PIPELINE_H
+#define FACILE_SIM_PIPELINE_H
+
+#include "bb/basic_block.h"
+
+namespace facile::sim {
+
+/** Simulation outcome. */
+struct SimResult
+{
+    /** Steady-state throughput in cycles per iteration. */
+    double cyclesPerIteration = 0.0;
+
+    /** Number of iterations used for the steady-state window. */
+    int measuredIterations = 0;
+
+    /** Front-end source used in steady state. */
+    enum class FeMode { Legacy, Dsb, Lsd } feMode = FeMode::Legacy;
+};
+
+/**
+ * Simulate repeated execution of @p blk on the microarchitecture it was
+ * analyzed for.
+ *
+ * @param loop true for the TPL notion (block ends in a branch and is
+ *        executed as a loop: DSB/LSD-fed unless the JCC erratum bites);
+ *        false for TPU (block replicated back to back, legacy-decode-fed)
+ */
+SimResult simulate(const bb::BasicBlock &blk, bool loop);
+
+/** Convenience: the throughput value only. */
+double measuredThroughput(const bb::BasicBlock &blk, bool loop);
+
+} // namespace facile::sim
+
+#endif // FACILE_SIM_PIPELINE_H

@@ -1,0 +1,13 @@
+#include "support/math_util.h"
+
+#include <cmath>
+
+namespace facile {
+
+double
+round2(double v)
+{
+    return std::round(v * 100.0) / 100.0;
+}
+
+} // namespace facile

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Small integer/rational math helpers used throughout the Facile model.
+ */
+#ifndef FACILE_SUPPORT_MATH_UTIL_H
+#define FACILE_SUPPORT_MATH_UTIL_H
+
+#include <cstdint>
+#include <numeric>
+
+namespace facile {
+
+/** Ceiling division of two positive integers. */
+constexpr std::int64_t
+ceilDiv(std::int64_t num, std::int64_t den)
+{
+    return (num + den - 1) / den;
+}
+
+/** Least common multiple (behaves like std::lcm, wrapped for readability). */
+constexpr std::int64_t
+lcm(std::int64_t a, std::int64_t b)
+{
+    return std::lcm(a, b);
+}
+
+/**
+ * Round a throughput value to two decimal digits.
+ *
+ * The paper rounds both measurements and predictions to two decimals
+ * before computing error metrics; all published numbers follow this
+ * convention, so we reproduce it exactly.
+ */
+double round2(double v);
+
+} // namespace facile
+
+#endif // FACILE_SUPPORT_MATH_UTIL_H

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (PCG32).
+ *
+ * The benchmark-suite generator must be reproducible across platforms and
+ * standard-library versions, so we avoid std::mt19937 + distribution objects
+ * (whose outputs are implementation-defined for distributions) and ship a
+ * tiny, fully specified generator instead.
+ */
+#ifndef FACILE_SUPPORT_RNG_H
+#define FACILE_SUPPORT_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace facile {
+
+/** PCG32 (Melissa O'Neill's pcg32_random_r), fixed stream constant. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(0), inc_((54u << 1) | 1u)
+    {
+        next();
+        state_ += seed;
+        next();
+    }
+
+    /** Uniform 32-bit value. */
+    std::uint32_t
+    next()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+    }
+
+    /** Uniform integer in [0, bound) using rejection sampling. */
+    std::uint32_t
+    below(std::uint32_t bound)
+    {
+        if (bound <= 1)
+            return 0;
+        std::uint32_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint32_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint32_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return next() * (1.0 / 4294967296.0);
+    }
+
+    /** True with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Pick a uniformly random element from a non-empty vector. */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &v)
+    {
+        return v[below(static_cast<std::uint32_t>(v.size()))];
+    }
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+} // namespace facile
+
+#endif // FACILE_SUPPORT_RNG_H

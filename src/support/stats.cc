@@ -1,0 +1,177 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+
+namespace facile {
+
+double
+mape(const std::vector<double> &measured, const std::vector<double> &predicted)
+{
+    if (measured.size() != predicted.size())
+        throw std::invalid_argument("mape: size mismatch");
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+        if (measured[i] == 0.0)
+            continue;
+        sum += std::abs(measured[i] - predicted[i]) / measured[i];
+        ++n;
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+namespace {
+
+/**
+ * Count inversions in v (number of index pairs i<j with v[i] > v[j])
+ * via bottom-up merge sort. v is sorted in place.
+ */
+std::int64_t
+countInversions(std::vector<double> &v)
+{
+    std::int64_t inversions = 0;
+    std::vector<double> buf(v.size());
+    for (std::size_t width = 1; width < v.size(); width *= 2) {
+        for (std::size_t left = 0; left + width < v.size(); left += 2 * width) {
+            std::size_t mid = left + width;
+            std::size_t right = std::min(left + 2 * width, v.size());
+            std::size_t i = left, j = mid, k = left;
+            while (i < mid && j < right) {
+                if (v[i] <= v[j]) {
+                    buf[k++] = v[i++];
+                } else {
+                    inversions += static_cast<std::int64_t>(mid - i);
+                    buf[k++] = v[j++];
+                }
+            }
+            while (i < mid)
+                buf[k++] = v[i++];
+            while (j < right)
+                buf[k++] = v[j++];
+            std::copy(buf.begin() + left, buf.begin() + right,
+                      v.begin() + left);
+        }
+    }
+    return inversions;
+}
+
+/** Sum over groups of equal values of g*(g-1)/2. Input must be sorted. */
+std::int64_t
+tiedPairs(const std::vector<double> &sorted)
+{
+    std::int64_t ties = 0;
+    std::size_t i = 0;
+    while (i < sorted.size()) {
+        std::size_t j = i;
+        while (j < sorted.size() && sorted[j] == sorted[i])
+            ++j;
+        std::int64_t g = static_cast<std::int64_t>(j - i);
+        ties += g * (g - 1) / 2;
+        i = j;
+    }
+    return ties;
+}
+
+} // namespace
+
+double
+kendallTau(const std::vector<double> &x, const std::vector<double> &y)
+{
+    if (x.size() != y.size())
+        throw std::invalid_argument("kendallTau: size mismatch");
+    const std::size_t n = x.size();
+    if (n < 2)
+        return 0.0;
+
+    // Sort pairs by x, breaking ties by y.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        if (x[a] != x[b])
+            return x[a] < x[b];
+        return y[a] < y[b];
+    });
+
+    std::vector<double> xs(n), ys(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        xs[i] = x[order[i]];
+        ys[i] = y[order[i]];
+    }
+
+    // Joint ties: pairs tied in both x and y.
+    std::int64_t tiesXY = 0;
+    {
+        std::size_t i = 0;
+        while (i < n) {
+            std::size_t j = i;
+            while (j < n && xs[j] == xs[i] && ys[j] == ys[i])
+                ++j;
+            std::int64_t g = static_cast<std::int64_t>(j - i);
+            tiesXY += g * (g - 1) / 2;
+            i = j;
+        }
+    }
+
+    std::int64_t tiesX = tiedPairs(xs);
+
+    // Discordant pairs among x-distinct pairs = inversions of y in x-order.
+    std::vector<double> ysCopy = ys;
+    std::int64_t discordant = countInversions(ysCopy);
+    // ysCopy is now sorted; count y ties on it.
+    std::int64_t tiesY = tiedPairs(ysCopy);
+
+    const std::int64_t total =
+        static_cast<std::int64_t>(n) * static_cast<std::int64_t>(n - 1) / 2;
+
+    // Knight's algorithm bookkeeping (tau-b):
+    //   concordant + discordant = total - tiesX - tiesY + tiesXY
+    const double num = static_cast<double>(total - tiesX - tiesY + tiesXY) -
+                       2.0 * static_cast<double>(discordant);
+    const double den =
+        std::sqrt(static_cast<double>(total - tiesX)) *
+        std::sqrt(static_cast<double>(total - tiesY));
+    if (den == 0.0)
+        return 0.0;
+    return num / den;
+}
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    return std::accumulate(v.begin(), v.end(), 0.0) /
+           static_cast<double>(v.size());
+}
+
+double
+geoMean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double e : v)
+        logSum += std::log(e);
+    return std::exp(logSum / static_cast<double>(v.size()));
+}
+
+double
+percentile(std::vector<double> v, double p)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    if (v.size() == 1)
+        return v[0];
+    double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, v.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+} // namespace facile

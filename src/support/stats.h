@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Accuracy metrics used by the evaluation (paper section 6.2):
+ * mean absolute percentage error and Kendall's tau rank correlation.
+ */
+#ifndef FACILE_SUPPORT_STATS_H
+#define FACILE_SUPPORT_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace facile {
+
+/**
+ * Mean Absolute Percentage Error over pairs of (measured, predicted)
+ * throughputs, as defined in the paper:
+ *   MAPE(S) = (1/n) * sum |m_i - p_i| / m_i.
+ * Pairs with measured value zero are skipped (they carry no information).
+ */
+double mape(const std::vector<double> &measured,
+            const std::vector<double> &predicted);
+
+/**
+ * Kendall's tau-b rank correlation coefficient.
+ *
+ * Computed in O(n log n) with Knight's algorithm (merge-sort inversion
+ * counting), with the tau-b tie correction, which is what scipy's
+ * kendalltau — used by the paper's evaluation scripts — reports.
+ */
+double kendallTau(const std::vector<double> &x, const std::vector<double> &y);
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &v);
+
+/** Geometric mean; 0 for an empty vector. Values must be positive. */
+double geoMean(const std::vector<double> &v);
+
+/** p-th percentile (0..100) using linear interpolation; 0 if empty. */
+double percentile(std::vector<double> v, double p);
+
+} // namespace facile
+
+#endif // FACILE_SUPPORT_STATS_H

@@ -1,0 +1,198 @@
+#include "uarch/config.h"
+
+#include <array>
+#include <bit>
+#include <stdexcept>
+
+#include "support/math_util.h"
+
+namespace facile::uarch {
+
+int
+portCount(PortMask m)
+{
+    return std::popcount(static_cast<unsigned>(m));
+}
+
+std::string
+portMaskName(PortMask m)
+{
+    std::string s = "p";
+    for (int p = 0; p < 16; ++p)
+        if (m & (1u << p))
+            s += std::to_string(p);
+    return s;
+}
+
+int
+MicroArchConfig::lsdUnrollFactor(int n_uops) const
+{
+    if (n_uops <= 0)
+        return 1;
+    int bestU = 1;
+    double bestRate = 0.0;
+    for (int u = 1; u <= 8; ++u) {
+        const std::int64_t total = static_cast<std::int64_t>(n_uops) * u;
+        if (total > idqWidth)
+            break;
+        double rate = static_cast<double>(total) /
+                      static_cast<double>(ceilDiv(total, issueWidth));
+        if (rate > bestRate + 1e-9) {
+            bestRate = rate;
+            bestU = u;
+        }
+    }
+    return bestU;
+}
+
+namespace {
+
+constexpr MicroArchConfig
+makeConfig(UArch arch, UArchFamily family, const char *name,
+           const char *abbrev, int year)
+{
+    MicroArchConfig c{};
+    c.arch = arch;
+    c.family = family;
+    c.name = name;
+    c.abbrev = abbrev;
+    c.year = year;
+    c.predecodeWidth = 5;
+
+    switch (family) {
+      case UArchFamily::SnB:
+        c.issueWidth = 4;
+        c.nDecoders = 4;
+        c.dsbWidth = 4;
+        c.idqWidth = 28;
+        c.lsdEnabled = true;
+        c.jccErratum = false;
+        c.macroFusibleOnLastDecoder = false;
+        c.loadLatency = 4;
+        c.rsSize = 54;
+        c.robSize = 168;
+        c.nPorts = 6;
+        c.cmovTwoUops = true;
+        c.adcTwoUops = true;
+        break;
+      case UArchFamily::HSW:
+        c.issueWidth = 4;
+        c.nDecoders = 4;
+        c.dsbWidth = 4;
+        c.idqWidth = 56;
+        c.lsdEnabled = true;
+        c.jccErratum = false;
+        c.macroFusibleOnLastDecoder = true;
+        c.loadLatency = 4;
+        c.rsSize = 60;
+        c.robSize = 192;
+        c.nPorts = 8;
+        c.cmovTwoUops = true;
+        c.adcTwoUops = false;
+        break;
+      case UArchFamily::SKL:
+        c.issueWidth = 4;
+        c.nDecoders = 4;
+        c.dsbWidth = 6;
+        c.idqWidth = 64;
+        c.lsdEnabled = false; // SKL150 erratum
+        c.jccErratum = true;  // JCC erratum mitigation
+        c.macroFusibleOnLastDecoder = true;
+        c.loadLatency = 4;
+        c.rsSize = 97;
+        c.robSize = 224;
+        c.nPorts = 8;
+        c.cmovTwoUops = false;
+        c.adcTwoUops = false;
+        break;
+      case UArchFamily::ICL:
+        c.issueWidth = 5;
+        c.nDecoders = 4;
+        c.dsbWidth = 6;
+        c.idqWidth = 70;
+        c.lsdEnabled = true;
+        c.jccErratum = false;
+        c.macroFusibleOnLastDecoder = true;
+        c.loadLatency = 5;
+        c.rsSize = 160;
+        c.robSize = 352;
+        c.nPorts = 10;
+        c.cmovTwoUops = false;
+        c.adcTwoUops = false;
+        break;
+    }
+    c.retireWidth = c.issueWidth;
+
+    // Move elimination evolved non-monotonically: introduced with Ivy
+    // Bridge, GPR move elimination disabled again on Ice/Tiger/Rocket Lake.
+    switch (arch) {
+      case UArch::SNB:
+        c.gprMovElim = false;
+        c.vecMovElim = false;
+        break;
+      case UArch::ICL:
+      case UArch::TGL:
+      case UArch::RKL:
+        c.gprMovElim = false;
+        c.vecMovElim = true;
+        break;
+      default:
+        c.gprMovElim = true;
+        c.vecMovElim = true;
+        break;
+    }
+
+    // Broadwell turned CMOV into a single µop.
+    if (arch == UArch::BDW)
+        c.cmovTwoUops = false;
+
+    return c;
+}
+
+const std::array<MicroArchConfig, 9> &
+table()
+{
+    static const std::array<MicroArchConfig, 9> t = {
+        makeConfig(UArch::RKL, UArchFamily::ICL, "Rocket Lake", "RKL", 2021),
+        makeConfig(UArch::TGL, UArchFamily::ICL, "Tiger Lake", "TGL", 2020),
+        makeConfig(UArch::ICL, UArchFamily::ICL, "Ice Lake", "ICL", 2019),
+        makeConfig(UArch::CLX, UArchFamily::SKL, "Cascade Lake", "CLX", 2019),
+        makeConfig(UArch::SKL, UArchFamily::SKL, "Skylake", "SKL", 2015),
+        makeConfig(UArch::BDW, UArchFamily::HSW, "Broadwell", "BDW", 2015),
+        makeConfig(UArch::HSW, UArchFamily::HSW, "Haswell", "HSW", 2013),
+        makeConfig(UArch::IVB, UArchFamily::SnB, "Ivy Bridge", "IVB", 2012),
+        makeConfig(UArch::SNB, UArchFamily::SnB, "Sandy Bridge", "SNB", 2011),
+    };
+    return t;
+}
+
+} // namespace
+
+const MicroArchConfig &
+config(UArch arch)
+{
+    for (const auto &c : table())
+        if (c.arch == arch)
+            return c;
+    throw std::invalid_argument("unknown microarchitecture");
+}
+
+const std::vector<UArch> &
+allUArchs()
+{
+    static const std::vector<UArch> order = {
+        UArch::RKL, UArch::TGL, UArch::ICL, UArch::CLX, UArch::SKL,
+        UArch::BDW, UArch::HSW, UArch::IVB, UArch::SNB};
+    return order;
+}
+
+UArch
+fromAbbrev(const std::string &abbrev)
+{
+    for (const auto &c : table())
+        if (abbrev == c.abbrev)
+            return c.arch;
+    throw std::invalid_argument("unknown microarchitecture: " + abbrev);
+}
+
+} // namespace facile::uarch

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Microarchitecture configurations for the nine Intel Core generations
+ * evaluated in the paper (Table 1).
+ *
+ * These play the role of uiCA's microArchConfigs.py. Parameter values are
+ * synthesized from public documentation of the respective families; the
+ * per-family grouping (SnB, HSW, SKL, ICL) mirrors how the real designs
+ * evolved and is shared with the instruction database.
+ */
+#ifndef FACILE_UARCH_CONFIG_H
+#define FACILE_UARCH_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace facile::uarch {
+
+/** The microarchitectures of Table 1. */
+enum class UArch : std::uint8_t {
+    SNB, ///< Sandy Bridge (2011)
+    IVB, ///< Ivy Bridge (2012)
+    HSW, ///< Haswell (2013)
+    BDW, ///< Broadwell (2015)
+    SKL, ///< Skylake (2015)
+    CLX, ///< Cascade Lake (2019)
+    ICL, ///< Ice Lake (2019)
+    TGL, ///< Tiger Lake (2020)
+    RKL, ///< Rocket Lake (2021)
+};
+
+/** Families sharing port layout and instruction characteristics. */
+enum class UArchFamily : std::uint8_t { SnB, HSW, SKL, ICL };
+
+/** Set of execution ports, bit p = port p. */
+using PortMask = std::uint16_t;
+
+/** Count set bits in a port mask. */
+int portCount(PortMask m);
+
+/** Human-readable port mask, e.g. "p015". */
+std::string portMaskName(PortMask m);
+
+/** Static configuration of one microarchitecture. */
+struct MicroArchConfig
+{
+    UArch arch;
+    UArchFamily family;
+    const char *name;   ///< e.g. "Rocket Lake"
+    const char *abbrev; ///< e.g. "RKL"
+    int year;           ///< release year (Table 1)
+
+    int issueWidth;  ///< µops issued by the renamer per cycle
+    int nDecoders;   ///< 1 complex + (nDecoders-1) simple
+    int predecodeWidth = 5; ///< instructions predecoded per cycle
+    int dsbWidth;    ///< µops streamed from the DSB per cycle
+    int idqWidth;    ///< IDQ capacity in µops (LSD eligibility bound)
+    bool lsdEnabled; ///< false on SKL/CLX due to the SKL150 erratum
+    bool jccErratum; ///< JCC-erratum mitigation active (SKL family)
+
+    /**
+     * Whether a macro-fusible instruction can be decoded on the last
+     * simple decoder (false on SnB/IvB: the potential fusion partner
+     * would land in the next decode group).
+     */
+    bool macroFusibleOnLastDecoder;
+
+    bool gprMovElim; ///< GPR move elimination at rename
+    bool vecMovElim; ///< vector move elimination at rename
+
+    int loadLatency;  ///< L1 load-to-use latency
+    int rsSize;       ///< scheduler (reservation station) entries
+    int robSize;      ///< reorder buffer entries
+    int retireWidth;  ///< µops retired per cycle
+
+    int nPorts;       ///< number of execution ports
+    PortMask allPorts() const { return (PortMask)((1u << nPorts) - 1); }
+
+    // Family-specific instruction quirks.
+    bool cmovTwoUops;   ///< CMOVcc decodes to 2 µops (pre-Broadwell)
+    bool adcTwoUops;    ///< ADC/SBB decode to 2 µops (SnB/IvB)
+
+    /**
+     * LSD unroll factor for a loop of @p n_uops µops (paper section 4.6).
+     *
+     * The hardware unrolls small loops inside the IDQ so that more µops
+     * per cycle can be streamed to the renamer. We choose the factor
+     * u in [1, 8] that maximizes the streaming rate n*u / ceil(n*u / i),
+     * subject to n*u fitting in the IDQ; ties pick the smallest u.
+     * (uiCA ships reverse-engineered per-size tables; this rule
+     * reproduces their purpose and is documented as a substitution.)
+     */
+    int lsdUnrollFactor(int n_uops) const;
+};
+
+/** Configuration of one microarchitecture (singleton per UArch). */
+const MicroArchConfig &config(UArch arch);
+
+/** All nine microarchitectures, newest first (Table 1 order). */
+const std::vector<UArch> &allUArchs();
+
+/** Parse an abbreviation like "SKL"; throws std::invalid_argument. */
+UArch fromAbbrev(const std::string &abbrev);
+
+} // namespace facile::uarch
+
+#endif // FACILE_UARCH_CONFIG_H

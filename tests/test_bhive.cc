@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Benchmark-suite generator tests: determinism, decodability of every
+ * generated block on every µarch, U/L variant structure, category
+ * coverage, and stack balance.
+ */
+#include <gtest/gtest.h>
+
+#include "bb/basic_block.h"
+#include "bhive/generator.h"
+#include "isa/decoder.h"
+
+namespace facile::bhive {
+namespace {
+
+TEST(Bhive, DeterministicForSameSeed)
+{
+    auto a = generateSuite(7, 5);
+    auto b = generateSuite(7, 5);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].bytesU, b[i].bytesU) << a[i].id;
+        EXPECT_EQ(a[i].bytesL, b[i].bytesL) << a[i].id;
+    }
+}
+
+TEST(Bhive, DifferentSeedsDiffer)
+{
+    auto a = generateSuite(7, 5);
+    auto b = generateSuite(8, 5);
+    int different = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        different += a[i].bytesU != b[i].bytesU;
+    EXPECT_GT(different, static_cast<int>(a.size()) / 2);
+}
+
+TEST(Bhive, SuiteSizeAndCategories)
+{
+    auto suite = generateSuite(1, 4);
+    EXPECT_EQ(suite.size(),
+              static_cast<std::size_t>(4 * kNumCategories));
+    int perCat[kNumCategories] = {};
+    for (const auto &b : suite)
+        ++perCat[static_cast<int>(b.category)];
+    for (int c = 0; c < kNumCategories; ++c)
+        EXPECT_EQ(perCat[c], 4) << categoryName(static_cast<Category>(c));
+}
+
+TEST(Bhive, EveryBlockDecodes)
+{
+    for (const auto &b : generateSuite(20231020, 6)) {
+        EXPECT_NO_THROW({
+            auto u = isa::decodeBlock(b.bytesU);
+            EXPECT_EQ(u.size(), b.bodyU.size()) << b.id;
+        }) << b.id;
+        EXPECT_NO_THROW(isa::decodeBlock(b.bytesL)) << b.id;
+    }
+}
+
+TEST(Bhive, EveryBlockAnalyzesOnAllArchs)
+{
+    auto suite = generateSuite(5, 3);
+    for (uarch::UArch a : uarch::allUArchs()) {
+        for (const auto &b : suite) {
+            EXPECT_NO_THROW(bb::analyze(b.bytesU, a)) << b.id;
+            EXPECT_NO_THROW(bb::analyze(b.bytesL, a)) << b.id;
+        }
+    }
+}
+
+TEST(Bhive, UVariantHasNoBranchLVariantEndsInOne)
+{
+    for (const auto &b : generateSuite(3, 5)) {
+        for (const auto &inst : b.bodyU)
+            EXPECT_FALSE(inst.isBranch()) << b.id;
+        ASSERT_GE(b.bodyL.size(), 2u);
+        EXPECT_TRUE(b.bodyL.back().isBranch()) << b.id;
+        // The L body is the U body plus dec+jnz.
+        EXPECT_EQ(b.bodyL.size(), b.bodyU.size() + 2) << b.id;
+    }
+}
+
+TEST(Bhive, LcpCategoryContainsLcpInstructions)
+{
+    int lcpBlocks = 0;
+    for (const auto &b : generateSuite(20231020, 10)) {
+        if (b.category != Category::LcpStress)
+            continue;
+        auto decoded = isa::decodeBlock(b.bytesU);
+        for (const auto &d : decoded)
+            if (d.lcp) {
+                ++lcpBlocks;
+                break;
+            }
+    }
+    EXPECT_GT(lcpBlocks, 5);
+}
+
+TEST(Bhive, StackBalanced)
+{
+    for (const auto &b : generateSuite(17, 10)) {
+        int depth = 0;
+        for (const auto &inst : b.bodyU) {
+            if (inst.mnem == isa::Mnemonic::PUSH)
+                ++depth;
+            if (inst.mnem == isa::Mnemonic::POP) {
+                --depth;
+                EXPECT_GE(depth, 0) << b.id;
+            }
+        }
+        EXPECT_EQ(depth, 0) << b.id;
+    }
+}
+
+TEST(Bhive, R15ReservedForLoopCounter)
+{
+    // The generator must not write r15 inside the body: the L variant's
+    // dec r15 owns it.
+    for (const auto &b : generateSuite(20231020, 6)) {
+        for (const auto &inst : b.bodyU) {
+            if (inst.ops.empty() || !inst.ops[0].isReg())
+                continue;
+            if (inst.mnem == isa::Mnemonic::POP)
+                continue; // pop targets are scratch
+            EXPECT_FALSE(inst.ops[0].reg.isGpr() &&
+                         inst.ops[0].reg.idx == 15)
+                << b.id << ": " << isa::toString(inst);
+        }
+    }
+}
+
+TEST(Bhive, DefaultSuiteIsStable)
+{
+    const auto &s1 = defaultSuite();
+    const auto &s2 = defaultSuite();
+    EXPECT_EQ(&s1, &s2); // cached singleton
+    EXPECT_EQ(s1.size(), static_cast<std::size_t>(60 * kNumCategories));
+}
+
+} // namespace
+} // namespace facile::bhive

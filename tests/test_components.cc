@@ -1,0 +1,124 @@
+/**
+ * @file
+ * DSB, LSD, and Issue component tests (paper sections 4.5-4.7).
+ */
+#include <gtest/gtest.h>
+
+#include "bb/basic_block.h"
+#include "facile/simple_components.h"
+#include "isa/builder.h"
+
+namespace facile::model {
+namespace {
+
+using namespace facile::isa;
+using facile::uarch::UArch;
+
+bb::BasicBlock
+blockOf(std::vector<Inst> insts, UArch arch)
+{
+    return bb::analyze(insts, arch);
+}
+
+std::vector<Inst>
+simpleBody(int n)
+{
+    std::vector<Inst> v(static_cast<std::size_t>(n),
+                        make(Mnemonic::ADD, {R(RAX), R(RBX)}));
+    return v;
+}
+
+TEST(Dsb, ShortBlockUsesCeiling)
+{
+    // 7 µops, SKL DSB width 6, block < 32 bytes: ceil(7/6) = 2.
+    bb::BasicBlock blk = blockOf(simpleBody(7), UArch::SKL);
+    ASSERT_LT(blk.lengthBytes(), 32);
+    EXPECT_DOUBLE_EQ(dsb(blk), 2.0);
+}
+
+TEST(Dsb, LongBlockIsFractional)
+{
+    // 11 3-byte adds = 33 bytes >= 32: 11/6.
+    bb::BasicBlock blk = blockOf(simpleBody(11), UArch::SKL);
+    ASSERT_GE(blk.lengthBytes(), 32);
+    EXPECT_DOUBLE_EQ(dsb(blk), 11.0 / 6.0);
+}
+
+TEST(Dsb, WidthDiffersAcrossFamilies)
+{
+    // HSW DSB width 4 vs SKL width 6.
+    bb::BasicBlock hsw = blockOf(simpleBody(11), UArch::HSW);
+    EXPECT_DOUBLE_EQ(dsb(hsw), 11.0 / 4.0);
+}
+
+TEST(Lsd, SmallLoopUnrolls)
+{
+    // 1 µop on HSW (issue width 4): the LSD unrolls; ceil(u/4)/u with
+    // u = 4k gives exactly 0.25 cycles/iteration.
+    bb::BasicBlock blk = blockOf(simpleBody(1), UArch::HSW);
+    EXPECT_DOUBLE_EQ(lsd(blk), 0.25);
+}
+
+TEST(Lsd, IterationBoundaryCostsWithoutUnrolling)
+{
+    // 6 µops, issue 4: without unrolling ceil(6/4) = 2 cycles -> 2.0;
+    // unrolling by 2 gives ceil(12/4)/2 = 1.5.
+    bb::BasicBlock blk = blockOf(simpleBody(6), UArch::HSW);
+    EXPECT_DOUBLE_EQ(lsd(blk), 1.5);
+}
+
+TEST(Lsd, MultipleOfIssueWidthIsExact)
+{
+    bb::BasicBlock blk = blockOf(simpleBody(8), UArch::HSW);
+    EXPECT_DOUBLE_EQ(lsd(blk), 2.0);
+}
+
+TEST(Lsd, EligibilityBoundedByIdq)
+{
+    // HSW IDQ = 56 µops.
+    EXPECT_TRUE(lsdEligible(blockOf(simpleBody(56), UArch::HSW)));
+    EXPECT_FALSE(lsdEligible(blockOf(simpleBody(57), UArch::HSW)));
+}
+
+TEST(Issue, CountsUnlaminatedUops)
+{
+    // Indexed store: 1 fused, 2 at issue; SKL issue width 4.
+    std::vector<Inst> insts = {
+        make(Mnemonic::MOV, {M(memIdx(RBX, RCX, 8)), R(RAX)}),
+        make(Mnemonic::ADD, {R(RDX), R(RSI)}),
+    };
+    bb::BasicBlock blk = blockOf(insts, UArch::SKL);
+    EXPECT_DOUBLE_EQ(issue(blk), 3.0 / 4.0);
+}
+
+TEST(Issue, WiderIssueOnIceLake)
+{
+    bb::BasicBlock skl = blockOf(simpleBody(10), UArch::SKL);
+    bb::BasicBlock icl = blockOf(simpleBody(10), UArch::ICL);
+    EXPECT_DOUBLE_EQ(issue(skl), 2.5);
+    EXPECT_DOUBLE_EQ(issue(icl), 2.0);
+}
+
+TEST(Issue, EliminatedUopsStillIssue)
+{
+    // NOPs and eliminated movs consume issue bandwidth.
+    std::vector<Inst> insts = {
+        nop(1), nop(1),
+        make(Mnemonic::MOV, {R(RAX), R(RBX)}), // eliminated on SKL
+        make(Mnemonic::MOV, {R(RCX), R(RDX)}),
+    };
+    bb::BasicBlock blk = blockOf(insts, UArch::SKL);
+    EXPECT_DOUBLE_EQ(issue(blk), 1.0);
+}
+
+TEST(Lsd, DominatesIssueWhenActive)
+{
+    // LSD >= Issue for every size (the LSD can never beat issue width).
+    for (int n = 1; n <= 40; ++n) {
+        bb::BasicBlock blk = blockOf(simpleBody(n), UArch::HSW);
+        EXPECT_GE(lsd(blk) + 1e-12, issue(blk)) << "n=" << n;
+    }
+}
+
+} // namespace
+} // namespace facile::model

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Decoder model tests: Algorithm 1 steady-state behavior, complex
+ * decoder steering, branch group termination, macro-fusion handling,
+ * and the SimpleDec comparison model.
+ */
+#include <gtest/gtest.h>
+
+#include "bb/basic_block.h"
+#include "facile/dec.h"
+#include "isa/builder.h"
+
+namespace facile::model {
+namespace {
+
+using namespace facile::isa;
+using facile::uarch::UArch;
+
+bb::BasicBlock
+blockOf(std::vector<Inst> insts, UArch arch = UArch::SKL)
+{
+    return bb::analyze(insts, arch);
+}
+
+TEST(Dec, FourSimpleInstructionsTakeOneCycle)
+{
+    // 4 decoders on SKL, all instructions simple: 1 cycle/iteration.
+    std::vector<Inst> insts(4, make(Mnemonic::ADD, {R(RAX), R(RBX)}));
+    EXPECT_DOUBLE_EQ(dec(blockOf(insts)), 1.0);
+}
+
+TEST(Dec, EightSimpleInstructionsTakeTwoCycles)
+{
+    std::vector<Inst> insts(8, make(Mnemonic::ADD, {R(RAX), R(RBX)}));
+    EXPECT_DOUBLE_EQ(dec(blockOf(insts)), 2.0);
+}
+
+TEST(Dec, SteadyStateNonIntegral)
+{
+    // 5 simple instructions on 4 decoders: alternating 2/1/2/1... no —
+    // steady state packs groups of 4+1, 4+1: 2 cycles per iteration
+    // until alignment recurs. From Algorithm 1: first instruction
+    // rotates through decoders; cycles(u)/u converges to 5/4.
+    std::vector<Inst> insts(5, make(Mnemonic::ADD, {R(RAX), R(RBX)}));
+    EXPECT_DOUBLE_EQ(dec(blockOf(insts)), 1.25);
+}
+
+TEST(Dec, ComplexInstructionRestartsGroup)
+{
+    // RMW needs the complex decoder: every instance starts a new decode
+    // group. Two RMWs = 2 cycles per iteration.
+    std::vector<Inst> insts = {
+        make(Mnemonic::ADD, {M(mem(RBX)), R(RAX)}),
+        make(Mnemonic::ADD, {M(mem(RSI)), R(RCX)}),
+    };
+    EXPECT_DOUBLE_EQ(dec(blockOf(insts)), 2.0);
+}
+
+TEST(Dec, ComplexPlusSimplePacksOneCycle)
+{
+    std::vector<Inst> insts = {
+        make(Mnemonic::ADD, {M(mem(RBX)), R(RAX)}), // complex
+        make(Mnemonic::ADD, {R(RCX), R(RDX)}),      // simple
+        make(Mnemonic::ADD, {R(RSI), R(RDI)}),      // simple
+    };
+    EXPECT_DOUBLE_EQ(dec(blockOf(insts)), 1.0);
+}
+
+TEST(Dec, BranchEndsDecodeGroup)
+{
+    // Five instructions ending in jmp: the branch terminates every
+    // decode group, so the tail never packs with the next iteration's
+    // head: 2 cycles/iteration. Without the branch, group formation
+    // spans iterations and reaches 5/4 cycles.
+    std::vector<Inst> movs(4, make(Mnemonic::MOV, {R(RAX), R(RBX)}));
+    std::vector<Inst> withJmp = movs;
+    withJmp.push_back(make(Mnemonic::JMP, {I(10, 1)}));
+    std::vector<Inst> withMov = movs;
+    withMov.push_back(make(Mnemonic::MOV, {R(RCX), R(RDX)}));
+    EXPECT_DOUBLE_EQ(dec(blockOf(withJmp)), 2.0);
+    EXPECT_DOUBLE_EQ(dec(blockOf(withMov)), 1.25);
+}
+
+TEST(Dec, MacroFusedPairOccupiesOneDecoderSlot)
+{
+    // cmp+je fuse; with three more simple instructions the whole body
+    // still decodes in one cycle on SKL.
+    std::vector<Inst> insts = {
+        make(Mnemonic::MOV, {R(RAX), R(RBX)}),
+        make(Mnemonic::MOV, {R(RCX), R(RDX)}),
+        make(Mnemonic::MOV, {R(RSI), R(RDI)}),
+        make(Mnemonic::CMP, {R(R8), R(R9)}),
+        makeCC(Mnemonic::JCC, Cond::E, {I(-2, 1)}),
+    };
+    EXPECT_DOUBLE_EQ(dec(blockOf(insts)), 1.0);
+}
+
+TEST(Dec, SnbFusiblePairAvoidsLastDecoder)
+{
+    // On SnB a macro-fusible instruction cannot use the last decoder.
+    // Three movs followed by cmp+jcc: the cmp would land on decoder 3
+    // (the last one) and must defer to the next group.
+    std::vector<Inst> insts = {
+        make(Mnemonic::MOV, {R(RAX), R(RBX)}),
+        make(Mnemonic::MOV, {R(RCX), R(RDX)}),
+        make(Mnemonic::MOV, {R(RSI), R(RDI)}),
+        make(Mnemonic::CMP, {R(R8), R(R9)}),
+        makeCC(Mnemonic::JCC, Cond::E, {I(-2, 1)}),
+    };
+    double snb = dec(blockOf(insts, UArch::SNB));
+    double skl = dec(blockOf(insts, UArch::SKL));
+    EXPECT_GT(snb, skl);
+    EXPECT_DOUBLE_EQ(snb, 2.0);
+}
+
+TEST(Dec, MicrocodedInstructionBlocksSimpleDecoders)
+{
+    // div r32 (10 µops) leaves no simple decoders available: following
+    // instructions wait for the next cycle.
+    std::vector<Inst> insts = {
+        make(Mnemonic::DIV, {R(ECX)}),
+        make(Mnemonic::MOV, {R(RAX), R(RBX)}),
+        make(Mnemonic::MOV, {R(RSI), R(RDI)}),
+    };
+    EXPECT_DOUBLE_EQ(dec(blockOf(insts)), 2.0);
+}
+
+TEST(Dec, SimpleDecFormula)
+{
+    // max(n/d, c): 6 instructions, 2 complex on SKL (d=4).
+    std::vector<Inst> insts = {
+        make(Mnemonic::ADD, {M(mem(RBX)), R(RAX)}),
+        make(Mnemonic::ADD, {M(mem(RSI)), R(RCX)}),
+        make(Mnemonic::MOV, {R(RAX), R(RBX)}),
+        make(Mnemonic::MOV, {R(RCX), R(RDX)}),
+        make(Mnemonic::MOV, {R(RSI), R(RDI)}),
+        make(Mnemonic::MOV, {R(R8), R(R9)}),
+    };
+    EXPECT_DOUBLE_EQ(simpleDec(blockOf(insts)), 2.0);
+
+    std::vector<Inst> simple(6, make(Mnemonic::MOV, {R(RAX), R(RBX)}));
+    EXPECT_DOUBLE_EQ(simpleDec(blockOf(simple)), 1.5);
+}
+
+TEST(Dec, SimpleDecIgnoresMacroFusedBranch)
+{
+    std::vector<Inst> insts = {
+        make(Mnemonic::CMP, {R(RAX), R(RBX)}),
+        makeCC(Mnemonic::JCC, Cond::E, {I(-2, 1)}),
+    };
+    // The fused pair counts as one instruction: 1/4.
+    EXPECT_DOUBLE_EQ(simpleDec(blockOf(insts)), 0.25);
+}
+
+TEST(Dec, DecDominatesSimpleDec)
+{
+    // The full model must never predict fewer cycles than SimpleDec's
+    // complex-decoder bound on complex-only blocks.
+    std::vector<Inst> insts(3, make(Mnemonic::ADD, {M(mem(RBX)), R(RAX)}));
+    bb::BasicBlock blk = blockOf(insts);
+    EXPECT_GE(dec(blk), simpleDec(blk));
+}
+
+TEST(Dec, EmptyBlockIsZero)
+{
+    bb::BasicBlock blk;
+    blk.arch = UArch::SKL;
+    EXPECT_DOUBLE_EQ(dec(blk), 0.0);
+}
+
+} // namespace
+} // namespace facile::model

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Evaluation-harness tests: suite preparation, scoring, rounding
+ * convention, heatmap binning, and timing plumbing.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/harness.h"
+
+namespace facile::eval {
+namespace {
+
+const std::vector<bhive::Benchmark> &
+tinySuite()
+{
+    static const auto suite = bhive::generateSuite(4, 2);
+    return suite;
+}
+
+const ArchSuite &
+preparedSkl()
+{
+    static const ArchSuite s = prepare(uarch::UArch::SKL, tinySuite());
+    return s;
+}
+
+TEST(Eval, PrepareProducesGroundTruth)
+{
+    const ArchSuite &s = preparedSkl();
+    EXPECT_EQ(s.blocksU.size(), tinySuite().size());
+    EXPECT_EQ(s.measuredU.size(), tinySuite().size());
+    for (double m : s.measuredU) {
+        EXPECT_GT(m, 0.0);
+        // Rounded to two decimals.
+        EXPECT_NEAR(m * 100.0, std::round(m * 100.0), 1e-9);
+    }
+    for (double m : s.measuredL)
+        EXPECT_GT(m, 0.0);
+}
+
+TEST(Eval, FacileScoresWell)
+{
+    baselines::FacilePredictor facile;
+    Accuracy u = evaluate(facile, preparedSkl(), false);
+    Accuracy l = evaluate(facile, preparedSkl(), true);
+    EXPECT_LT(u.mape, 0.10);
+    EXPECT_GT(u.kendall, 0.85);
+    EXPECT_LT(l.mape, 0.10);
+    EXPECT_GT(l.kendall, 0.85);
+}
+
+TEST(Eval, PerfectPredictorScoresZeroMape)
+{
+    // The simulator predictor reproduces the ground truth exactly.
+    baselines::SimulatorPredictor simPred;
+    Accuracy a = evaluate(simPred, preparedSkl(), false);
+    EXPECT_DOUBLE_EQ(a.mape, 0.0);
+    EXPECT_GT(a.kendall, 0.999);
+}
+
+TEST(Eval, RunPredictorRoundsToTwoDecimals)
+{
+    baselines::FacilePredictor facile;
+    auto preds = runPredictor(facile, preparedSkl(), false);
+    for (double p : preds)
+        EXPECT_NEAR(p * 100.0, std::round(p * 100.0), 1e-9);
+}
+
+TEST(Eval, TimePerBenchmarkIsPositive)
+{
+    baselines::FacilePredictor facile;
+    double ms = timePerBenchmarkMs(facile, preparedSkl(), false);
+    EXPECT_GT(ms, 0.0);
+    EXPECT_LT(ms, 100.0);
+}
+
+TEST(Eval, HeatmapBinsCorrectly)
+{
+    auto grid = heatmap({0.5, 1.5, 9.5, 12.0}, {0.4, 1.6, 9.9, 1.0},
+                        10.0, 10);
+    // 12.0 measured is out of range and dropped.
+    int total = 0;
+    for (const auto &row : grid)
+        for (int c : row)
+            total += c;
+    EXPECT_EQ(total, 3);
+    EXPECT_EQ(grid[0][0], 1); // (0.5, 0.4)
+    EXPECT_EQ(grid[1][1], 1); // (1.5, 1.6)
+    EXPECT_EQ(grid[9][9], 1); // (9.5, 9.9)
+}
+
+TEST(Eval, HeatmapClampsOverprediction)
+{
+    auto grid = heatmap({5.0}, {42.0}, 10.0, 10);
+    EXPECT_EQ(grid[9][5], 1);
+}
+
+TEST(Eval, RenderHeatmapProducesGrid)
+{
+    auto grid = heatmap({1.0, 2.0}, {1.0, 2.0}, 10.0, 10);
+    std::string s = renderHeatmap(grid, 10.0);
+    EXPECT_NE(s.find("measured"), std::string::npos);
+    EXPECT_GT(std::count(s.begin(), s.end(), '\n'), 10);
+}
+
+} // namespace
+} // namespace facile::eval

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Decoder unit tests: known byte sequences, layout facts (length,
+ * nominal opcode position, LCP detection), and error handling.
+ */
+#include <gtest/gtest.h>
+
+#include "isa/builder.h"
+#include "isa/decoder.h"
+#include "isa/encoder.h"
+
+namespace facile::isa {
+namespace {
+
+DecodedInst
+dec1(std::vector<std::uint8_t> bytes)
+{
+    return decodeOne(bytes.data(), bytes.size());
+}
+
+TEST(Decoder, AddRegReg)
+{
+    DecodedInst d = dec1({0x48, 0x01, 0xD8}); // add rax, rbx
+    EXPECT_EQ(d.inst.mnem, Mnemonic::ADD);
+    ASSERT_EQ(d.inst.ops.size(), 2u);
+    EXPECT_EQ(d.inst.ops[0].reg, RAX);
+    EXPECT_EQ(d.inst.ops[1].reg, RBX);
+    EXPECT_EQ(d.length, 3);
+    EXPECT_EQ(d.opcodeOffset, 1); // REX is a prefix
+    EXPECT_FALSE(d.lcp);
+}
+
+TEST(Decoder, LcpDetection)
+{
+    // add ax, 0x1234: 66 prefix + imm16 = LCP.
+    DecodedInst d = dec1({0x66, 0x81, 0xC0, 0x34, 0x12});
+    EXPECT_EQ(d.inst.mnem, Mnemonic::ADD);
+    EXPECT_TRUE(d.lcp);
+    EXPECT_EQ(d.opcodeOffset, 1);
+    EXPECT_EQ(d.length, 5);
+}
+
+TEST(Decoder, SixtySixWithoutImm16IsNotLcp)
+{
+    // add ax, bx: 66 01 d8 — 66 prefix but no immediate.
+    DecodedInst d = dec1({0x66, 0x01, 0xD8});
+    EXPECT_EQ(d.inst.mnem, Mnemonic::ADD);
+    EXPECT_FALSE(d.lcp);
+}
+
+TEST(Decoder, TwoByteNopIsNotLcp)
+{
+    DecodedInst d = dec1({0x66, 0x90});
+    EXPECT_EQ(d.inst.mnem, Mnemonic::NOP);
+    EXPECT_FALSE(d.lcp);
+    EXPECT_EQ(d.length, 2);
+}
+
+TEST(Decoder, MultiByteNops)
+{
+    for (int len = 1; len <= 15; ++len) {
+        auto bytes = encode(nop(len));
+        DecodedInst d = decodeOne(bytes.data(), bytes.size());
+        EXPECT_EQ(d.inst.mnem, Mnemonic::NOP);
+        EXPECT_EQ(d.length, len);
+        EXPECT_EQ(d.inst.nopLen, len);
+    }
+}
+
+TEST(Decoder, MemSibDisp)
+{
+    // mov rax, [rbx+rcx*4+8]
+    auto bytes = encode(make(Mnemonic::MOV, {R(RAX), M(memIdx(RBX, RCX, 4, 8))}));
+    DecodedInst d = decodeOne(bytes.data(), bytes.size());
+    ASSERT_TRUE(d.inst.ops[1].isMem());
+    EXPECT_EQ(d.inst.ops[1].mem.base, RBX);
+    EXPECT_EQ(d.inst.ops[1].mem.index, RCX);
+    EXPECT_EQ(d.inst.ops[1].mem.scale, 4);
+    EXPECT_EQ(d.inst.ops[1].mem.disp, 8);
+}
+
+TEST(Decoder, VexTwoByte)
+{
+    DecodedInst d = dec1({0xC5, 0xF0, 0x58, 0xC2}); // vaddps xmm0,xmm1,xmm2
+    EXPECT_EQ(d.inst.mnem, Mnemonic::VADDPS);
+    ASSERT_EQ(d.inst.ops.size(), 3u);
+    EXPECT_EQ(d.inst.ops[0].reg, XMM0);
+    EXPECT_EQ(d.inst.ops[1].reg, XMM1);
+    EXPECT_EQ(d.inst.ops[2].reg, XMM2);
+    EXPECT_EQ(d.opcodeOffset, 2); // VEX bytes count as prefix
+}
+
+TEST(Decoder, VexVvvv15IsRegister)
+{
+    auto bytes =
+        encode(make(Mnemonic::VADDPS, {R(XMM0), R(xmm(15)), R(XMM2)}));
+    DecodedInst d = decodeOne(bytes.data(), bytes.size());
+    EXPECT_EQ(d.inst.ops[1].reg, xmm(15));
+}
+
+TEST(Decoder, JccRel8Negative)
+{
+    DecodedInst d = dec1({0x75, 0xFE}); // jne -2
+    EXPECT_EQ(d.inst.mnem, Mnemonic::JCC);
+    EXPECT_EQ(d.inst.cc, Cond::NE);
+    EXPECT_EQ(d.inst.ops[0].imm, -2);
+}
+
+TEST(Decoder, TruncatedInputThrows)
+{
+    EXPECT_THROW(dec1({0x48}), DecodeError);
+    EXPECT_THROW(dec1({0x48, 0x01}), DecodeError);
+    EXPECT_THROW(dec1({0x66, 0x81, 0xC0, 0x34}), DecodeError);
+}
+
+TEST(Decoder, UnknownOpcodeThrows)
+{
+    EXPECT_THROW(dec1({0x06}), DecodeError); // invalid in 64-bit mode
+}
+
+TEST(Decoder, RipRelativeRejected)
+{
+    // mod=00 rm=101 is RIP-relative in 64-bit mode; unsupported subset.
+    EXPECT_THROW(dec1({0x48, 0x8B, 0x05, 0x00, 0x00, 0x00, 0x00}),
+                 DecodeError);
+}
+
+TEST(Decoder, DecodeBlockSplitsCorrectly)
+{
+    std::vector<Inst> insts = {
+        make(Mnemonic::ADD, {R(RAX), R(RBX)}),
+        nop(5),
+        makeCC(Mnemonic::JCC, Cond::NE, {I(-2, 1)}),
+    };
+    auto bytes = encodeBlock(insts);
+    auto decoded = decodeBlock(bytes);
+    ASSERT_EQ(decoded.size(), 3u);
+    EXPECT_EQ(decoded[0].inst.mnem, Mnemonic::ADD);
+    EXPECT_EQ(decoded[1].inst.mnem, Mnemonic::NOP);
+    EXPECT_EQ(decoded[2].inst.mnem, Mnemonic::JCC);
+}
+
+TEST(Decoder, PopcntVsBsf)
+{
+    // bsf: 0F BC, tzcnt: F3 0F BC
+    auto bsf = dec1({0x48, 0x0F, 0xBC, 0xC3});
+    EXPECT_EQ(bsf.inst.mnem, Mnemonic::BSF);
+    auto tzcnt = dec1({0xF3, 0x48, 0x0F, 0xBC, 0xC3});
+    EXPECT_EQ(tzcnt.inst.mnem, Mnemonic::TZCNT);
+}
+
+TEST(Decoder, ShiftByOneOpcodeD1)
+{
+    // shl rax, 1 via D1 /4 (alternate encoding; decoder-only form).
+    DecodedInst d = dec1({0x48, 0xD1, 0xE0});
+    EXPECT_EQ(d.inst.mnem, Mnemonic::SHL);
+    EXPECT_EQ(d.inst.ops[1].imm, 1);
+}
+
+} // namespace
+} // namespace facile::isa

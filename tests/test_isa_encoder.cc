@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Encoder unit tests: exact byte sequences for representative forms,
+ * REX/VEX/ModRM/SIB handling, NOP lengths, and LCP-carrying encodings.
+ */
+#include <gtest/gtest.h>
+
+#include "isa/builder.h"
+#include "isa/encoder.h"
+
+namespace facile::isa {
+namespace {
+
+using Bytes = std::vector<std::uint8_t>;
+
+TEST(Encoder, AddRegReg64)
+{
+    // add rax, rbx -> REX.W 01 d8
+    EXPECT_EQ(encode(make(Mnemonic::ADD, {R(RAX), R(RBX)})),
+              (Bytes{0x48, 0x01, 0xD8}));
+}
+
+TEST(Encoder, AddRegReg32NoRex)
+{
+    // add eax, ebx -> 01 d8
+    EXPECT_EQ(encode(make(Mnemonic::ADD, {R(EAX), R(EBX)})),
+              (Bytes{0x01, 0xD8}));
+}
+
+TEST(Encoder, AddHighRegsUseRexRB)
+{
+    // add r8, r9 -> REX.WRB 01 c8
+    EXPECT_EQ(encode(make(Mnemonic::ADD, {R(R8), R(R9)})),
+              (Bytes{0x4D, 0x01, 0xC8}));
+}
+
+TEST(Encoder, XorZeroIdiom32)
+{
+    // xor ecx, ecx -> 31 c9
+    EXPECT_EQ(encode(make(Mnemonic::XOR, {R(ECX), R(ECX)})),
+              (Bytes{0x31, 0xC9}));
+}
+
+TEST(Encoder, AluImm8SignExtended)
+{
+    // add rax, 5 -> REX.W 83 c0 05
+    EXPECT_EQ(encode(make(Mnemonic::ADD, {R(RAX), I(5, 1)})),
+              (Bytes{0x48, 0x83, 0xC0, 0x05}));
+}
+
+TEST(Encoder, AluImm32)
+{
+    // add rax, 0x1234 (imm32) -> REX.W 81 c0 34 12 00 00
+    EXPECT_EQ(encode(make(Mnemonic::ADD, {R(RAX), I(0x1234, 4)})),
+              (Bytes{0x48, 0x81, 0xC0, 0x34, 0x12, 0x00, 0x00}));
+}
+
+TEST(Encoder, AluImm16HasLcpPrefix)
+{
+    // add ax, 0x1234 -> 66 81 c0 34 12 : the LCP form.
+    EXPECT_EQ(encode(make(Mnemonic::ADD, {R(AX), I(0x1234, 2)})),
+              (Bytes{0x66, 0x81, 0xC0, 0x34, 0x12}));
+}
+
+TEST(Encoder, MovImm16HasLcpPrefix)
+{
+    // mov cx, 0x1234 -> 66 b9 34 12
+    EXPECT_EQ(encode(make(Mnemonic::MOV, {R(CX), I(0x1234, 2)})),
+              (Bytes{0x66, 0xB9, 0x34, 0x12}));
+}
+
+TEST(Encoder, MemSimpleBase)
+{
+    // mov rax, [rbx] -> REX.W 8b 03
+    EXPECT_EQ(encode(make(Mnemonic::MOV, {R(RAX), M(mem(RBX))})),
+              (Bytes{0x48, 0x8B, 0x03}));
+}
+
+TEST(Encoder, MemDisp8)
+{
+    // mov rax, [rbx+8] -> REX.W 8b 43 08
+    EXPECT_EQ(encode(make(Mnemonic::MOV, {R(RAX), M(mem(RBX, 8))})),
+              (Bytes{0x48, 0x8B, 0x43, 0x08}));
+}
+
+TEST(Encoder, MemDisp32)
+{
+    // mov rax, [rbx+0x200] -> REX.W 8b 83 00 02 00 00
+    EXPECT_EQ(encode(make(Mnemonic::MOV, {R(RAX), M(mem(RBX, 0x200))})),
+              (Bytes{0x48, 0x8B, 0x83, 0x00, 0x02, 0x00, 0x00}));
+}
+
+TEST(Encoder, MemRspNeedsSib)
+{
+    // mov rax, [rsp] -> REX.W 8b 04 24
+    EXPECT_EQ(encode(make(Mnemonic::MOV, {R(RAX), M(mem(RSP))})),
+              (Bytes{0x48, 0x8B, 0x04, 0x24}));
+}
+
+TEST(Encoder, MemRbpNeedsDisp8)
+{
+    // mov rax, [rbp] -> REX.W 8b 45 00 (mod=01 with disp8 0)
+    EXPECT_EQ(encode(make(Mnemonic::MOV, {R(RAX), M(mem(RBP))})),
+              (Bytes{0x48, 0x8B, 0x45, 0x00}));
+}
+
+TEST(Encoder, MemIndexScale)
+{
+    // mov rax, [rbx+rcx*4] -> REX.W 8b 04 8b
+    EXPECT_EQ(
+        encode(make(Mnemonic::MOV, {R(RAX), M(memIdx(RBX, RCX, 4))})),
+        (Bytes{0x48, 0x8B, 0x04, 0x8B}));
+}
+
+TEST(Encoder, RspIndexRejected)
+{
+    EXPECT_THROW(encode(make(Mnemonic::MOV, {R(RAX), M(memIdx(RBX, RSP))})),
+                 EncodeError);
+}
+
+TEST(Encoder, LeaThreeComponent)
+{
+    // lea rax, [rbx+rcx*2+8] -> REX.W 8d 44 4b 08
+    EXPECT_EQ(
+        encode(make(Mnemonic::LEA, {R(RAX), M(memIdx(RBX, RCX, 2, 8))})),
+        (Bytes{0x48, 0x8D, 0x44, 0x4B, 0x08}));
+}
+
+TEST(Encoder, PushPopRegs)
+{
+    EXPECT_EQ(encode(make(Mnemonic::PUSH, {R(RAX)})), (Bytes{0x50}));
+    EXPECT_EQ(encode(make(Mnemonic::PUSH, {R(R9)})), (Bytes{0x41, 0x51}));
+    EXPECT_EQ(encode(make(Mnemonic::POP, {R(RBX)})), (Bytes{0x5B}));
+}
+
+TEST(Encoder, NopLengthsExact)
+{
+    for (int len = 1; len <= 15; ++len) {
+        Bytes b = encode(nop(len));
+        EXPECT_EQ(static_cast<int>(b.size()), len) << "nop length " << len;
+    }
+    EXPECT_EQ(encode(nop(1)), (Bytes{0x90}));
+    EXPECT_EQ(encode(nop(3)), (Bytes{0x0F, 0x1F, 0x00}));
+}
+
+TEST(Encoder, JccRel8AndRel32)
+{
+    EXPECT_EQ(encode(makeCC(Mnemonic::JCC, Cond::E, {I(-2, 1)})),
+              (Bytes{0x74, 0xFE}));
+    Bytes far = encode(makeCC(Mnemonic::JCC, Cond::NE, {I(1000, 4)}));
+    EXPECT_EQ(far.size(), 6u);
+    EXPECT_EQ(far[0], 0x0F);
+    EXPECT_EQ(far[1], 0x85);
+}
+
+TEST(Encoder, ShiftImmAndCl)
+{
+    // shl rax, 7 -> REX.W C1 E0 07
+    EXPECT_EQ(encode(make(Mnemonic::SHL, {R(RAX), I(7, 1)})),
+              (Bytes{0x48, 0xC1, 0xE0, 0x07}));
+    // shr rbx, cl -> REX.W D3 EB
+    EXPECT_EQ(encode(make(Mnemonic::SHR, {R(RBX), R(CL)})),
+              (Bytes{0x48, 0xD3, 0xEB}));
+}
+
+TEST(Encoder, SseAddsd)
+{
+    // addsd xmm0, xmm1 -> F2 0F 58 C1
+    EXPECT_EQ(encode(make(Mnemonic::ADDSD, {R(XMM0), R(XMM1)})),
+              (Bytes{0xF2, 0x0F, 0x58, 0xC1}));
+}
+
+TEST(Encoder, SsePxor)
+{
+    // pxor xmm2, xmm3 -> 66 0F EF D3
+    EXPECT_EQ(encode(make(Mnemonic::PXOR, {R(XMM2), R(XMM3)})),
+              (Bytes{0x66, 0x0F, 0xEF, 0xD3}));
+}
+
+TEST(Encoder, Vex2ByteForm)
+{
+    // vaddps xmm0, xmm1, xmm2 -> C5 F0 58 C2
+    EXPECT_EQ(
+        encode(make(Mnemonic::VADDPS, {R(XMM0), R(XMM1), R(XMM2)})),
+        (Bytes{0xC5, 0xF0, 0x58, 0xC2}));
+}
+
+TEST(Encoder, Vex3ByteFma)
+{
+    // vfmadd231pd xmm0, xmm1, xmm2 -> C4 E2 F1 B8 C2 (W1, map 0F38)
+    EXPECT_EQ(encode(make(Mnemonic::VFMADD231PD,
+                          {R(XMM0), R(XMM1), R(XMM2)})),
+              (Bytes{0xC4, 0xE2, 0xF1, 0xB8, 0xC2}));
+}
+
+TEST(Encoder, VexYmmSetsL)
+{
+    Bytes b = encode(make(Mnemonic::VADDPS, {R(YMM0), R(YMM1), R(YMM2)}));
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_EQ(b[0], 0xC5);
+    EXPECT_TRUE(b[1] & 0x04) << "VEX.L must be set for ymm";
+}
+
+TEST(Encoder, LengthsAreWithinLimits)
+{
+    // Worst case: 66 prefix + REX + SIB + disp32 forms stay within 15.
+    Bytes b = encode(make(Mnemonic::ADD,
+                          {M(memIdx(R13, R14, 8, 0x12345, 2)),
+                           R(gpr(2, 10))}));
+    EXPECT_LE(b.size(), 15u);
+}
+
+TEST(Encoder, EncodeBlockConcatenates)
+{
+    std::vector<Inst> insts = {make(Mnemonic::ADD, {R(RAX), R(RBX)}),
+                               nop(3)};
+    Bytes b = encodeBlock(insts);
+    EXPECT_EQ(b.size(), 6u);
+}
+
+} // namespace
+} // namespace facile::isa

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Port-contention model tests: the pairwise heuristic of section 4.8,
+ * the exact subset bound, and the property that both agree on the
+ * generated benchmark suite (as the paper reports for BHive).
+ */
+#include <gtest/gtest.h>
+
+#include "bb/basic_block.h"
+#include "bhive/generator.h"
+#include "facile/ports.h"
+#include "isa/builder.h"
+
+namespace facile::model {
+namespace {
+
+using namespace facile::isa;
+using facile::uarch::UArch;
+
+bb::BasicBlock
+blockOf(std::vector<Inst> insts, UArch arch = UArch::SKL)
+{
+    return bb::analyze(insts, arch);
+}
+
+TEST(Ports, SingleAluUopIsFractional)
+{
+    // One ALU µop on p0156: 1/4 cycles per iteration.
+    bb::BasicBlock blk = blockOf({make(Mnemonic::ADD, {R(RAX), R(RBX)})});
+    EXPECT_DOUBLE_EQ(ports(blk).throughput, 0.25);
+}
+
+TEST(Ports, SinglePortSaturation)
+{
+    // Three FP divides all require port 0: 3 cycles per iteration.
+    std::vector<Inst> insts(3, make(Mnemonic::DIVSD, {R(XMM0), R(XMM1)}));
+    PortsResult r = ports(blockOf(insts));
+    EXPECT_DOUBLE_EQ(r.throughput, 3.0);
+    EXPECT_EQ(r.bottleneckPorts, 1); // port 0 only
+    EXPECT_EQ(r.contendingInsts.size(), 3u);
+}
+
+TEST(Ports, PairwiseUnionCatchesSharedPressure)
+{
+    // One shuffle (p5) alone gives 1.0 and five ALU µops (p0156) alone
+    // give 1.25, but together all six compete for p0156: the pairwise
+    // union finds 6/4 = 1.5.
+    std::vector<Inst> insts = {
+        make(Mnemonic::SHUFPS, {R(XMM0), R(XMM1), I(0, 1)}), // p5
+        make(Mnemonic::ADD, {R(RAX), R(RBX)}),               // p0156
+        make(Mnemonic::ADD, {R(RCX), R(RDX)}),
+        make(Mnemonic::ADD, {R(RSI), R(RDI)}),
+        make(Mnemonic::ADD, {R(R8), R(R9)}),
+        make(Mnemonic::ADD, {R(R10), R(R11)}),
+    };
+    PortsResult r = ports(blockOf(insts));
+    EXPECT_DOUBLE_EQ(r.throughput, 1.5);
+}
+
+TEST(Ports, EliminatedUopsExcluded)
+{
+    std::vector<Inst> insts = {
+        make(Mnemonic::MOV, {R(RAX), R(RBX)}), // eliminated on SKL
+        make(Mnemonic::XOR, {R(RCX), R(RCX)}), // zero idiom
+        nop(1),
+    };
+    EXPECT_DOUBLE_EQ(ports(blockOf(insts)).throughput, 0.0);
+}
+
+TEST(Ports, MacroFusedBranchCountsOnce)
+{
+    std::vector<Inst> insts = {
+        make(Mnemonic::CMP, {R(RAX), R(RBX)}),
+        makeCC(Mnemonic::JCC, Cond::E, {I(-2, 1)}),
+    };
+    // One fused µop on p06: 1/2.
+    EXPECT_DOUBLE_EQ(ports(blockOf(insts)).throughput, 0.5);
+}
+
+TEST(Ports, StoreUopsOnDedicatedPorts)
+{
+    // SKL: store data on p4 only: 3 stores -> 3 STD µops -> 3.0.
+    std::vector<Inst> insts = {
+        make(Mnemonic::MOV, {M(mem(RBX, 0)), R(RAX)}),
+        make(Mnemonic::MOV, {M(mem(RBX, 8)), R(RCX)}),
+        make(Mnemonic::MOV, {M(mem(RBX, 16)), R(RDX)}),
+    };
+    EXPECT_DOUBLE_EQ(ports(blockOf(insts)).throughput, 3.0);
+    // ICL has two store-data ports: 1.5.
+    EXPECT_DOUBLE_EQ(ports(blockOf(insts, UArch::ICL)).throughput, 1.5);
+}
+
+TEST(Ports, ExactMatchesHandComputedTriple)
+{
+    // µops on {p0}, {p1}, {p0,p1}: subsets give max(2/1? ...) —
+    // {p0}: 1/1, {p01}: 3/2 = 1.5.
+    std::vector<Inst> insts = {
+        make(Mnemonic::DIVSD, {R(XMM0), R(XMM1)}),   // p0 (SKL)
+        make(Mnemonic::IMUL, {R(RAX), R(RBX)}),      // p1
+        make(Mnemonic::MULSD, {R(XMM2), R(XMM3)}),   // p01
+    };
+    PortsResult heur = ports(blockOf(insts));
+    PortsResult exact = portsExact(blockOf(insts));
+    EXPECT_DOUBLE_EQ(exact.throughput, 1.5);
+    EXPECT_DOUBLE_EQ(heur.throughput, exact.throughput);
+}
+
+TEST(Ports, HeuristicNeverExceedsExact)
+{
+    // The heuristic maximizes over a subset of the port combinations,
+    // so heuristic <= exact always.
+    const auto &suite = facile::bhive::generateSuite(99, 8);
+    for (const auto &b : suite) {
+        bb::BasicBlock blk = bb::analyze(b.bytesU, UArch::RKL);
+        EXPECT_LE(ports(blk).throughput,
+                  portsExact(blk).throughput + 1e-12)
+            << b.id;
+    }
+}
+
+class PortsSuiteParity : public ::testing::TestWithParam<facile::uarch::UArch>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(UArch, PortsSuiteParity,
+                         ::testing::ValuesIn(facile::uarch::allUArchs()),
+                         [](const auto &info) {
+                             return facile::uarch::config(info.param).abbrev;
+                         });
+
+TEST_P(PortsSuiteParity, HeuristicEqualsExactOnSuite)
+{
+    // Paper section 4.8: the pairwise heuristic yields the same bound
+    // as the exact linear program on all BHive benchmarks. Verify the
+    // analogous property on our generated suite for every µarch.
+    const auto &suite = facile::bhive::generateSuite(20231020, 10);
+    for (const auto &b : suite) {
+        for (const auto *bytes : {&b.bytesU, &b.bytesL}) {
+            bb::BasicBlock blk = bb::analyze(*bytes, GetParam());
+            double h = ports(blk).throughput;
+            double e = portsExact(blk).throughput;
+            EXPECT_NEAR(h, e, 1e-9) << b.id;
+        }
+    }
+}
+
+} // namespace
+} // namespace facile::model

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Precedence-constraint model tests: known dependence chains, flag and
+ * partial-register behavior, and a property test checking the optimum-
+ * cycle-ratio engine against brute-force cycle enumeration on random
+ * graphs.
+ */
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "bb/basic_block.h"
+#include "bhive/generator.h"
+#include "facile/precedence.h"
+#include "isa/builder.h"
+#include "support/rng.h"
+
+namespace facile::model {
+namespace {
+
+using namespace facile::isa;
+using facile::uarch::UArch;
+
+bb::BasicBlock
+blockOf(std::vector<Inst> insts, UArch arch = UArch::SKL)
+{
+    return bb::analyze(insts, arch);
+}
+
+TEST(Precedence, SimpleAddChain)
+{
+    // add rax, rax: loop-carried latency 1.
+    bb::BasicBlock blk = blockOf({make(Mnemonic::ADD, {R(RAX), R(RAX)})});
+    EXPECT_NEAR(precedence(blk).throughput, 1.0, 1e-9);
+}
+
+TEST(Precedence, ImulChain)
+{
+    bb::BasicBlock blk = blockOf({make(Mnemonic::IMUL, {R(RAX), R(RAX)})});
+    EXPECT_NEAR(precedence(blk).throughput, 3.0, 1e-9);
+}
+
+TEST(Precedence, ChainAcrossInstructions)
+{
+    // imul(3) -> add(1) -> loop-carried: 4 cycles / 1 iteration.
+    std::vector<Inst> insts = {
+        make(Mnemonic::IMUL, {R(RAX), R(RBX)}),
+        make(Mnemonic::ADD, {R(RBX), R(RAX)}),
+    };
+    EXPECT_NEAR(precedence(blockOf(insts)).throughput, 4.0, 1e-9);
+}
+
+TEST(Precedence, ParallelChainsTakeMax)
+{
+    std::vector<Inst> insts = {
+        make(Mnemonic::IMUL, {R(RAX), R(RAX)}),  // 3-cycle chain
+        make(Mnemonic::ADD, {R(RBX), R(RBX)}),   // 1-cycle chain
+    };
+    EXPECT_NEAR(precedence(blockOf(insts)).throughput, 3.0, 1e-9);
+}
+
+TEST(Precedence, ZeroIdiomBreaksChain)
+{
+    std::vector<Inst> insts = {
+        make(Mnemonic::XOR, {R(RAX), R(RAX)}),
+        make(Mnemonic::IMUL, {R(RAX), R(RBX)}),
+    };
+    // rax is rewritten from scratch each iteration: no loop-carried
+    // cycle through rax.
+    EXPECT_NEAR(precedence(blockOf(insts)).throughput, 0.0, 1e-9);
+}
+
+TEST(Precedence, MovBreaksChainOnlyLogically)
+{
+    // mov rax, rbx ; add rax, rax: rax's chain is refreshed from rbx
+    // each iteration -> no cycle; rbx is never written -> no cycle.
+    std::vector<Inst> insts = {
+        make(Mnemonic::MOV, {R(RAX), R(RBX)}),
+        make(Mnemonic::ADD, {R(RAX), R(RAX)}),
+    };
+    EXPECT_NEAR(precedence(blockOf(insts)).throughput, 0.0, 1e-9);
+}
+
+TEST(Precedence, LoadLatencyOnAddressRegs)
+{
+    // Pointer chase: mov rax, [rax] is a pure load µop; the chain runs
+    // at the L1 load-to-use latency (4 on SKL).
+    bb::BasicBlock blk =
+        blockOf({make(Mnemonic::MOV, {R(RAX), M(mem(RAX))})});
+    EXPECT_NEAR(precedence(blk).throughput, 4.0, 1e-9);
+}
+
+TEST(Precedence, LoadLatencyDiffersOnIcl)
+{
+    bb::BasicBlock blk =
+        blockOf({make(Mnemonic::MOV, {R(RAX), M(mem(RAX))})}, UArch::ICL);
+    EXPECT_NEAR(precedence(blk).throughput, 5.0, 1e-9);
+}
+
+TEST(Precedence, LoadOpChainsAtLoadPlusComputeLatency)
+{
+    // add rax, [rax]: load (4) + ALU (1) on SKL = 5.
+    bb::BasicBlock blk =
+        blockOf({make(Mnemonic::ADD, {R(RAX), M(mem(RAX))})});
+    EXPECT_NEAR(precedence(blk).throughput, 5.0, 1e-9);
+}
+
+TEST(Precedence, FlagChainThroughAdc)
+{
+    // adc rax, rbx: reads CF, writes CF: loop-carried flag chain with
+    // the instruction's latency.
+    bb::BasicBlock blk = blockOf({make(Mnemonic::ADC, {R(RAX), R(RBX)})});
+    EXPECT_NEAR(precedence(blk).throughput, 1.0, 1e-9);
+}
+
+TEST(Precedence, IncDoesNotChainThroughCf)
+{
+    // inc writes only the SPAZO group; a CF consumer (jb) must chain to
+    // an older CF producer, not to inc.
+    std::vector<Inst> insts = {
+        make(Mnemonic::INC, {R(RAX)}),
+        makeCC(Mnemonic::JCC, Cond::B, {I(-2, 1)}),
+    };
+    // No CF writer in the block: jb's read is loop-invariant; the only
+    // cycle is rax's inc chain (1.0).
+    EXPECT_NEAR(precedence(blockOf(insts)).throughput, 1.0, 1e-9);
+}
+
+TEST(Precedence, StackEngineHidesRspChain)
+{
+    // push/pop pairs do not serialize on rsp updates.
+    std::vector<Inst> insts = {
+        make(Mnemonic::PUSH, {R(RAX)}),
+        make(Mnemonic::POP, {R(RBX)}),
+    };
+    EXPECT_NEAR(precedence(blockOf(insts)).throughput, 0.0, 1e-9);
+}
+
+TEST(Precedence, CriticalChainIdentifiesInstructions)
+{
+    std::vector<Inst> insts = {
+        make(Mnemonic::ADD, {R(RBX), R(RBX)}),   // independent 1-cycle
+        make(Mnemonic::IMUL, {R(RAX), R(RAX)}),  // critical 3-cycle
+    };
+    PrecedenceResult r = precedence(blockOf(insts));
+    ASSERT_FALSE(r.criticalChain.empty());
+    EXPECT_EQ(r.criticalChain[0], 1);
+}
+
+TEST(Precedence, FmaAccumulatorChain)
+{
+    // vfmadd231pd acc, x, y: loop-carried through the accumulator at
+    // FMA latency (4 on SKL).
+    bb::BasicBlock blk = blockOf(
+        {make(Mnemonic::VFMADD231PD, {R(XMM0), R(XMM1), R(XMM2)})});
+    EXPECT_NEAR(precedence(blk).throughput, 4.0, 1e-9);
+}
+
+TEST(Precedence, MultiIterationCycle)
+{
+    // Two interleaved chains, each spanning 2 iterations:
+    //   xchg-free swap via three movs is eliminated on SKL; use adds
+    //   that write the *other* register: a cycle of latency 2 across 2
+    //   iterations = 1.0.
+    std::vector<Inst> insts = {
+        make(Mnemonic::LEA, {R(RAX), M(mem(RBX, 1))}),
+        make(Mnemonic::LEA, {R(RBX), M(mem(RAX, 1))}),
+    };
+    // rax <- rbx (prev write, intra), rbx <- rax (this iteration):
+    // cycle latency 2 over 1 iteration.
+    EXPECT_NEAR(precedence(blockOf(insts)).throughput, 2.0, 1e-9);
+}
+
+// ---- maxCycleRatio engine ----------------------------------------------
+
+TEST(CycleRatio, EmptyGraph)
+{
+    EXPECT_DOUBLE_EQ(maxCycleRatio(0, {}).ratio, 0.0);
+    EXPECT_DOUBLE_EQ(maxCycleRatio(3, {}).ratio, 0.0);
+}
+
+TEST(CycleRatio, SelfLoop)
+{
+    CycleRatioResult r = maxCycleRatio(1, {{0, 0, 3.0, 1}});
+    EXPECT_NEAR(r.ratio, 3.0, 1e-9);
+    EXPECT_EQ(r.cycleNodes.size(), 1u);
+}
+
+TEST(CycleRatio, TwoCyclesPicksMax)
+{
+    std::vector<RatioEdge> edges = {
+        {0, 1, 1.0, 0}, {1, 0, 1.0, 1}, // ratio 2
+        {2, 3, 5.0, 0}, {3, 2, 1.0, 2}, // ratio 2 over 2 iterations = 3
+    };
+    EXPECT_NEAR(maxCycleRatio(4, edges).ratio, 3.0, 1e-9);
+}
+
+TEST(CycleRatio, AcyclicIsZero)
+{
+    std::vector<RatioEdge> edges = {{0, 1, 9.0, 1}, {1, 2, 9.0, 1}};
+    EXPECT_DOUBLE_EQ(maxCycleRatio(3, edges).ratio, 0.0);
+}
+
+TEST(CycleRatio, HowardMatchesLawlerOnRandomGraphs)
+{
+    // The two optimum-cycle-ratio engines must agree.
+    facile::Rng rng(777);
+    for (int trial = 0; trial < 200; ++trial) {
+        const int n = 2 + static_cast<int>(rng.below(10));
+        std::vector<RatioEdge> edges;
+        const int m = 1 + static_cast<int>(rng.below(20));
+        for (int e = 0; e < m; ++e) {
+            edges.push_back({static_cast<int>(rng.below(n)),
+                             static_cast<int>(rng.below(n)),
+                             static_cast<double>(rng.below(16)),
+                             1 + static_cast<int>(rng.below(2))});
+        }
+        CycleRatioResult howard = maxCycleRatioHoward(n, edges);
+        CycleRatioResult lawler = maxCycleRatioLawler(n, edges);
+        EXPECT_NEAR(howard.ratio, lawler.ratio, 1e-6) << "trial " << trial;
+    }
+}
+
+TEST(CycleRatio, HowardOnDependenceGraphs)
+{
+    // Both engines on real dependence graphs from generated blocks.
+    const auto &suite = facile::bhive::generateSuite(2024, 6);
+    for (const auto &b : suite) {
+        bb::BasicBlock blk = bb::analyze(b.bytesL, UArch::SKL);
+        // precedence() uses Howard via maxCycleRatio; nothing to compare
+        // here beyond smoke, so rebuild edges indirectly by checking
+        // determinism and non-negativity.
+        double tp1 = precedence(blk).throughput;
+        double tp2 = precedence(blk).throughput;
+        EXPECT_DOUBLE_EQ(tp1, tp2) << b.id;
+        EXPECT_GE(tp1, 0.0) << b.id;
+    }
+}
+
+TEST(CycleRatio, MatchesBruteForceOnRandomGraphs)
+{
+    facile::Rng rng(321);
+    for (int trial = 0; trial < 60; ++trial) {
+        const int n = 2 + static_cast<int>(rng.below(6));
+        std::vector<RatioEdge> edges;
+        const int m = 1 + static_cast<int>(rng.below(12));
+        for (int e = 0; e < m; ++e) {
+            int from = static_cast<int>(rng.below(n));
+            int to = static_cast<int>(rng.below(n));
+            double w = static_cast<double>(rng.below(8));
+            int cnt = static_cast<int>(rng.below(3));
+            edges.push_back({from, to, w, cnt});
+        }
+        // Discard graphs with zero-count cycles (excluded by the
+        // dependence-graph construction; the ratio is unbounded there).
+        // Detect them with a DFS over count-0 edges.
+        std::vector<std::vector<int>> zeroAdj(n);
+        for (const auto &e : edges)
+            if (e.count == 0)
+                zeroAdj[e.from].push_back(e.to);
+        bool zeroCycle = false;
+        std::vector<int> state(n, 0);
+        std::function<void(int)> dfs = [&](int v) {
+            state[v] = 1;
+            for (int w : zeroAdj[v]) {
+                if (state[w] == 1)
+                    zeroCycle = true;
+                else if (state[w] == 0)
+                    dfs(w);
+            }
+            state[v] = 2;
+        };
+        for (int v = 0; v < n; ++v)
+            if (state[v] == 0)
+                dfs(v);
+        if (zeroCycle)
+            continue;
+
+        // Brute force: enumerate simple cycles via DFS paths.
+        double best = 0.0;
+        std::vector<int> stackNodes;
+        std::vector<char> onPath(n, 0);
+        std::function<void(int, int, double, int)> explore =
+            [&](int start, int v, double w, int cnt) {
+                for (const auto &e : edges) {
+                    if (e.from != v)
+                        continue;
+                    if (e.to == start && cnt + e.count > 0) {
+                        best = std::max(best, (w + e.weight) /
+                                                  (cnt + e.count));
+                    } else if (!onPath[e.to] && e.to > start) {
+                        onPath[e.to] = 1;
+                        explore(start, e.to, w + e.weight, cnt + e.count);
+                        onPath[e.to] = 0;
+                    }
+                }
+            };
+        for (int s = 0; s < n; ++s) {
+            onPath.assign(n, 0);
+            onPath[s] = 1;
+            explore(s, s, 0.0, 0);
+        }
+
+        EXPECT_NEAR(maxCycleRatio(n, edges).ratio, best, 1e-6)
+            << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace facile::model

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Combination-logic tests: equations (1)-(3), bottleneck identification
+ * and tie-breaking, ablation configurations (Table 3 variants), and the
+ * counterfactual idealization API (Table 4).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bb/basic_block.h"
+#include "facile/predictor.h"
+#include "isa/builder.h"
+
+namespace facile::model {
+namespace {
+
+using namespace facile::isa;
+using facile::uarch::UArch;
+
+bb::BasicBlock
+blockOf(std::vector<Inst> insts, UArch arch = UArch::SKL)
+{
+    return bb::analyze(insts, arch);
+}
+
+double
+value(const Prediction &p, Component c)
+{
+    return p.componentValue[static_cast<int>(c)];
+}
+
+TEST(Predictor, TpuIsMaxOfComponents)
+{
+    bb::BasicBlock blk = blockOf({make(Mnemonic::IMUL, {R(RAX), R(RAX)})});
+    Prediction p = predictUnrolled(blk);
+    double maxVal = 0;
+    for (int i = 0; i < kNumComponents; ++i)
+        if (!std::isnan(p.componentValue[i]))
+            maxVal = std::max(maxVal, p.componentValue[i]);
+    EXPECT_DOUBLE_EQ(p.throughput, maxVal);
+    EXPECT_NEAR(p.throughput, 3.0, 1e-6); // imul chain
+}
+
+TEST(Predictor, TpuNeverUsesDsbOrLsd)
+{
+    bb::BasicBlock blk = blockOf({make(Mnemonic::ADD, {R(RAX), R(RBX)})});
+    Prediction p = predictUnrolled(blk);
+    EXPECT_TRUE(std::isnan(value(p, Component::DSB)));
+    EXPECT_TRUE(std::isnan(value(p, Component::LSD)));
+    EXPECT_FALSE(std::isnan(value(p, Component::Predec)));
+    EXPECT_FALSE(std::isnan(value(p, Component::Dec)));
+}
+
+TEST(Predictor, TplFrontEndSelectsLsdWhenEnabled)
+{
+    // HSW has the LSD enabled; a small loop is LSD-fed.
+    std::vector<Inst> body = {make(Mnemonic::ADD, {R(RAX), R(RBX)}),
+                              backEdge()};
+    Prediction p = predictLoop(blockOf(body, UArch::HSW));
+    EXPECT_FALSE(std::isnan(value(p, Component::LSD)));
+    EXPECT_TRUE(std::isnan(value(p, Component::DSB)));
+    EXPECT_TRUE(std::isnan(value(p, Component::Predec)));
+}
+
+TEST(Predictor, TplFrontEndSelectsDsbOnSkylake)
+{
+    // SKL: LSD disabled (SKL150) -> DSB, provided the JCC erratum does
+    // not bite (branch within the first 32 bytes here).
+    std::vector<Inst> body = {make(Mnemonic::ADD, {R(RAX), R(RBX)}),
+                              backEdge()};
+    bb::BasicBlock blk = blockOf(body, UArch::SKL);
+    ASSERT_FALSE(blk.touchesJccErratumBoundary());
+    Prediction p = predictLoop(blk);
+    EXPECT_FALSE(std::isnan(value(p, Component::DSB)));
+    EXPECT_TRUE(std::isnan(value(p, Component::LSD)));
+}
+
+TEST(Predictor, TplJccErratumFallsBackToLegacyDecode)
+{
+    // Branch ending exactly on the 32-byte boundary triggers the
+    // erratum on SKL: Predec/Dec are used instead of DSB/LSD.
+    std::vector<Inst> body = {nop(15), nop(15), backEdge()};
+    bb::BasicBlock blk = blockOf(body, UArch::SKL);
+    ASSERT_TRUE(blk.touchesJccErratumBoundary());
+    Prediction p = predictLoop(blk);
+    EXPECT_FALSE(std::isnan(value(p, Component::Predec)));
+    EXPECT_FALSE(std::isnan(value(p, Component::Dec)));
+    EXPECT_TRUE(std::isnan(value(p, Component::DSB)));
+
+    // The same block on ICL (no erratum) uses the LSD or DSB.
+    Prediction pIcl = predictLoop(blockOf(body, UArch::ICL));
+    EXPECT_TRUE(std::isnan(value(pIcl, Component::Predec)));
+}
+
+TEST(Predictor, TplLargeLoopFallsOutOfLsd)
+{
+    // More µops than the IDQ holds: DSB takes over even on HSW.
+    std::vector<Inst> body(60, make(Mnemonic::ADD, {R(RAX), R(RBX)}));
+    body.push_back(backEdge());
+    Prediction p = predictLoop(blockOf(body, UArch::HSW));
+    EXPECT_TRUE(std::isnan(value(p, Component::LSD)));
+    EXPECT_FALSE(std::isnan(value(p, Component::DSB)));
+}
+
+TEST(Predictor, BottleneckTieBreakIsFrontEndFirst)
+{
+    // Construct a block where Predec and Ports tie; priority order
+    // Predec > Dec > Issue > Ports > Precedence must pick Predec.
+    bb::BasicBlock blk = blockOf({nop(4), nop(4), nop(4), nop(4)});
+    Prediction p = predictUnrolled(blk);
+    ASSERT_FALSE(p.bottlenecks.empty());
+    for (std::size_t i = 1; i < p.bottlenecks.size(); ++i)
+        EXPECT_LT(static_cast<int>(p.bottlenecks[0]),
+                  static_cast<int>(p.bottlenecks[i]));
+    EXPECT_EQ(p.primaryBottleneck, p.bottlenecks[0]);
+}
+
+TEST(Predictor, AblationOnlyX)
+{
+    bb::BasicBlock blk = blockOf({make(Mnemonic::IMUL, {R(RAX), R(RAX)}),
+                                  make(Mnemonic::ADD, {R(RBX), R(RCX)})});
+    Prediction full = predictUnrolled(blk);
+    Prediction onlyPorts =
+        predictUnrolled(blk, ModelConfig::only(Component::Ports));
+    EXPECT_LE(onlyPorts.throughput, full.throughput);
+    EXPECT_FALSE(std::isnan(value(onlyPorts, Component::Ports)));
+    EXPECT_TRUE(std::isnan(value(onlyPorts, Component::Predec)));
+    EXPECT_TRUE(std::isnan(value(onlyPorts, Component::Precedence)));
+}
+
+TEST(Predictor, AblationWithoutX)
+{
+    bb::BasicBlock blk = blockOf({make(Mnemonic::IMUL, {R(RAX), R(RAX)})});
+    Prediction without =
+        predictUnrolled(blk, ModelConfig::without(Component::Precedence));
+    EXPECT_TRUE(std::isnan(value(without, Component::Precedence)));
+    EXPECT_LT(without.throughput, 3.0);
+}
+
+TEST(Predictor, SimpleVariantsSwapIn)
+{
+    // Dense block where full Predec exceeds SimplePredec.
+    std::vector<Inst> body(16, nop(2));
+    bb::BasicBlock blk = blockOf(body);
+    ModelConfig simple;
+    simple.simplePredec = true;
+    Prediction fullP = predictUnrolled(blk);
+    Prediction simpleP = predictUnrolled(blk, simple);
+    EXPECT_GT(value(fullP, Component::Predec),
+              value(simpleP, Component::Predec));
+}
+
+TEST(Predictor, IdealizedRemovesOneComponent)
+{
+    bb::BasicBlock blk = blockOf({make(Mnemonic::IMUL, {R(RAX), R(RAX)})});
+    Prediction p = predictUnrolled(blk);
+    ASSERT_EQ(p.primaryBottleneck, Component::Precedence);
+    double ideal = p.idealized(Component::Precedence);
+    EXPECT_LT(ideal, p.throughput);
+    // Idealizing a non-bottleneck changes nothing.
+    EXPECT_DOUBLE_EQ(p.idealized(Component::Dec), p.throughput);
+}
+
+TEST(Predictor, PortsInterpretabilityPayload)
+{
+    // sqrtpd reads only its source: three of them with distinct
+    // destinations are port-0-bound with no dependence chain.
+    std::vector<Inst> insts = {
+        make(Mnemonic::SQRTPD, {R(XMM0), R(XMM5)}),
+        make(Mnemonic::SQRTPD, {R(XMM1), R(XMM5)}),
+        make(Mnemonic::SQRTPD, {R(XMM2), R(XMM5)}),
+    };
+    Prediction p = predictUnrolled(blockOf(insts));
+    EXPECT_EQ(p.primaryBottleneck, Component::Ports);
+    EXPECT_NE(p.contendedPorts, 0);
+    EXPECT_EQ(p.contendingInsts.size(), 3u);
+}
+
+TEST(Predictor, PrecedenceInterpretabilityPayload)
+{
+    bb::BasicBlock blk = blockOf({make(Mnemonic::IMUL, {R(RAX), R(RAX)})});
+    Prediction p = predictUnrolled(blk);
+    ASSERT_FALSE(p.criticalChain.empty());
+    EXPECT_EQ(p.criticalChain[0], 0);
+}
+
+TEST(Predictor, LoopDominatedByLsdOverIssue)
+{
+    // Paper 4.7: LSD dominates Issue in TPL when the LSD is active.
+    std::vector<Inst> body = {make(Mnemonic::ADD, {R(RAX), R(RBX)}),
+                              make(Mnemonic::ADD, {R(RCX), R(RDX)}),
+                              backEdge()};
+    bb::BasicBlock blk = blockOf(body, UArch::HSW);
+    Prediction p = predictLoop(blk);
+    EXPECT_GE(value(p, Component::LSD), value(p, Component::Issue) - 1e-12);
+}
+
+TEST(Predictor, ComponentNames)
+{
+    EXPECT_EQ(componentName(Component::Predec), "Predec");
+    EXPECT_EQ(componentName(Component::Precedence), "Precedence");
+    EXPECT_EQ(componentName(Component::LSD), "LSD");
+}
+
+} // namespace
+} // namespace facile::model

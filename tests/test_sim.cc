@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Reference-simulator tests: steady-state throughput on blocks with
+ * analytically known behavior, front-end mode selection, and basic
+ * structural properties (determinism, positivity).
+ */
+#include <gtest/gtest.h>
+
+#include "bb/basic_block.h"
+#include "isa/builder.h"
+#include "sim/pipeline.h"
+
+namespace facile::sim {
+namespace {
+
+using namespace facile::isa;
+using facile::uarch::UArch;
+
+bb::BasicBlock
+blockOf(std::vector<Inst> insts, UArch arch = UArch::SKL)
+{
+    return bb::analyze(insts, arch);
+}
+
+std::vector<Inst>
+loopBody(std::vector<Inst> v)
+{
+    v.push_back(make(Mnemonic::DEC, {R(R15)}));
+    v.push_back(backEdge(Cond::NE));
+    return v;
+}
+
+TEST(Sim, DependenceChainLatency)
+{
+    // imul rax, rax: 3 cycles per iteration, exactly.
+    auto blk = blockOf({make(Mnemonic::IMUL, {R(RAX), R(RAX)})});
+    EXPECT_NEAR(measuredThroughput(blk, false), 3.0, 0.01);
+}
+
+TEST(Sim, PortBoundSqrt)
+{
+    // Three port-0-only µops with no loop-carried dependence (sqrtpd
+    // reads only its source): 3 cycles per iteration.
+    std::vector<Inst> insts = {
+        make(Mnemonic::SQRTPD, {R(XMM0), R(XMM5)}),
+        make(Mnemonic::SQRTPD, {R(XMM1), R(XMM5)}),
+        make(Mnemonic::SQRTPD, {R(XMM2), R(XMM5)}),
+    };
+    EXPECT_NEAR(measuredThroughput(blockOf(insts), false), 3.0, 0.05);
+}
+
+TEST(Sim, IssueBoundNops)
+{
+    // 8 NOPs on SKL (issue width 4): 2 cycles per iteration as a loop
+    // fed from the DSB... as unrolled, predecode also allows 2/iter.
+    std::vector<Inst> insts(8, nop(1));
+    EXPECT_NEAR(measuredThroughput(blockOf(insts), false), 2.0, 0.05);
+}
+
+TEST(Sim, LoadLatencyPointerChase)
+{
+    auto blk = blockOf({make(Mnemonic::MOV, {R(RAX), M(mem(RAX))})});
+    EXPECT_NEAR(measuredThroughput(blk, false), 4.0, 0.05);
+    auto icl = blockOf({make(Mnemonic::MOV, {R(RAX), M(mem(RAX))})},
+                       UArch::ICL);
+    EXPECT_NEAR(measuredThroughput(icl, false), 5.0, 0.05);
+}
+
+TEST(Sim, FrontEndModeSelection)
+{
+    // Loop on HSW -> LSD; on SKL -> DSB; unrolled -> legacy decode.
+    auto body = loopBody({make(Mnemonic::ADD, {R(RAX), R(RBX)})});
+    EXPECT_EQ(simulate(blockOf(body, UArch::HSW), true).feMode,
+              SimResult::FeMode::Lsd);
+    EXPECT_EQ(simulate(blockOf(body, UArch::SKL), true).feMode,
+              SimResult::FeMode::Dsb);
+    EXPECT_EQ(simulate(blockOf(body, UArch::SKL), false).feMode,
+              SimResult::FeMode::Legacy);
+}
+
+TEST(Sim, JccErratumForcesLegacyDecode)
+{
+    std::vector<Inst> body = {nop(15), nop(15), backEdge()};
+    auto blk = blockOf(body, UArch::SKL);
+    ASSERT_TRUE(blk.touchesJccErratumBoundary());
+    EXPECT_EQ(simulate(blk, true).feMode, SimResult::FeMode::Legacy);
+    // Ice Lake is not affected.
+    auto icl = blockOf(body, UArch::ICL);
+    EXPECT_EQ(simulate(icl, true).feMode, SimResult::FeMode::Lsd);
+}
+
+TEST(Sim, LsdIterationBoundary)
+{
+    // A 6-µop loop on HSW (issue 4): LSD unrolls by 2 -> 1.5
+    // cycles/iteration in steady state.
+    auto body = loopBody({
+        make(Mnemonic::ADD, {R(RAX), R(RBX)}),
+        make(Mnemonic::ADD, {R(RCX), R(RBX)}),
+        make(Mnemonic::ADD, {R(RDX), R(RBX)}),
+        make(Mnemonic::ADD, {R(RSI), R(RBX)}),
+        make(Mnemonic::ADD, {R(RDI), R(RBX)}),
+    }); // 5 adds + fused dec/jnz = 6 fused µops
+    auto blk = blockOf(body, UArch::HSW);
+    ASSERT_EQ(blk.fusedUops(), 6);
+    EXPECT_NEAR(measuredThroughput(blk, true), 1.5, 0.05);
+}
+
+TEST(Sim, DsbThirtyTwoByteRule)
+{
+    // Small DSB-fed loop on SKL: ceil(n/w) behavior for blocks < 32B.
+    // 7 fused µops (6 adds + fused pair): ceil(7/6) = 2 cycles.
+    auto body = loopBody({
+        make(Mnemonic::ADD, {R(RAX), R(RBX)}),
+        make(Mnemonic::ADD, {R(RCX), R(RBX)}),
+        make(Mnemonic::ADD, {R(RDX), R(RBX)}),
+        make(Mnemonic::ADD, {R(RSI), R(RBX)}),
+        make(Mnemonic::ADD, {R(RDI), R(RBX)}),
+        make(Mnemonic::ADD, {R(R8), R(RBX)}),
+    });
+    auto blk = blockOf(body, UArch::SKL);
+    ASSERT_LT(blk.lengthBytes(), 32);
+    ASSERT_EQ(blk.fusedUops(), 7);
+    EXPECT_NEAR(measuredThroughput(blk, true), 2.0, 0.05);
+}
+
+TEST(Sim, MicrocodedDivIssuesOverMultipleCycles)
+{
+    auto blk = blockOf({make(Mnemonic::DIV, {R(ECX)})});
+    double tp = measuredThroughput(blk, false);
+    // Dependence chain through rax/rdx dominates: ~26 cycles.
+    EXPECT_NEAR(tp, 26.0, 1.0);
+}
+
+TEST(Sim, DeterministicAcrossRuns)
+{
+    std::vector<Inst> insts = {
+        make(Mnemonic::ADD, {R(RAX), M(memIdx(RBX, RCX, 4, 8))}),
+        make(Mnemonic::IMUL, {R(RDX), R(RAX)}),
+        make(Mnemonic::MOV, {M(mem(RSI)), R(RDX)}),
+    };
+    auto blk = blockOf(insts);
+    double a = measuredThroughput(blk, false);
+    double b = measuredThroughput(blk, false);
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_GT(a, 0.0);
+}
+
+TEST(Sim, StoreThroughputLimitedByStoreDataPort)
+{
+    std::vector<Inst> stores = {
+        make(Mnemonic::MOV, {M(mem(RBX, 0)), R(RAX)}),
+        make(Mnemonic::MOV, {M(mem(RBX, 8)), R(RAX)}),
+    };
+    // SKL: one store-data port -> 2 cycles; ICL: two -> ~1 cycle.
+    EXPECT_NEAR(measuredThroughput(blockOf(stores, UArch::SKL), true), 2.0,
+                0.1);
+    EXPECT_NEAR(measuredThroughput(blockOf(stores, UArch::ICL), true), 1.0,
+                0.1);
+}
+
+TEST(Sim, MoveEliminationMakesMovFree)
+{
+    // A chain of movs + add: with elimination the chain collapses to
+    // the add's 1 cycle; without (SNB) each mov adds latency.
+    std::vector<Inst> insts = {
+        make(Mnemonic::MOV, {R(RBX), R(RAX)}),
+        make(Mnemonic::MOV, {R(RCX), R(RBX)}),
+        make(Mnemonic::ADD, {R(RAX), R(RCX)}),
+    };
+    double skl = measuredThroughput(blockOf(insts, UArch::SKL), false);
+    double snb = measuredThroughput(blockOf(insts, UArch::SNB), false);
+    EXPECT_NEAR(skl, 1.0, 0.05);
+    EXPECT_NEAR(snb, 3.0, 0.1);
+}
+
+TEST(Sim, EmptyBlockReturnsZero)
+{
+    bb::BasicBlock blk;
+    blk.arch = UArch::SKL;
+    EXPECT_DOUBLE_EQ(measuredThroughput(blk, false), 0.0);
+}
+
+} // namespace
+} // namespace facile::sim

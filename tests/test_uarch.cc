@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Microarchitecture configuration tests: Table 1 metadata, family
+ * parameter sanity (parameterized over all nine µarches), erratum
+ * flags, move-elimination evolution, and the LSD unroll rule.
+ */
+#include <gtest/gtest.h>
+
+#include "uarch/config.h"
+
+namespace facile::uarch {
+namespace {
+
+class AllArchs : public ::testing::TestWithParam<UArch>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(UArch, AllArchs,
+                         ::testing::ValuesIn(allUArchs()),
+                         [](const auto &info) {
+                             return config(info.param).abbrev;
+                         });
+
+TEST_P(AllArchs, BasicSanity)
+{
+    const MicroArchConfig &c = config(GetParam());
+    EXPECT_GE(c.issueWidth, 4);
+    EXPECT_LE(c.issueWidth, 6);
+    EXPECT_GE(c.nDecoders, 4);
+    EXPECT_EQ(c.predecodeWidth, 5);
+    EXPECT_GE(c.dsbWidth, 4);
+    EXPECT_GE(c.idqWidth, 28);
+    EXPECT_GE(c.loadLatency, 4);
+    EXPECT_GT(c.rsSize, 0);
+    EXPECT_GT(c.robSize, c.rsSize);
+    EXPECT_EQ(c.retireWidth, c.issueWidth);
+    EXPECT_GE(c.nPorts, 6);
+    EXPECT_LE(c.nPorts, 10);
+    EXPECT_GE(c.year, 2011);
+    EXPECT_LE(c.year, 2021);
+}
+
+TEST_P(AllArchs, NewerArchesAreAtLeastAsWide)
+{
+    const MicroArchConfig &c = config(GetParam());
+    const MicroArchConfig &snb = config(UArch::SNB);
+    EXPECT_GE(c.issueWidth, snb.issueWidth);
+    EXPECT_GE(c.idqWidth, snb.idqWidth);
+    EXPECT_GE(c.nPorts, snb.nPorts);
+}
+
+TEST(UArchConfig, TableOneRoster)
+{
+    EXPECT_EQ(allUArchs().size(), 9u);
+    EXPECT_STREQ(config(UArch::RKL).name, "Rocket Lake");
+    EXPECT_STREQ(config(UArch::SNB).name, "Sandy Bridge");
+    EXPECT_EQ(config(UArch::SKL).year, 2015);
+    EXPECT_EQ(config(UArch::CLX).year, 2019);
+}
+
+TEST(UArchConfig, SkylakeErrata)
+{
+    // SKL150: the LSD is disabled on Skylake-family cores; the JCC
+    // erratum mitigation applies there as well.
+    EXPECT_FALSE(config(UArch::SKL).lsdEnabled);
+    EXPECT_FALSE(config(UArch::CLX).lsdEnabled);
+    EXPECT_TRUE(config(UArch::SKL).jccErratum);
+    EXPECT_TRUE(config(UArch::CLX).jccErratum);
+    EXPECT_TRUE(config(UArch::HSW).lsdEnabled);
+    EXPECT_FALSE(config(UArch::HSW).jccErratum);
+    EXPECT_TRUE(config(UArch::ICL).lsdEnabled);
+    EXPECT_FALSE(config(UArch::RKL).jccErratum);
+}
+
+TEST(UArchConfig, MoveEliminationEvolution)
+{
+    EXPECT_FALSE(config(UArch::SNB).gprMovElim); // introduced with IVB
+    EXPECT_TRUE(config(UArch::IVB).gprMovElim);
+    EXPECT_TRUE(config(UArch::SKL).gprMovElim);
+    EXPECT_FALSE(config(UArch::ICL).gprMovElim); // disabled again
+    EXPECT_TRUE(config(UArch::ICL).vecMovElim);
+}
+
+TEST(UArchConfig, MacroFusionOnLastDecoderRestriction)
+{
+    EXPECT_FALSE(config(UArch::SNB).macroFusibleOnLastDecoder);
+    EXPECT_FALSE(config(UArch::IVB).macroFusibleOnLastDecoder);
+    EXPECT_TRUE(config(UArch::HSW).macroFusibleOnLastDecoder);
+}
+
+TEST(UArchConfig, FromAbbrev)
+{
+    EXPECT_EQ(fromAbbrev("SKL"), UArch::SKL);
+    EXPECT_EQ(fromAbbrev("RKL"), UArch::RKL);
+    EXPECT_THROW(fromAbbrev("XYZ"), std::invalid_argument);
+}
+
+TEST(UArchConfig, PortMaskHelpers)
+{
+    EXPECT_EQ(portCount(0b0110011), 4);
+    EXPECT_EQ(portMaskName(0b100011), "p015");
+    EXPECT_EQ(portCount(config(UArch::SKL).allPorts()), 8);
+    EXPECT_EQ(portCount(config(UArch::RKL).allPorts()), 10);
+}
+
+TEST(UArchConfig, LsdUnrollIncreasesStreamRate)
+{
+    const MicroArchConfig &c = config(UArch::HSW); // issue width 4
+    // A 1-µop loop streams 1 µop/cycle un-unrolled; unrolling must give
+    // a multiple of the issue width.
+    int u1 = c.lsdUnrollFactor(1);
+    EXPECT_GE(u1, 4);
+    // n divisible by the issue width needs no unrolling.
+    EXPECT_EQ(c.lsdUnrollFactor(8), 1);
+    // Loops too large to replicate inside the IDQ stay un-unrolled.
+    EXPECT_EQ(c.lsdUnrollFactor(c.idqWidth), 1);
+}
+
+TEST(UArchConfig, LsdUnrollNeverOverflowsIdq)
+{
+    for (UArch a : allUArchs()) {
+        const MicroArchConfig &c = config(a);
+        if (!c.lsdEnabled)
+            continue;
+        for (int n = 1; n <= c.idqWidth; ++n)
+            EXPECT_LE(n * c.lsdUnrollFactor(n), c.idqWidth)
+                << config(a).abbrev << " n=" << n;
+    }
+}
+
+} // namespace
+} // namespace facile::uarch
