@@ -34,12 +34,14 @@ main()
                 "TPL (ms)", "log-scale bar (TPU)");
     bench::printRule();
 
-    double facileU = 0.0;
+    double facileU = 0.0, simU = 0.0;
     for (const auto &p : preds) {
         double u = eval::timePerBenchmarkMs(*p, suite, false);
         double l = eval::timePerBenchmarkMs(*p, suite, true);
         if (p->name() == "Facile")
             facileU = u;
+        if (p->name() == "uiCA-like (ref. sim)")
+            simU = u;
         // Bar: one '#' per factor of ~1.8x above 1 microsecond.
         int bar = static_cast<int>(
             std::max(0.0, std::log(u / 0.001) / std::log(1.8)));
@@ -50,9 +52,20 @@ main()
     }
     bench::printRule();
 
-    double simU = eval::timePerBenchmarkMs(
-        baselines::SimulatorPredictor{}, suite, false);
     std::printf("\nFacile vs reference simulator speedup (TPU): %.0fx\n",
                 simU / facileU);
+
+    // End-to-end serving rate through the batch engine (same harness
+    // code path as bench_throughput). Caches off: with them on, every
+    // timed pass over the identical batch would be a pure cache lookup
+    // and overstate prediction throughput by an order of magnitude.
+    engine::PredictionEngine::Options eopts;
+    eopts.cacheEnabled = false;
+    engine::PredictionEngine eng(eopts);
+    eval::EngineThroughput et =
+        eval::measureEngineThroughput(eng, suite, false);
+    std::printf("Batch engine (%d threads, cache off): %.0f blocks/sec "
+                "end-to-end\n",
+                eng.numThreads(), et.blocksPerSec);
     return 0;
 }

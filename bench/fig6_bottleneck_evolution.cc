@@ -57,7 +57,7 @@ main()
         Component comp = static_cast<Component>(c);
         if (comp == Component::DSB || comp == Component::LSD)
             continue; // not used under TPU
-        std::printf("%-12s", model::componentName(comp).c_str());
+        std::printf("%-12s", model::componentName(comp).data());
         for (std::size_t ai = 0; ai < cls.size(); ++ai) {
             int count = 0;
             for (std::size_t i = 0; i < n; ++i)
@@ -77,14 +77,14 @@ main()
             Component comp = static_cast<Component>(c);
             if (comp == Component::DSB || comp == Component::LSD)
                 continue;
-            std::printf(" %10s", model::componentName(comp).c_str());
+            std::printf(" %10s", model::componentName(comp).data());
         }
         std::printf("\n");
         for (int from = 0; from < kNumC; ++from) {
             Component fc = static_cast<Component>(from);
             if (fc == Component::DSB || fc == Component::LSD)
                 continue;
-            std::printf("%-12s", model::componentName(fc).c_str());
+            std::printf("%-12s", model::componentName(fc).data());
             for (int to = 0; to < kNumC; ++to) {
                 Component tc = static_cast<Component>(to);
                 if (tc == Component::DSB || tc == Component::LSD)

@@ -55,7 +55,7 @@ variants()
         {Component::Precedence, true, true},
     };
     for (const auto &r : onlyRows)
-        v.push_back({"only " + model::componentName(r.c),
+        v.push_back({"only " + std::string(model::componentName(r.c)),
                      ModelConfig::only(r.c), r.u, r.l});
 
     // Combination rows of Table 3.
@@ -77,7 +77,8 @@ variants()
         {Component::Precedence, true, true},
     };
     for (const auto &r : withoutRows)
-        v.push_back({"Facile w/o " + model::componentName(r.c),
+        v.push_back({"Facile w/o " +
+                         std::string(model::componentName(r.c)),
                      ModelConfig::without(r.c), r.u, r.l});
     return v;
 }

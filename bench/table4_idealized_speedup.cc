@@ -25,7 +25,7 @@ main()
     bench::printRule();
     std::printf("%-5s", "");
     for (Component c : cols)
-        std::printf(" %10s", model::componentName(c).c_str());
+        std::printf(" %10s", model::componentName(c).data());
     std::printf("\n");
     bench::printRule();
 

@@ -56,7 +56,7 @@ main()
 
         std::printf("%-14s %8.2f %-12s %s\n", uarch::config(a).name,
                     p.throughput,
-                    model::componentName(p.primaryBottleneck).c_str(),
+                    model::componentName(p.primaryBottleneck).data(),
                     why.c_str());
     }
 
@@ -73,7 +73,7 @@ main()
         double ideal = p.idealized(comp);
         std::printf("  if %-12s were infinitely fast: %.2f cyc/iter "
                     "(%.2fx speedup)\n",
-                    model::componentName(comp).c_str(), ideal,
+                    model::componentName(comp).data(), ideal,
                     ideal > 0 ? p.throughput / ideal : 1.0);
     }
     return 0;

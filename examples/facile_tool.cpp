@@ -132,7 +132,7 @@ main(int argc, char **argv)
             continue;
         std::printf("  %-12s %6.2f%s\n",
                     model::componentName(static_cast<model::Component>(c))
-                        .c_str(),
+                        .data(),
                     v,
                     v >= p.throughput - 1e-9 ? "  <-- bottleneck" : "");
     }

@@ -52,7 +52,7 @@ main()
             std::printf("  %-12s %6.2f%s\n",
                         model::componentName(
                             static_cast<model::Component>(c))
-                            .c_str(),
+                            .data(),
                         v, v >= p.throughput - 1e-9 ? "  <-- bottleneck"
                                                     : "");
         }

@@ -103,6 +103,6 @@ main()
     bb::BasicBlock blk = bb::analyze(bestSeq, uarch::UArch::SKL);
     model::Prediction p = model::predictUnrolled(blk);
     std::printf("Bottleneck: %s\n",
-                model::componentName(p.primaryBottleneck).c_str());
+                model::componentName(p.primaryBottleneck).data());
     return 0;
 }

@@ -61,7 +61,7 @@ main()
 
         std::printf("%-8d %14.2f %16.3f %s\n", unroll, p.throughput,
                     perElement,
-                    model::componentName(p.primaryBottleneck).c_str());
+                    model::componentName(p.primaryBottleneck).data());
 
         if (perElement < bestPerElement - 1e-9) {
             bestPerElement = perElement;

@@ -1,5 +1,7 @@
 #include "bb/basic_block.h"
 
+#include <utility>
+
 #include "isa/encoder.h"
 
 namespace facile::bb {
@@ -42,18 +44,18 @@ BasicBlock::touchesJccErratumBoundary() const
 }
 
 BasicBlock
-analyze(const std::vector<std::uint8_t> &bytes, uarch::UArch arch)
+analyze(std::vector<std::uint8_t> bytes, uarch::UArch arch)
 {
     const uarch::MicroArchConfig &cfg = uarch::config(arch);
 
     BasicBlock blk;
-    blk.bytes = bytes;
+    blk.bytes = std::move(bytes);
     blk.arch = arch;
 
     std::size_t pos = 0;
-    while (pos < bytes.size()) {
+    while (pos < blk.bytes.size()) {
         AnnotatedInst ai;
-        ai.dec = isa::decodeOne(bytes.data(), bytes.size(), pos);
+        ai.dec = isa::decodeOne(blk.bytes.data(), blk.bytes.size(), pos);
         ai.start = static_cast<int>(pos);
         ai.opcodePos = static_cast<int>(pos) + ai.dec.opcodeOffset;
         ai.end = static_cast<int>(pos) + ai.dec.length;

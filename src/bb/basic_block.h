@@ -75,12 +75,12 @@ struct BasicBlock
 
 /**
  * Decode @p bytes and annotate every instruction for @p arch, applying
- * macro-fusion pairing.
+ * macro-fusion pairing. Taken by value and moved into the block, so
+ * callers with an expiring buffer pay no copy.
  *
  * @throws isa::DecodeError on malformed input.
  */
-BasicBlock analyze(const std::vector<std::uint8_t> &bytes,
-                   uarch::UArch arch);
+BasicBlock analyze(std::vector<std::uint8_t> bytes, uarch::UArch arch);
 
 /** Convenience: encode @p insts and analyze the result. */
 BasicBlock analyze(const std::vector<isa::Inst> &insts, uarch::UArch arch);

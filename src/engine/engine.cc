@@ -1,0 +1,256 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "engine/thread_pool.h"
+
+namespace facile::engine {
+
+namespace {
+
+/** Pack the ablation switches into a stable cache-key byte pair. */
+std::uint16_t
+configBits(const model::ModelConfig &c)
+{
+    std::uint16_t b = 0;
+    b |= c.usePredec ? 1u << 0 : 0u;
+    b |= c.useDec ? 1u << 1 : 0u;
+    b |= c.useDsb ? 1u << 2 : 0u;
+    b |= c.useLsd ? 1u << 3 : 0u;
+    b |= c.useIssue ? 1u << 4 : 0u;
+    b |= c.usePorts ? 1u << 5 : 0u;
+    b |= c.usePrecedence ? 1u << 6 : 0u;
+    b |= c.simplePredec ? 1u << 7 : 0u;
+    b |= c.simpleDec ? 1u << 8 : 0u;
+    return b;
+}
+
+/** Analysis-cache key: arch byte + raw block bytes. */
+std::string
+analysisKey(const std::vector<std::uint8_t> &bytes, uarch::UArch arch)
+{
+    std::string key;
+    key.reserve(bytes.size() + 1);
+    key.push_back(static_cast<char>(arch));
+    if (!bytes.empty())
+        key.append(reinterpret_cast<const char *>(bytes.data()),
+                   bytes.size());
+    return key;
+}
+
+/** Prediction-cache key: notion + config bits + analysis key. */
+std::string
+predictionKey(const Request &r)
+{
+    const std::uint16_t cfg = configBits(r.config);
+    std::string key;
+    key.reserve(r.bytes.size() + 4);
+    key.push_back(r.loop ? 1 : 0);
+    key.push_back(static_cast<char>(cfg & 0xff));
+    key.push_back(static_cast<char>(cfg >> 8));
+    key.push_back(static_cast<char>(r.arch));
+    if (!r.bytes.empty())
+        key.append(reinterpret_cast<const char *>(r.bytes.data()),
+                   r.bytes.size());
+    return key;
+}
+
+constexpr std::size_t kShards = 16;
+
+std::size_t
+shardOf(const std::string &key)
+{
+    return std::hash<std::string>{}(key) % kShards;
+}
+
+} // namespace
+
+struct PredictionEngine::Impl
+{
+    Options opts;
+    ThreadPool pool;
+
+    struct AnalysisShard
+    {
+        std::mutex mu;
+        std::unordered_map<std::string,
+                           std::shared_ptr<const bb::BasicBlock>>
+            map;
+    };
+    struct PredictionShard
+    {
+        std::mutex mu;
+        std::unordered_map<std::string, model::Prediction> map;
+    };
+    AnalysisShard analysisShards[kShards];
+    PredictionShard predictionShards[kShards];
+
+    explicit Impl(Options o)
+        : opts(o),
+          pool(o.numThreads > 0
+                   ? o.numThreads
+                   : static_cast<int>(
+                         std::max(1u, std::thread::hardware_concurrency())))
+    {}
+
+    std::shared_ptr<const bb::BasicBlock>
+    analyzeCached(const std::vector<std::uint8_t> &bytes, uarch::UArch arch,
+                  BatchStats *stats)
+    {
+        if (!opts.cacheEnabled) {
+            auto blk = std::make_shared<const bb::BasicBlock>(
+                bb::analyze(bytes, arch));
+            if (stats)
+                ++stats->analyzed;
+            return blk;
+        }
+        std::string key = analysisKey(bytes, arch);
+        AnalysisShard &shard = analysisShards[shardOf(key)];
+        {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            auto it = shard.map.find(key);
+            if (it != shard.map.end()) {
+                if (stats)
+                    ++stats->analysisCacheHits;
+                return it->second;
+            }
+        }
+        // Analyze outside the lock; concurrent misses on the same key
+        // duplicate work once but produce identical blocks.
+        auto blk =
+            std::make_shared<const bb::BasicBlock>(bb::analyze(bytes, arch));
+        if (stats)
+            ++stats->analyzed;
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (shard.map.size() >= opts.maxEntriesPerShard)
+            shard.map.clear(); // epoch eviction
+        auto [it, inserted] = shard.map.emplace(std::move(key), blk);
+        return inserted ? blk : it->second;
+    }
+
+    model::Prediction
+    predictCached(const Request &req, BatchStats *stats)
+    {
+        std::string key;
+        if (opts.cacheEnabled) {
+            key = predictionKey(req);
+            PredictionShard &shard = predictionShards[shardOf(key)];
+            std::lock_guard<std::mutex> lock(shard.mu);
+            auto it = shard.map.find(key);
+            if (it != shard.map.end()) {
+                if (stats)
+                    ++stats->predictionCacheHits;
+                return it->second;
+            }
+        }
+
+        model::Prediction p;
+        try {
+            auto blk = analyzeCached(req.bytes, req.arch, stats);
+            p = model::predict(*blk, req.loop, req.config);
+        } catch (const std::exception &) {
+            p = model::Prediction{}; // malformed block: throughput 0
+        }
+
+        if (opts.cacheEnabled) {
+            PredictionShard &shard = predictionShards[shardOf(key)];
+            std::lock_guard<std::mutex> lock(shard.mu);
+            if (shard.map.size() >= opts.maxEntriesPerShard)
+                shard.map.clear();
+            shard.map.emplace(std::move(key), p);
+        }
+        return p;
+    }
+};
+
+PredictionEngine::PredictionEngine(Options opts)
+    : impl_(std::make_unique<Impl>(opts))
+{}
+
+PredictionEngine::~PredictionEngine() = default;
+
+int
+PredictionEngine::numThreads() const
+{
+    return impl_->pool.size();
+}
+
+std::vector<model::Prediction>
+PredictionEngine::predictBatch(const std::vector<Request> &batch,
+                               BatchStats *stats)
+{
+    std::vector<model::Prediction> out(batch.size());
+    if (batch.empty())
+        return out;
+
+    std::atomic<std::size_t> analysisHits{0}, predictionHits{0},
+        analyzed{0};
+
+    impl_->pool.parallelFor(batch.size(), [&](std::size_t i) {
+        BatchStats local;
+        out[i] = impl_->predictCached(batch[i], stats ? &local : nullptr);
+        if (stats) {
+            analysisHits += local.analysisCacheHits;
+            predictionHits += local.predictionCacheHits;
+            analyzed += local.analyzed;
+        }
+    });
+
+    if (stats) {
+        stats->requests += batch.size();
+        stats->analysisCacheHits += analysisHits;
+        stats->predictionCacheHits += predictionHits;
+        stats->analyzed += analyzed;
+    }
+    return out;
+}
+
+model::Prediction
+PredictionEngine::predictOne(const Request &req, BatchStats *stats)
+{
+    if (stats)
+        ++stats->requests;
+    return impl_->predictCached(req, stats);
+}
+
+std::shared_ptr<const bb::BasicBlock>
+PredictionEngine::analyze(const std::vector<std::uint8_t> &bytes,
+                          uarch::UArch arch, BatchStats *stats)
+{
+    return impl_->analyzeCached(bytes, arch, stats);
+}
+
+void
+PredictionEngine::parallelFor(std::size_t n,
+                              const std::function<void(std::size_t)> &body)
+{
+    impl_->pool.parallelFor(n, body);
+}
+
+void
+PredictionEngine::clearCaches()
+{
+    for (std::size_t s = 0; s < kShards; ++s) {
+        {
+            std::lock_guard<std::mutex> lock(
+                impl_->analysisShards[s].mu);
+            impl_->analysisShards[s].map.clear();
+        }
+        std::lock_guard<std::mutex> lock(impl_->predictionShards[s].mu);
+        impl_->predictionShards[s].map.clear();
+    }
+}
+
+PredictionEngine &
+PredictionEngine::shared()
+{
+    static PredictionEngine engine{Options{}};
+    return engine;
+}
+
+} // namespace facile::engine

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Batched, multi-threaded prediction engine.
+ *
+ * The paper's headline property is that Facile predicts basic-block
+ * throughput orders of magnitude faster than simulators; this subsystem
+ * turns the single-block predictor into a service-shaped batch engine:
+ *
+ *   - a batch of (bytes, arch, loop, config) requests is fanned out
+ *     over a fixed worker pool (uneven block cost load-balances via a
+ *     shared work index);
+ *   - a sharded per-arch analysis cache keyed on the raw block bytes
+ *     lets repeated blocks skip decoding and uop lookup entirely;
+ *   - a second-level prediction cache keyed additionally on the
+ *     throughput notion and the ablation config short-circuits fully
+ *     repeated requests;
+ *   - per-thread PrecedenceScratch buffers (see facile/precedence.h)
+ *     make the dominant analytical component allocation-free in steady
+ *     state.
+ *
+ * Predictions are bit-identical to serial facile::model::predict():
+ * the same deterministic code runs per block, only scheduling and
+ * memoization differ.
+ */
+#ifndef FACILE_ENGINE_ENGINE_H
+#define FACILE_ENGINE_ENGINE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bb/basic_block.h"
+#include "facile/predictor.h"
+
+namespace facile::engine {
+
+class ThreadPool;
+
+/** One prediction request. */
+struct Request
+{
+    std::vector<std::uint8_t> bytes;
+    uarch::UArch arch = uarch::UArch::SKL;
+    bool loop = false;
+    model::ModelConfig config{};
+};
+
+/** Counters for one predictBatch call. */
+struct BatchStats
+{
+    std::size_t requests = 0;
+    std::size_t analysisCacheHits = 0;   ///< decode+annotate skipped
+    std::size_t predictionCacheHits = 0; ///< whole prediction skipped
+    std::size_t analyzed = 0;            ///< blocks decoded this batch
+};
+
+struct EngineOptions
+{
+    /** Worker threads; 0 picks std::thread::hardware_concurrency. */
+    int numThreads = 0;
+
+    /** Master switch for both cache levels. */
+    bool cacheEnabled = true;
+
+    /**
+     * Soft bound on entries per cache shard; a shard that grows past
+     * the bound is dropped wholesale (epoch eviction) so a hostile
+     * request stream cannot exhaust memory.
+     */
+    std::size_t maxEntriesPerShard = 1 << 16;
+};
+
+class PredictionEngine
+{
+  public:
+    using Options = EngineOptions;
+
+    explicit PredictionEngine(Options opts = {});
+    ~PredictionEngine();
+
+    PredictionEngine(const PredictionEngine &) = delete;
+    PredictionEngine &operator=(const PredictionEngine &) = delete;
+
+    int numThreads() const;
+
+    /**
+     * Predict every request of the batch in parallel. out[i] corresponds
+     * to batch[i] and is bit-identical to
+     * model::predict(bb::analyze(batch[i].bytes, batch[i].arch),
+     *                batch[i].loop, batch[i].config).
+     * A malformed block (decode error) yields a default Prediction with
+     * throughput 0, mirroring the eval harness' crash protocol.
+     */
+    std::vector<model::Prediction>
+    predictBatch(const std::vector<Request> &batch,
+                 BatchStats *stats = nullptr);
+
+    /** Single-request convenience; same caches, calling thread only. */
+    model::Prediction predictOne(const Request &req,
+                                 BatchStats *stats = nullptr);
+
+    /**
+     * Analyze a block through the per-arch analysis cache (shared with
+     * predictBatch). The returned block is immutable and shared.
+     */
+    std::shared_ptr<const bb::BasicBlock>
+    analyze(const std::vector<std::uint8_t> &bytes, uarch::UArch arch,
+            BatchStats *stats = nullptr);
+
+    /**
+     * Run body(i) for all i in [0, n) on the worker pool; blocks until
+     * complete. Exposed so the eval harness can drive suite preparation
+     * and predictor sweeps through the same pool.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    void clearCaches();
+
+    /** Process-wide shared engine (hardware-concurrency threads). */
+    static PredictionEngine &shared();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace facile::engine
+
+#endif // FACILE_ENGINE_ENGINE_H

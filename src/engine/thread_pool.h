@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Minimal fixed-size worker pool used by the PredictionEngine.
+ *
+ * Jobs are std::function<void(int)> callables receiving the stable
+ * worker index in [0, size()) of the thread that executes them, so
+ * callers can maintain per-worker state (scratch buffers, counters)
+ * without locks.
+ */
+#ifndef FACILE_ENGINE_THREAD_POOL_H
+#define FACILE_ENGINE_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace facile::engine {
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p n_threads workers (at least one). */
+    explicit ThreadPool(int n_threads)
+    {
+        if (n_threads < 1)
+            n_threads = 1;
+        workers_.reserve(static_cast<std::size_t>(n_threads));
+        for (int i = 0; i < n_threads; ++i)
+            workers_.emplace_back([this, i] { workerLoop(i); });
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (auto &w : workers_)
+            w.join();
+    }
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /** Enqueue a job; it runs on some worker as soon as one is free. */
+    void
+    submit(std::function<void(int)> job)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            jobs_.push(std::move(job));
+        }
+        cv_.notify_one();
+    }
+
+    /**
+     * Run @p body(index) for every index in [0, n) across the pool and
+     * block until all indices completed. Indices are claimed one at a
+     * time from a shared counter, so uneven per-item cost load-balances
+     * automatically. The calling thread only waits; parallelism degree
+     * equals size().
+     *
+     * If @p body throws, remaining indices are abandoned and the first
+     * exception is rethrown on the calling thread (a worker must never
+     * unwind, which would std::terminate the process).
+     */
+    void
+    parallelFor(std::size_t n, const std::function<void(std::size_t)> &body)
+    {
+        if (n == 0)
+            return;
+        // Re-entrant call from one of this pool's own workers: running
+        // the indices inline avoids the deadlock of all workers waiting
+        // on jobs none of them is free to execute.
+        if (currentPool() == this) {
+            for (std::size_t i = 0; i < n; ++i)
+                body(i);
+            return;
+        }
+        struct State
+        {
+            std::mutex mu;
+            std::condition_variable done;
+            std::size_t next = 0;
+            int active = 0;
+            std::exception_ptr error;
+        };
+        auto state = std::make_shared<State>();
+        const int tasks =
+            static_cast<int>(std::min<std::size_t>(workers_.size(), n));
+        state->active = tasks;
+        for (int t = 0; t < tasks; ++t) {
+            submit([state, n, &body](int) {
+                for (;;) {
+                    std::size_t i;
+                    {
+                        std::lock_guard<std::mutex> lock(state->mu);
+                        if (state->next >= n || state->error)
+                            break;
+                        i = state->next++;
+                    }
+                    try {
+                        body(i);
+                    } catch (...) {
+                        std::lock_guard<std::mutex> lock(state->mu);
+                        if (!state->error)
+                            state->error = std::current_exception();
+                        break;
+                    }
+                }
+                std::lock_guard<std::mutex> lock(state->mu);
+                if (--state->active == 0)
+                    state->done.notify_all();
+            });
+        }
+        std::unique_lock<std::mutex> lock(state->mu);
+        state->done.wait(lock, [&] { return state->active == 0; });
+        if (state->error)
+            std::rethrow_exception(state->error);
+    }
+
+  private:
+    /** The pool the current thread is a worker of, if any. */
+    static ThreadPool *&
+    currentPool()
+    {
+        thread_local ThreadPool *pool = nullptr;
+        return pool;
+    }
+
+    void
+    workerLoop(int index)
+    {
+        currentPool() = this;
+        for (;;) {
+            std::function<void(int)> job;
+            {
+                std::unique_lock<std::mutex> lock(mu_);
+                cv_.wait(lock, [&] { return stop_ || !jobs_.empty(); });
+                if (stop_ && jobs_.empty())
+                    return;
+                job = std::move(jobs_.front());
+                jobs_.pop();
+            }
+            job(index);
+        }
+    }
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void(int)>> jobs_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace facile::engine
+
+#endif // FACILE_ENGINE_THREAD_POOL_H

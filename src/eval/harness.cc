@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "sim/pipeline.h"
 #include "support/math_util.h"
@@ -11,21 +12,41 @@
 namespace facile::eval {
 
 ArchSuite
-prepare(uarch::UArch arch, const std::vector<bhive::Benchmark> &benchmarks)
+prepare(uarch::UArch arch, const std::vector<bhive::Benchmark> &benchmarks,
+        engine::PredictionEngine &engine)
 {
     ArchSuite s;
     s.arch = arch;
     s.benchmarks.reserve(benchmarks.size());
-    for (const auto &b : benchmarks) {
+    for (const auto &b : benchmarks)
         s.benchmarks.push_back(&b);
-        s.blocksU.push_back(bb::analyze(b.bytesU, arch));
-        s.blocksL.push_back(bb::analyze(b.bytesL, arch));
-        s.measuredU.push_back(
-            round2(sim::measuredThroughput(s.blocksU.back(), false)));
-        s.measuredL.push_back(
-            round2(sim::measuredThroughput(s.blocksL.back(), true)));
-    }
+    s.blocksU.resize(benchmarks.size());
+    s.blocksL.resize(benchmarks.size());
+    s.measuredU.resize(benchmarks.size());
+    s.measuredL.resize(benchmarks.size());
+
+    // Analysis and cycle-level measurement of each benchmark are
+    // independent; fan out over the engine pool, writing by index so the
+    // suite is identical to a serial pass. Blocks are analyzed directly
+    // (not through the engine's cache): the suite owns its blocks, and
+    // caching them in the process-wide engine would retain a second copy
+    // of every block for the process lifetime.
+    engine.parallelFor(benchmarks.size(), [&](std::size_t i) {
+        const bhive::Benchmark &b = benchmarks[i];
+        s.blocksU[i] = bb::analyze(b.bytesU, arch);
+        s.blocksL[i] = bb::analyze(b.bytesL, arch);
+        s.measuredU[i] =
+            round2(sim::measuredThroughput(s.blocksU[i], false));
+        s.measuredL[i] =
+            round2(sim::measuredThroughput(s.blocksL[i], true));
+    });
     return s;
+}
+
+ArchSuite
+prepare(uarch::UArch arch, const std::vector<bhive::Benchmark> &benchmarks)
+{
+    return prepare(arch, benchmarks, engine::PredictionEngine::shared());
 }
 
 std::vector<double>
@@ -33,17 +54,17 @@ runPredictor(const baselines::ThroughputPredictor &p, const ArchSuite &suite,
              bool loop)
 {
     const auto &blocks = loop ? suite.blocksL : suite.blocksU;
-    std::vector<double> out;
-    out.reserve(blocks.size());
-    for (const auto &blk : blocks) {
-        double tp = 0.0;
-        try {
-            tp = p.predict(blk, loop);
-        } catch (const std::exception &) {
-            tp = 0.0; // crash -> throughput 0, as in the paper's protocol
-        }
-        out.push_back(round2(tp));
-    }
+    std::vector<double> out(blocks.size());
+    engine::PredictionEngine::shared().parallelFor(
+        blocks.size(), [&](std::size_t i) {
+            double tp = 0.0;
+            try {
+                tp = p.predict(blocks[i], loop);
+            } catch (const std::exception &) {
+                tp = 0.0; // crash -> throughput 0, per the paper's protocol
+            }
+            out[i] = round2(tp);
+        });
     return out;
 }
 
@@ -66,6 +87,23 @@ evaluate(const baselines::ThroughputPredictor &p, const ArchSuite &suite,
 }
 
 double
+bestOfRunsMs(const std::function<void()> &fn, int repeats, bool warmup)
+{
+    if (warmup)
+        fn();
+    double bestMs = std::numeric_limits<double>::infinity();
+    for (int run = 0; run < repeats; ++run) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        bestMs = std::min(
+            bestMs,
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    return bestMs;
+}
+
+double
 timePerBenchmarkMs(const baselines::ThroughputPredictor &p,
                    const ArchSuite &suite, bool loop)
 {
@@ -73,13 +111,36 @@ timePerBenchmarkMs(const baselines::ThroughputPredictor &p,
     if (blocks.empty())
         return 0.0;
     volatile double sink = 0.0;
-    auto t0 = std::chrono::steady_clock::now();
-    for (const auto &blk : blocks)
-        sink += p.predict(blk, loop);
-    auto t1 = std::chrono::steady_clock::now();
+    double bestMs = bestOfRunsMs([&] {
+        for (const auto &blk : blocks)
+            sink = sink + p.predict(blk, loop);
+    });
     (void)sink;
-    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-    return ms / static_cast<double>(blocks.size());
+    return bestMs / static_cast<double>(blocks.size());
+}
+
+EngineThroughput
+measureEngineThroughput(engine::PredictionEngine &engine,
+                        const ArchSuite &suite, bool loop, int repeats)
+{
+    EngineThroughput r;
+    std::vector<engine::Request> batch;
+    batch.reserve(suite.benchmarks.size());
+    for (const auto *b : suite.benchmarks)
+        batch.push_back(
+            {loop ? b->bytesL : b->bytesU, suite.arch, loop, {}});
+    r.blocks = batch.size();
+    if (batch.empty() || repeats < 1)
+        return r;
+
+    // Explicit warm-up so cold cache fills stay out of r.stats.
+    engine.predictBatch(batch);
+    double bestMs = bestOfRunsMs(
+        [&] { engine.predictBatch(batch, &r.stats); }, repeats,
+        /*warmup=*/false);
+    r.msPerBlock = bestMs / static_cast<double>(batch.size());
+    r.blocksPerSec = 1000.0 * static_cast<double>(batch.size()) / bestMs;
+    return r;
 }
 
 std::vector<std::vector<int>>

@@ -5,15 +5,21 @@
  * scores predictors (MAPE, Kendall's tau), measures per-benchmark
  * execution times, and provides the aggregation helpers behind every
  * table and figure of the paper.
+ *
+ * Suite preparation and predictor sweeps run through the shared
+ * PredictionEngine worker pool, so the paper harness and the batch
+ * serving path exercise the same code.
  */
 #ifndef FACILE_EVAL_HARNESS_H
 #define FACILE_EVAL_HARNESS_H
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "baselines/predictor_iface.h"
 #include "bhive/generator.h"
+#include "engine/engine.h"
 
 namespace facile::eval {
 
@@ -32,7 +38,13 @@ struct ArchSuite
  * Analyze and measure the given benchmarks on @p arch. The measurement
  * pass (cycle-level simulation of every block in both variants) is the
  * expensive part; prepare once and evaluate many predictors against it.
+ * Analysis and simulation fan out over @p engine's worker pool.
  */
+ArchSuite prepare(uarch::UArch arch,
+                  const std::vector<bhive::Benchmark> &benchmarks,
+                  engine::PredictionEngine &engine);
+
+/** As above, on the process-wide shared engine. */
 ArchSuite prepare(uarch::UArch arch,
                   const std::vector<bhive::Benchmark> &benchmarks);
 
@@ -43,7 +55,11 @@ struct Accuracy
     double kendall = 0.0; ///< Kendall's tau-b rank correlation
 };
 
-/** Predictions of one predictor over a suite (rounded to 2 decimals). */
+/**
+ * Predictions of one predictor over a suite (rounded to 2 decimals).
+ * Blocks are predicted in parallel on the shared engine pool; out[i]
+ * always corresponds to suite block i, identical to a serial pass.
+ */
 std::vector<double> runPredictor(const baselines::ThroughputPredictor &p,
                                  const ArchSuite &suite, bool loop);
 
@@ -55,9 +71,41 @@ Accuracy score(const std::vector<double> &measured,
 Accuracy evaluate(const baselines::ThroughputPredictor &p,
                   const ArchSuite &suite, bool loop);
 
-/** Wall-clock time per benchmark in milliseconds (one sequential pass). */
+/**
+ * The timing protocol shared by every perf number in the repo: one
+ * untimed warm-up call of @p fn (unless @p warmup is false), then the
+ * minimum wall time over @p repeats timed calls, in milliseconds. The
+ * minimum estimates the undisturbed cost and de-jitters the numbers.
+ */
+double bestOfRunsMs(const std::function<void()> &fn, int repeats = 3,
+                    bool warmup = true);
+
+/**
+ * Wall-clock time per benchmark in milliseconds, under the
+ * bestOfRunsMs protocol (warm-up + min of three sequential passes).
+ */
 double timePerBenchmarkMs(const baselines::ThroughputPredictor &p,
                           const ArchSuite &suite, bool loop);
+
+/** End-to-end engine throughput over a prepared suite. */
+struct EngineThroughput
+{
+    double blocksPerSec = 0.0; ///< best of the timed repeats
+    double msPerBlock = 0.0;
+    std::size_t blocks = 0;
+    engine::BatchStats stats; ///< accumulated over the timed repeats
+                              ///< (the warm-up batch is excluded)
+};
+
+/**
+ * Measure end-to-end batch throughput (bytes in, predictions out) of
+ * @p engine over the suite's benchmarks: one warm-up batch, then the
+ * best of @p repeats timed batches. Set cacheEnabled=false on the
+ * engine to measure pure compute scaling.
+ */
+EngineThroughput measureEngineThroughput(engine::PredictionEngine &engine,
+                                         const ArchSuite &suite, bool loop,
+                                         int repeats = 3);
 
 /**
  * 2-D histogram relating measured and predicted throughput (Figure 3).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <numeric>
 
 #include "isa/semantics.h"
 #include "uarch/config.h"
@@ -11,128 +12,88 @@ namespace facile::model {
 
 namespace {
 
+/** Thread-local scratch backing the scratch-less public entry points. */
+PrecedenceScratch &
+tlsScratch()
+{
+    thread_local PrecedenceScratch s;
+    return s;
+}
+
 /**
  * Detect a cycle of strictly positive total weight under the modified
  * weights w(e) = weight(e) - lambda * count(e), using Bellman-Ford in
- * the max-plus semiring. Returns the node indices of one such cycle,
- * or an empty vector if none exists.
+ * the max-plus semiring. On success the node indices of one such cycle
+ * are left in s.cycle; on failure s.cycle is empty.
  */
-std::vector<int>
-positiveCycle(int n, const std::vector<RatioEdge> &edges, double lambda)
+bool
+positiveCycle(int n, const std::vector<RatioEdge> &edges, double lambda,
+              PrecedenceScratch &s)
 {
-    std::vector<double> dist(n, 0.0);
-    std::vector<int> pred(n, -1);
+    s.cycle.clear();
+    if (n == 0)
+        return false;
+    s.dist.assign(static_cast<std::size_t>(n), 0.0);
+    s.pred.assign(static_cast<std::size_t>(n), -1);
     int updatedNode = -1;
     for (int round = 0; round < n; ++round) {
         updatedNode = -1;
         for (const auto &e : edges) {
             double w = e.weight - lambda * e.count;
-            if (dist[e.from] + w > dist[e.to] + 1e-12) {
-                dist[e.to] = dist[e.from] + w;
-                pred[e.to] = e.from;
+            if (s.dist[e.from] + w > s.dist[e.to] + 1e-12) {
+                s.dist[e.to] = s.dist[e.from] + w;
+                s.pred[e.to] = e.from;
                 updatedNode = e.to;
             }
         }
         if (updatedNode < 0)
-            return {};
+            return false;
     }
     // A node updated in round n lies on or is reachable from a positive
     // cycle; walk back n steps to land inside the cycle, then collect it.
     int v = updatedNode;
     for (int i = 0; i < n; ++i)
-        v = pred[v];
-    std::vector<int> cycle;
+        v = s.pred[v];
     int start = v;
     do {
-        cycle.push_back(v);
-        v = pred[v];
-    } while (v != start && static_cast<int>(cycle.size()) <= n);
-    std::reverse(cycle.begin(), cycle.end());
-    return cycle;
+        s.cycle.push_back(v);
+        v = s.pred[v];
+    } while (v != start && static_cast<int>(s.cycle.size()) <= n);
+    std::reverse(s.cycle.begin(), s.cycle.end());
+    return true;
 }
 
 /**
- * Kosaraju strongly-connected components; returns component id per node
- * (ids are arbitrary but equal within a component).
+ * Binary-search cycle-ratio maximization on one (small) subgraph.
+ * @p seed is a lower bound known from previously solved subgraphs: the
+ * search starts there, and a subgraph without a cycle beating the seed
+ * is rejected by the very first Bellman-Ford probe. @p seedFeasible
+ * declares that the caller already probed a cycle beating the seed,
+ * skipping the redundant feasibility pass.
  */
-std::vector<int>
-sccIds(int n, const std::vector<RatioEdge> &edges)
-{
-    std::vector<std::vector<int>> fwd(n), rev(n);
-    for (const auto &e : edges) {
-        fwd[e.from].push_back(e.to);
-        rev[e.to].push_back(e.from);
-    }
-
-    // First pass: finish order on the forward graph (iterative DFS).
-    std::vector<int> order;
-    order.reserve(n);
-    std::vector<char> seen(n, 0);
-    std::vector<std::pair<int, std::size_t>> stack;
-    for (int s = 0; s < n; ++s) {
-        if (seen[s])
-            continue;
-        stack.emplace_back(s, 0);
-        seen[s] = 1;
-        while (!stack.empty()) {
-            auto &[v, i] = stack.back();
-            if (i < fwd[v].size()) {
-                int w = fwd[v][i++];
-                if (!seen[w]) {
-                    seen[w] = 1;
-                    stack.emplace_back(w, 0);
-                }
-            } else {
-                order.push_back(v);
-                stack.pop_back();
-            }
-        }
-    }
-
-    // Second pass: components on the reverse graph.
-    std::vector<int> comp(n, -1);
-    int nComp = 0;
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
-        if (comp[*it] >= 0)
-            continue;
-        std::vector<int> work = {*it};
-        comp[*it] = nComp;
-        while (!work.empty()) {
-            int v = work.back();
-            work.pop_back();
-            for (int w : rev[v]) {
-                if (comp[w] < 0) {
-                    comp[w] = nComp;
-                    work.push_back(w);
-                }
-            }
-        }
-        ++nComp;
-    }
-    return comp;
-}
-
-/** Binary-search cycle-ratio maximization on one (small) subgraph. */
 CycleRatioResult
-maxCycleRatioDense(int n_nodes, const std::vector<RatioEdge> &edges)
+maxCycleRatioDense(int n_nodes, const std::vector<RatioEdge> &edges,
+                   double seed, bool seedFeasible, PrecedenceScratch &s)
 {
     CycleRatioResult result;
 
-    double lo = 0.0, hi = 0.0;
+    double lo = std::max(0.0, seed), hi = 0.0;
     for (const auto &e : edges)
         hi += std::max(0.0, e.weight);
     if (hi == 0.0)
         hi = 1.0;
 
-    // Is there a cycle at all? Probe with lambda slightly below zero so
-    // zero-weight cycles register as positive.
-    if (positiveCycle(n_nodes, edges, -1e-6).empty())
+    // Is there a cycle that beats the seed at all? With no seed, probe
+    // with lambda slightly below zero so zero-weight cycles register as
+    // positive.
+    if (!seedFeasible &&
+        !positiveCycle(n_nodes, edges, lo > 0.0 ? lo : -1e-6, s))
         return result;
 
     // Binary search for the largest lambda admitting a positive cycle.
     for (int it = 0; it < 64 && hi - lo > 1e-10 * (1.0 + hi); ++it) {
         double mid = 0.5 * (lo + hi);
-        if (!positiveCycle(n_nodes, edges, mid).empty())
+        if (positiveCycle(n_nodes, edges, mid, s))
             lo = mid;
         else
             hi = mid;
@@ -143,8 +104,92 @@ maxCycleRatioDense(int n_nodes, const std::vector<RatioEdge> &edges)
 
     // Extract a critical cycle just below the optimum.
     double probe = result.ratio - std::max(1e-7, result.ratio * 1e-6);
-    result.cycleNodes = positiveCycle(n_nodes, edges, probe);
+    positiveCycle(n_nodes, edges, probe, s);
+    result.cycleNodes = s.cycle;
     return result;
+}
+
+/**
+ * Kosaraju strongly-connected components; fills s.comp with a component
+ * id per node (ids are arbitrary but equal within a component).
+ */
+void
+sccIds(int n, const std::vector<RatioEdge> &edges, PrecedenceScratch &s)
+{
+    const int m = static_cast<int>(edges.size());
+
+    // CSR adjacency for the forward and reverse graphs (stable counting
+    // sort, so neighbor order matches edge order).
+    s.fwdStart.assign(static_cast<std::size_t>(n) + 1, 0);
+    s.revStart.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (const auto &e : edges) {
+        ++s.fwdStart[e.from + 1];
+        ++s.revStart[e.to + 1];
+    }
+    std::partial_sum(s.fwdStart.begin(), s.fwdStart.end(),
+                     s.fwdStart.begin());
+    std::partial_sum(s.revStart.begin(), s.revStart.end(),
+                     s.revStart.begin());
+    s.fwdAdj.resize(static_cast<std::size_t>(m));
+    s.revAdj.resize(static_cast<std::size_t>(m));
+    s.howPos.assign(s.fwdStart.begin(), s.fwdStart.end() - 1);
+    for (const auto &e : edges)
+        s.fwdAdj[s.howPos[e.from]++] = e.to;
+    s.howPos.assign(s.revStart.begin(), s.revStart.end() - 1);
+    for (const auto &e : edges)
+        s.revAdj[s.howPos[e.to]++] = e.from;
+
+    // First pass: finish order on the forward graph (iterative DFS).
+    s.order.clear();
+    s.seen.assign(static_cast<std::size_t>(n), 0);
+    s.stackNode.clear();
+    s.stackIter.clear();
+    for (int root = 0; root < n; ++root) {
+        if (s.seen[root])
+            continue;
+        s.stackNode.push_back(root);
+        s.stackIter.push_back(s.fwdStart[root]);
+        s.seen[root] = 1;
+        while (!s.stackNode.empty()) {
+            int v = s.stackNode.back();
+            int &i = s.stackIter.back();
+            if (i < s.fwdStart[v + 1]) {
+                int w = s.fwdAdj[i++];
+                if (!s.seen[w]) {
+                    s.seen[w] = 1;
+                    s.stackNode.push_back(w);
+                    s.stackIter.push_back(s.fwdStart[w]);
+                }
+            } else {
+                s.order.push_back(v);
+                s.stackNode.pop_back();
+                s.stackIter.pop_back();
+            }
+        }
+    }
+
+    // Second pass: components on the reverse graph.
+    s.comp.assign(static_cast<std::size_t>(n), -1);
+    int nComp = 0;
+    for (auto it = s.order.rbegin(); it != s.order.rend(); ++it) {
+        if (s.comp[*it] >= 0)
+            continue;
+        s.stackNode.clear();
+        s.stackNode.push_back(*it);
+        s.comp[*it] = nComp;
+        while (!s.stackNode.empty()) {
+            int v = s.stackNode.back();
+            s.stackNode.pop_back();
+            for (int i = s.revStart[v]; i < s.revStart[v + 1]; ++i) {
+                int w = s.revAdj[i];
+                if (s.comp[w] < 0) {
+                    s.comp[w] = nComp;
+                    s.stackNode.push_back(w);
+                }
+            }
+        }
+        ++nComp;
+    }
 }
 
 /**
@@ -158,60 +203,68 @@ maxCycleRatioDense(int n_nodes, const std::vector<RatioEdge> &edges)
  * graphs, but cheap insurance).
  */
 CycleRatioResult
-howardDense(int n, const std::vector<RatioEdge> &edges)
+howardDense(int n, const std::vector<RatioEdge> &edges, double seed,
+            bool seedFeasible, PrecedenceScratch &s)
 {
     CycleRatioResult result;
-    std::vector<std::vector<int>> adj(n); // edge indices
-    for (std::size_t e = 0; e < edges.size(); ++e)
-        adj[edges[e].from].push_back(static_cast<int>(e));
+
+    // CSR adjacency of edge indices grouped by source node.
+    s.howStart.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (const auto &e : edges)
+        ++s.howStart[e.from + 1];
+    std::partial_sum(s.howStart.begin(), s.howStart.end(),
+                     s.howStart.begin());
     for (int v = 0; v < n; ++v)
-        if (adj[v].empty())
+        if (s.howStart[v + 1] == s.howStart[v])
             return result; // not strongly connected: caller filtered SCCs
+    s.howEdge.resize(edges.size());
+    s.howPos.assign(s.howStart.begin(), s.howStart.end() - 1);
+    for (std::size_t e = 0; e < edges.size(); ++e)
+        s.howEdge[s.howPos[edges[e].from]++] = static_cast<int>(e);
 
-    std::vector<int> policy(n); // chosen edge index per node
+    s.howPolicy.resize(static_cast<std::size_t>(n));
     for (int v = 0; v < n; ++v)
-        policy[v] = adj[v][0];
+        s.howPolicy[v] = s.howEdge[s.howStart[v]];
 
-    std::vector<double> d(n, 0.0);
-    std::vector<int> mark(n, -1);
-    std::vector<int> bestCycle;
+    s.howD.assign(static_cast<std::size_t>(n), 0.0);
+    s.howMark.resize(static_cast<std::size_t>(n));
+    s.howAnchor.resize(static_cast<std::size_t>(n));
+    s.howSolved.resize(static_cast<std::size_t>(n));
 
     const int maxRounds = 4 * n + 16;
     for (int round = 0; round < maxRounds; ++round) {
         // --- evaluate: find the cycles of the policy graph ----------------
         double r = -1.0;
-        bestCycle.clear();
-        std::fill(mark.begin(), mark.end(), -1);
-        std::vector<int> cycleAnchor(n, -1); // anchor node of v's cycle
-        for (int s = 0; s < n; ++s) {
-            if (mark[s] >= 0)
+        s.howBestCycle.clear();
+        std::fill(s.howMark.begin(), s.howMark.end(), -1);
+        std::fill(s.howAnchor.begin(), s.howAnchor.end(), -1);
+        for (int start = 0; start < n; ++start) {
+            if (s.howMark[start] >= 0)
                 continue;
             // Walk the policy path until we hit something visited.
-            std::vector<int> path;
-            int v = s;
-            while (mark[v] < 0) {
-                mark[v] = s;
-                path.push_back(v);
-                v = edges[policy[v]].to;
+            int v = start;
+            while (s.howMark[v] < 0) {
+                s.howMark[v] = start;
+                v = edges[s.howPolicy[v]].to;
             }
-            if (mark[v] == s && cycleAnchor[v] < 0) {
+            if (s.howMark[v] == start && s.howAnchor[v] < 0) {
                 // Found a new cycle; extract it.
-                std::vector<int> cycle;
+                s.howCycle.clear();
                 double w = 0.0;
                 int t = 0;
                 int u = v;
                 do {
-                    cycle.push_back(u);
-                    w += edges[policy[u]].weight;
-                    t += edges[policy[u]].count;
-                    u = edges[policy[u]].to;
+                    s.howCycle.push_back(u);
+                    w += edges[s.howPolicy[u]].weight;
+                    t += edges[s.howPolicy[u]].count;
+                    u = edges[s.howPolicy[u]].to;
                 } while (u != v);
                 double ratio = t > 0 ? w / t : 0.0;
-                for (int c : cycle)
-                    cycleAnchor[c] = v;
+                for (int c : s.howCycle)
+                    s.howAnchor[c] = v;
                 if (ratio > r) {
                     r = ratio;
-                    bestCycle = cycle;
+                    s.howBestCycle = s.howCycle;
                 }
             }
         }
@@ -222,56 +275,65 @@ howardDense(int n, const std::vector<RatioEdge> &edges)
         // d is consistent along policy edges: d[u] = w - r*t + d[succ].
         // Solve by walking each node's policy path to its cycle; anchor
         // nodes get d = 0 (per-cycle drift is absorbed by improvement).
-        std::vector<char> solved(n, 0);
+        std::fill(s.howSolved.begin(), s.howSolved.end(), 0);
         for (int v = 0; v < n; ++v) {
-            if (cycleAnchor[v] == v) {
-                d[v] = 0.0;
-                solved[v] = 1;
+            if (s.howAnchor[v] == v) {
+                s.howD[v] = 0.0;
+                s.howSolved[v] = 1;
             }
         }
-        for (int s = 0; s < n; ++s) {
-            if (solved[s])
+        for (int start = 0; start < n; ++start) {
+            if (s.howSolved[start])
                 continue;
-            std::vector<int> path;
-            int v = s;
-            while (!solved[v]) {
-                path.push_back(v);
-                v = edges[policy[v]].to;
+            s.howPath.clear();
+            int v = start;
+            while (!s.howSolved[v]) {
+                s.howPath.push_back(v);
+                v = edges[s.howPolicy[v]].to;
             }
-            for (auto it = path.rbegin(); it != path.rend(); ++it) {
-                const RatioEdge &e = edges[policy[*it]];
-                d[*it] = e.weight - r * e.count + d[e.to];
-                solved[*it] = 1;
+            for (auto it = s.howPath.rbegin(); it != s.howPath.rend();
+                 ++it) {
+                const RatioEdge &e = edges[s.howPolicy[*it]];
+                s.howD[*it] = e.weight - r * e.count + s.howD[e.to];
+                s.howSolved[*it] = 1;
             }
         }
 
-        // --- improvement ------------------------------------------------------
+        // --- improvement --------------------------------------------------
         bool improved = false;
         for (int v = 0; v < n; ++v) {
-            for (int ei : adj[v]) {
-                const RatioEdge &e = edges[ei];
-                double cand = e.weight - r * e.count + d[e.to];
-                if (cand > d[v] + 1e-9) {
-                    d[v] = cand;
-                    policy[v] = ei;
+            for (int i = s.howStart[v]; i < s.howStart[v + 1]; ++i) {
+                const RatioEdge &e = edges[s.howEdge[i]];
+                double cand = e.weight - r * e.count + s.howD[e.to];
+                if (cand > s.howD[v] + 1e-9) {
+                    s.howD[v] = cand;
+                    s.howPolicy[v] = s.howEdge[i];
                     improved = true;
                 }
             }
         }
         if (!improved) {
             result.ratio = std::max(0.0, r);
-            result.cycleNodes = bestCycle;
+            result.cycleNodes = s.howBestCycle;
             return result;
         }
     }
     // Fallback: the guard fired; use the exhaustive engine.
-    return maxCycleRatioDense(n, edges);
+    return maxCycleRatioDense(n, edges, seed, seedFeasible, s);
 }
 
-/** Solve per SCC with the given dense engine; take the maximum. */
+/**
+ * Solve per SCC with the given dense engine; take the maximum.
+ *
+ * Components are solved in discovery order; the best ratio found so far
+ * seeds the next component's search, and a single Bellman-Ford probe
+ * rejects components that cannot beat it — the common case once the
+ * critical component has been seen.
+ */
 template <typename Engine>
 CycleRatioResult
-perScc(int n_nodes, const std::vector<RatioEdge> &edges, Engine engine)
+perScc(int n_nodes, const std::vector<RatioEdge> &edges, Engine engine,
+       PrecedenceScratch &s)
 {
     CycleRatioResult result;
     if (n_nodes == 0 || edges.empty())
@@ -280,42 +342,75 @@ perScc(int n_nodes, const std::vector<RatioEdge> &edges, Engine engine)
     // Cycles live entirely within strongly connected components; solve
     // each component separately (they are typically tiny) and take the
     // maximum. Self-loops are components of size one with an edge.
-    std::vector<int> comp = sccIds(n_nodes, edges);
-    int nComp = *std::max_element(comp.begin(), comp.end()) + 1;
+    sccIds(n_nodes, edges, s);
+    const int nComp =
+        *std::max_element(s.comp.begin(), s.comp.end()) + 1;
 
-    std::vector<std::vector<RatioEdge>> compEdges(nComp);
+    // Group intra-component edge indices by component (counting sort).
+    s.compStart.assign(static_cast<std::size_t>(nComp) + 1, 0);
     for (const auto &e : edges)
-        if (comp[e.from] == comp[e.to])
-            compEdges[comp[e.from]].push_back(e);
+        if (s.comp[e.from] == s.comp[e.to])
+            ++s.compStart[s.comp[e.from] + 1];
+    std::partial_sum(s.compStart.begin(), s.compStart.end(),
+                     s.compStart.begin());
+    s.compEdgeIdx.resize(static_cast<std::size_t>(s.compStart.back()));
+    s.howPos.assign(s.compStart.begin(), s.compStart.end() - 1);
+    for (std::size_t e = 0; e < edges.size(); ++e)
+        if (s.comp[edges[e].from] == s.comp[edges[e].to])
+            s.compEdgeIdx[s.howPos[s.comp[edges[e].from]]++] =
+                static_cast<int>(e);
 
+    s.localId.assign(static_cast<std::size_t>(n_nodes), -1);
     for (int c = 0; c < nComp; ++c) {
-        if (compEdges[c].empty())
+        if (s.compStart[c] == s.compStart[c + 1])
             continue;
         // Renumber nodes of this component densely.
-        std::vector<int> localId(n_nodes, -1), globalId;
-        std::vector<RatioEdge> local;
-        local.reserve(compEdges[c].size());
-        for (const auto &e : compEdges[c]) {
+        s.globalId.clear();
+        s.localEdges.clear();
+        for (int i = s.compStart[c]; i < s.compStart[c + 1]; ++i) {
+            const RatioEdge &e = edges[s.compEdgeIdx[i]];
             for (int v : {e.from, e.to}) {
-                if (localId[v] < 0) {
-                    localId[v] = static_cast<int>(globalId.size());
-                    globalId.push_back(v);
+                if (s.localId[v] < 0) {
+                    s.localId[v] = static_cast<int>(s.globalId.size());
+                    s.globalId.push_back(v);
                 }
             }
-            local.push_back({localId[e.from], localId[e.to], e.weight,
-                             e.count});
+            s.localEdges.push_back({s.localId[e.from], s.localId[e.to],
+                                    e.weight, e.count});
         }
-        CycleRatioResult sub =
-            engine(static_cast<int>(globalId.size()), local);
-        if (sub.ratio > result.ratio ||
-            (result.cycleNodes.empty() && !sub.cycleNodes.empty())) {
-            result.ratio = std::max(result.ratio, sub.ratio);
-            result.cycleNodes.clear();
-            for (int v : sub.cycleNodes)
-                result.cycleNodes.push_back(globalId[v]);
+        const int localN = static_cast<int>(s.globalId.size());
+
+        // Early exit: can this component beat the best ratio so far?
+        // (With no positive ratio yet the probe is left to the engine,
+        // which handles the zero-weight-cycle case itself.)
+        const bool probed = result.ratio > 0.0;
+        const bool worthSolving =
+            !probed || positiveCycle(localN, s.localEdges, result.ratio, s);
+        if (worthSolving) {
+            CycleRatioResult sub =
+                engine(localN, s.localEdges, result.ratio, probed, s);
+            if (sub.ratio > result.ratio ||
+                (result.cycleNodes.empty() && !sub.cycleNodes.empty())) {
+                result.ratio = std::max(result.ratio, sub.ratio);
+                result.cycleNodes.clear();
+                for (int v : sub.cycleNodes)
+                    result.cycleNodes.push_back(s.globalId[v]);
+            }
         }
+
+        for (int v : s.globalId)
+            s.localId[v] = -1;
     }
     return result;
+}
+
+CycleRatioResult
+maxCycleRatioImpl(int n_nodes, const std::vector<RatioEdge> &edges,
+                  PrecedenceScratch &s)
+{
+    // Howard's algorithm is the paper's engine of choice [16, 18] and is
+    // the fastest in practice; it carries its own exhaustive fallback.
+    return perScc(n_nodes, edges, howardDense, s);
 }
 
 } // namespace
@@ -323,56 +418,58 @@ perScc(int n_nodes, const std::vector<RatioEdge> &edges, Engine engine)
 CycleRatioResult
 maxCycleRatioHoward(int n_nodes, const std::vector<RatioEdge> &edges)
 {
-    return perScc(n_nodes, edges, howardDense);
+    return perScc(n_nodes, edges, howardDense, tlsScratch());
 }
 
 CycleRatioResult
 maxCycleRatioLawler(int n_nodes, const std::vector<RatioEdge> &edges)
 {
-    return perScc(n_nodes, edges, maxCycleRatioDense);
+    return perScc(n_nodes, edges, maxCycleRatioDense, tlsScratch());
 }
 
 CycleRatioResult
 maxCycleRatio(int n_nodes, const std::vector<RatioEdge> &edges)
 {
-    // Howard's algorithm is the paper's engine of choice [16, 18] and is
-    // the fastest in practice; it carries its own exhaustive fallback.
-    return maxCycleRatioHoward(n_nodes, edges);
+    return maxCycleRatioImpl(n_nodes, edges, tlsScratch());
 }
 
 PrecedenceResult
 precedence(const bb::BasicBlock &blk)
 {
+    return precedence(blk, tlsScratch());
+}
+
+PrecedenceResult
+precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
+{
     const uarch::MicroArchConfig &cfg = uarch::config(blk.arch);
 
-    // One node per (instruction, written value).
-    struct WriteNode
-    {
-        int instIdx;
-        int value;
-    };
-    std::vector<WriteNode> nodes;
-    std::vector<isa::RwSets> rw(blk.insts.size());
+    // One node per (instruction, written value): nodeInst/nodeValue.
+    s.nodeInst.clear();
+    s.nodeValue.clear();
+    s.edges.clear();
+    if (s.rw.size() < blk.insts.size())
+        s.rw.resize(blk.insts.size());
 
     std::array<int, isa::kNumValues> lastWriterEnd;
     lastWriterEnd.fill(-1);
 
     for (std::size_t i = 0; i < blk.insts.size(); ++i) {
-        rw[i] = isa::instRw(blk.insts[i].dec.inst);
-        for (int v : rw[i].writes) {
-            lastWriterEnd[v] = static_cast<int>(nodes.size());
-            nodes.push_back({static_cast<int>(i), v});
+        isa::instRw(blk.insts[i].dec.inst, s.rw[i]);
+        for (int v : s.rw[i].writes) {
+            lastWriterEnd[v] = static_cast<int>(s.nodeInst.size());
+            s.nodeInst.push_back(static_cast<int>(i));
+            s.nodeValue.push_back(v);
         }
     }
 
-    std::vector<RatioEdge> edges;
     std::array<int, isa::kNumValues> lastWriter;
     lastWriter.fill(-1);
 
     int nodeCursor = 0;
     for (std::size_t i = 0; i < blk.insts.size(); ++i) {
         const auto &ai = blk.insts[i];
-        const auto &sets = rw[i];
+        const auto &sets = s.rw[i];
         const int firstWriteNode = nodeCursor;
         const int nWrites = static_cast<int>(sets.writes.size());
 
@@ -409,27 +506,27 @@ precedence(const bb::BasicBlock &blk)
                     // The stack engine updates rsp outside the execution
                     // core; rsp results of stack ops are available
                     // immediately.
-                    if (stackOp && nodes[firstWriteNode + w].value == 4)
+                    if (stackOp && s.nodeValue[firstWriteNode + w] == 4)
                         edgeLat = 0.0;
-                    edges.push_back(
-                        {producer, firstWriteNode + w, edgeLat, iterCount});
+                    s.edges.push_back({producer, firstWriteNode + w,
+                                       edgeLat, iterCount});
                 }
             }
         }
 
         for (int w = 0; w < nWrites; ++w)
-            lastWriter[nodes[firstWriteNode + w].value] =
+            lastWriter[s.nodeValue[firstWriteNode + w]] =
                 firstWriteNode + w;
         nodeCursor += nWrites;
     }
 
-    CycleRatioResult crr =
-        maxCycleRatio(static_cast<int>(nodes.size()), edges);
+    CycleRatioResult crr = maxCycleRatioImpl(
+        static_cast<int>(s.nodeInst.size()), s.edges, s);
 
     PrecedenceResult result;
     result.throughput = crr.ratio;
     for (int n : crr.cycleNodes) {
-        int inst = nodes[n].instIdx;
+        int inst = s.nodeInst[n];
         if (result.criticalChain.empty() ||
             result.criticalChain.back() != inst)
             result.criticalChain.push_back(inst);

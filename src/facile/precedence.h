@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bb/basic_block.h"
+#include "isa/semantics.h"
 
 namespace facile::model {
 
@@ -31,9 +32,6 @@ struct PrecedenceResult
      */
     std::vector<int> criticalChain;
 };
-
-/** Throughput bound due to loop-carried dependence chains. */
-PrecedenceResult precedence(const bb::BasicBlock &blk);
 
 /**
  * Maximum cycle ratio sum(weight)/sum(count) over all cycles of a
@@ -56,6 +54,64 @@ struct CycleRatioResult
     std::vector<int> cycleNodes; ///< nodes on a critical cycle
 };
 
+/**
+ * Reusable workspace for precedence() and the cycle-ratio engines.
+ *
+ * All per-call temporaries (dependence-graph buffers, Bellman-Ford
+ * dist/pred arrays, CSR adjacency, SCC bookkeeping) live here and keep
+ * their capacity between calls, so repeated analysis allocates nothing
+ * in steady state. One scratch may not be shared between threads; the
+ * scratch-less entry points below use a thread_local instance, which
+ * gives every engine worker its own buffers for free.
+ *
+ * The fields are an implementation detail: treat the object as opaque
+ * and merely keep it alive across calls.
+ */
+struct PrecedenceScratch
+{
+    // Dependence-graph construction.
+    std::vector<isa::RwSets> rw;
+    std::vector<int> nodeInst;
+    std::vector<int> nodeValue;
+    std::vector<RatioEdge> edges;
+
+    // Bellman-Ford positive-cycle detection (Lawler engine and the
+    // per-SCC early-exit probe).
+    std::vector<double> dist;
+    std::vector<int> pred;
+    std::vector<int> cycle;
+
+    // Kosaraju SCC: CSR adjacency, finish order, component ids.
+    std::vector<int> fwdStart, fwdAdj;
+    std::vector<int> revStart, revAdj;
+    std::vector<int> order;
+    std::vector<int> comp;
+    std::vector<int> stackNode, stackIter;
+    std::vector<char> seen;
+
+    // Per-component edge grouping and dense renumbering.
+    std::vector<int> compStart, compEdgeIdx;
+    std::vector<int> localId, globalId;
+    std::vector<RatioEdge> localEdges;
+
+    // Howard policy iteration.
+    std::vector<int> howStart, howEdge, howPos;
+    std::vector<int> howPolicy, howMark, howAnchor, howPath;
+    std::vector<int> howBestCycle, howCycle;
+    std::vector<double> howD;
+    std::vector<char> howSolved;
+};
+
+/** Throughput bound due to loop-carried dependence chains. */
+PrecedenceResult precedence(const bb::BasicBlock &blk);
+
+/**
+ * As above, with caller-owned scratch buffers (zero allocations in
+ * steady state). The scratch-less overload uses a thread_local scratch.
+ */
+PrecedenceResult precedence(const bb::BasicBlock &blk,
+                            PrecedenceScratch &scratch);
+
 CycleRatioResult maxCycleRatio(int n_nodes,
                                const std::vector<RatioEdge> &edges);
 
@@ -70,7 +126,10 @@ CycleRatioResult maxCycleRatioHoward(int n_nodes,
 
 /**
  * Lawler-style binary search with Bellman-Ford positive-cycle
- * detection; the cross-check engine.
+ * detection; the cross-check engine. The per-SCC driver seeds each
+ * component's search with the best ratio found so far and skips
+ * components that cannot beat it (one Bellman-Ford probe), so later
+ * components cost a fraction of a full search.
  */
 CycleRatioResult maxCycleRatioLawler(int n_nodes,
                                      const std::vector<RatioEdge> &edges);

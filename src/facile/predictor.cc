@@ -11,7 +11,7 @@
 
 namespace facile::model {
 
-std::string
+std::string_view
 componentName(Component c)
 {
     switch (c) {

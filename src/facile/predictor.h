@@ -10,7 +10,7 @@
 
 #include <array>
 #include <optional>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "bb/basic_block.h"
@@ -34,8 +34,11 @@ enum class Component : int {
 inline constexpr int kNumComponents =
     static_cast<int>(Component::kNumComponents);
 
-/** Short component name ("Predec", "Dec", ...). */
-std::string componentName(Component c);
+/**
+ * Short component name ("Predec", "Dec", ...). The view refers to
+ * static, null-terminated storage, so .data() is a valid C string.
+ */
+std::string_view componentName(Component c);
 
 /** Ablation switches (Table 3 variants). All-default is full Facile. */
 struct ModelConfig

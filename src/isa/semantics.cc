@@ -26,10 +26,10 @@ condReads(Cond cc, std::vector<int> &reads)
     }
 }
 
-/** Collector with convenience helpers. */
+/** Collector with convenience helpers; fills a caller-owned RwSets. */
 struct Collector
 {
-    RwSets rw;
+    RwSets &rw;
 
     void
     read(Reg r)
@@ -124,11 +124,14 @@ isZeroIdiom(const Inst &inst)
     }
 }
 
-RwSets
-instRw(const Inst &inst)
+void
+instRw(const Inst &inst, RwSets &out)
 {
     using M = Mnemonic;
-    Collector c;
+    out.reads.clear();
+    out.writes.clear();
+    out.depBreaking = false;
+    Collector c{out};
 
     auto regOf = [&](std::size_t i) -> Reg {
         return i < inst.ops.size() && inst.ops[i].isReg() ? inst.ops[i].reg
@@ -151,7 +154,7 @@ instRw(const Inst &inst)
             break;
         }
         c.finish();
-        return c.rw;
+        return;
     }
 
     c.readAddrs(inst);
@@ -431,7 +434,14 @@ instRw(const Inst &inst)
     }
 
     c.finish();
-    return c.rw;
+}
+
+RwSets
+instRw(const Inst &inst)
+{
+    RwSets rw;
+    instRw(inst, rw);
+    return rw;
 }
 
 } // namespace facile::isa

@@ -67,6 +67,12 @@ bool isZeroIdiom(const Inst &inst);
  */
 RwSets instRw(const Inst &inst);
 
+/**
+ * As above, filling a caller-owned RwSets (cleared first). Lets hot
+ * paths reuse the sets' vector capacity instead of allocating per call.
+ */
+void instRw(const Inst &inst, RwSets &out);
+
 } // namespace facile::isa
 
 #endif // FACILE_ISA_SEMANTICS_H

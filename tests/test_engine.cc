@@ -1,0 +1,269 @@
+/**
+ * @file
+ * PredictionEngine tests: batch results are bit-identical to the serial
+ * predictor for 1 and N worker threads, cache hits return the same
+ * Prediction (bottlenecks and critical chain included) as cold calls,
+ * stats counters add up, and malformed blocks follow the throughput-0
+ * crash protocol.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "bhive/generator.h"
+#include "engine/engine.h"
+#include "facile/predictor.h"
+
+namespace facile::engine {
+namespace {
+
+using model::ModelConfig;
+using model::Prediction;
+
+const std::vector<bhive::Benchmark> &
+suite()
+{
+    static const auto s = bhive::generateSuite(99, 4);
+    return s;
+}
+
+std::vector<Request>
+makeBatch(bool withConfigs = false)
+{
+    std::vector<Request> batch;
+    for (const auto &b : suite()) {
+        batch.push_back({b.bytesU, uarch::UArch::SKL, false, {}});
+        batch.push_back({b.bytesL, uarch::UArch::SKL, true, {}});
+        batch.push_back({b.bytesL, uarch::UArch::RKL, true, {}});
+        if (withConfigs)
+            batch.push_back({b.bytesU, uarch::UArch::SKL, false,
+                             ModelConfig::without(
+                                 model::Component::Ports)});
+    }
+    return batch;
+}
+
+::testing::AssertionResult
+bitIdentical(const Prediction &a, const Prediction &b)
+{
+    if (std::memcmp(&a.throughput, &b.throughput, sizeof(double)) != 0)
+        return ::testing::AssertionFailure()
+               << "throughput " << a.throughput << " vs " << b.throughput;
+    // memcmp over the array keeps NaN markers comparable.
+    if (std::memcmp(a.componentValue.data(), b.componentValue.data(),
+                    sizeof(double) * a.componentValue.size()) != 0)
+        return ::testing::AssertionFailure() << "componentValue differs";
+    if (a.bottlenecks != b.bottlenecks)
+        return ::testing::AssertionFailure() << "bottlenecks differ";
+    if (a.primaryBottleneck != b.primaryBottleneck)
+        return ::testing::AssertionFailure() << "primaryBottleneck differs";
+    if (a.criticalChain != b.criticalChain)
+        return ::testing::AssertionFailure() << "criticalChain differs";
+    if (a.contendedPorts != b.contendedPorts)
+        return ::testing::AssertionFailure() << "contendedPorts differ";
+    if (a.contendingInsts != b.contendingInsts)
+        return ::testing::AssertionFailure() << "contendingInsts differ";
+    return ::testing::AssertionSuccess();
+}
+
+Prediction
+serialPredict(const Request &r)
+{
+    return model::predict(bb::analyze(r.bytes, r.arch), r.loop, r.config);
+}
+
+TEST(Engine, BatchMatchesSerialOneWorker)
+{
+    PredictionEngine::Options opts;
+    opts.numThreads = 1;
+    PredictionEngine eng(opts);
+
+    auto batch = makeBatch(true);
+    auto out = eng.predictBatch(batch);
+    ASSERT_EQ(out.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        EXPECT_TRUE(bitIdentical(out[i], serialPredict(batch[i])))
+            << "request " << i;
+}
+
+TEST(Engine, BatchMatchesSerialManyWorkers)
+{
+    PredictionEngine::Options opts;
+    opts.numThreads = 8;
+    PredictionEngine eng(opts);
+
+    auto batch = makeBatch(true);
+    auto out = eng.predictBatch(batch);
+    ASSERT_EQ(out.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        EXPECT_TRUE(bitIdentical(out[i], serialPredict(batch[i])))
+            << "request " << i;
+}
+
+TEST(Engine, CacheHitEqualsColdCall)
+{
+    PredictionEngine::Options opts;
+    opts.numThreads = 2;
+    PredictionEngine eng(opts);
+
+    auto batch = makeBatch();
+    BatchStats cold, warm;
+    auto first = eng.predictBatch(batch, &cold);
+    auto second = eng.predictBatch(batch, &warm);
+
+    EXPECT_EQ(cold.predictionCacheHits, 0u);
+    EXPECT_EQ(warm.predictionCacheHits, batch.size());
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        EXPECT_TRUE(bitIdentical(first[i], second[i])) << "request " << i;
+}
+
+TEST(Engine, AnalysisCacheSharesBlocksAcrossNotions)
+{
+    // The same bytes under TPU and TPL decode once: the second request
+    // of each pair hits the analysis cache even though the prediction
+    // key differs.
+    PredictionEngine::Options opts;
+    opts.numThreads = 1;
+    PredictionEngine eng(opts);
+
+    const auto &b = suite().front();
+    BatchStats stats;
+    eng.predictOne({b.bytesL, uarch::UArch::SKL, false, {}}, &stats);
+    eng.predictOne({b.bytesL, uarch::UArch::SKL, true, {}}, &stats);
+    EXPECT_EQ(stats.analyzed, 1u);
+    EXPECT_EQ(stats.analysisCacheHits, 1u);
+    EXPECT_EQ(stats.predictionCacheHits, 0u);
+}
+
+TEST(Engine, CacheDisabledStillMatchesSerial)
+{
+    PredictionEngine::Options opts;
+    opts.numThreads = 4;
+    opts.cacheEnabled = false;
+    PredictionEngine eng(opts);
+
+    auto batch = makeBatch();
+    BatchStats stats;
+    auto out = eng.predictBatch(batch, &stats);
+    EXPECT_EQ(stats.predictionCacheHits, 0u);
+    EXPECT_EQ(stats.analyzed, batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        EXPECT_TRUE(bitIdentical(out[i], serialPredict(batch[i])))
+            << "request " << i;
+}
+
+TEST(Engine, PerArchCacheKeysDoNotCollide)
+{
+    // Identical bytes on two arches must produce the arch-specific
+    // predictions, not a shared cache entry.
+    PredictionEngine::Options opts;
+    opts.numThreads = 1;
+    PredictionEngine eng(opts);
+
+    const auto &b = suite().front();
+    auto skl = eng.predictOne({b.bytesL, uarch::UArch::SKL, true, {}});
+    auto rkl = eng.predictOne({b.bytesL, uarch::UArch::RKL, true, {}});
+    auto skl2 = eng.predictOne({b.bytesL, uarch::UArch::SKL, true, {}});
+    EXPECT_TRUE(bitIdentical(
+        skl, serialPredict({b.bytesL, uarch::UArch::SKL, true, {}})));
+    EXPECT_TRUE(bitIdentical(
+        rkl, serialPredict({b.bytesL, uarch::UArch::RKL, true, {}})));
+    EXPECT_TRUE(bitIdentical(skl, skl2));
+}
+
+TEST(Engine, MalformedBlockYieldsZeroThroughput)
+{
+    PredictionEngine::Options opts;
+    opts.numThreads = 2;
+    PredictionEngine eng(opts);
+
+    std::vector<Request> batch;
+    batch.push_back({{0x0f, 0xff, 0xff}, uarch::UArch::SKL, false, {}});
+    batch.push_back({suite().front().bytesU, uarch::UArch::SKL, false, {}});
+    auto out = eng.predictBatch(batch);
+    EXPECT_EQ(out[0].throughput, 0.0);
+    EXPECT_GT(out[1].throughput, 0.0);
+}
+
+TEST(Engine, StatsCountersAddUp)
+{
+    PredictionEngine::Options opts;
+    opts.numThreads = 3;
+    PredictionEngine eng(opts);
+
+    auto batch = makeBatch();
+    BatchStats stats;
+    eng.predictBatch(batch, &stats);
+    eng.predictBatch(batch, &stats);
+    EXPECT_EQ(stats.requests, 2 * batch.size());
+    EXPECT_EQ(stats.predictionCacheHits, batch.size());
+    // Every block was decoded at most once.
+    EXPECT_LE(stats.analyzed, batch.size());
+}
+
+TEST(Engine, ClearCachesForcesReanalysis)
+{
+    PredictionEngine::Options opts;
+    opts.numThreads = 1;
+    PredictionEngine eng(opts);
+
+    const auto &b = suite().front();
+    Request r{b.bytesU, uarch::UArch::SKL, false, {}};
+    auto cold = eng.predictOne(r);
+    eng.clearCaches();
+    BatchStats stats;
+    auto recold = eng.predictOne(r, &stats);
+    EXPECT_EQ(stats.predictionCacheHits, 0u);
+    EXPECT_EQ(stats.analyzed, 1u);
+    EXPECT_TRUE(bitIdentical(cold, recold));
+}
+
+TEST(Engine, ParallelForPropagatesExceptions)
+{
+    // A throwing body must surface on the calling thread (a worker
+    // unwinding would terminate the process) and abandon the loop.
+    PredictionEngine::Options opts;
+    opts.numThreads = 2;
+    PredictionEngine eng(opts);
+    EXPECT_THROW(eng.parallelFor(100,
+                                 [](std::size_t i) {
+                                     if (i == 5)
+                                         throw std::runtime_error("boom");
+                                 }),
+                 std::runtime_error);
+}
+
+TEST(Engine, NestedParallelForRunsInlineWithoutDeadlock)
+{
+    // parallelFor from inside a worker of the same pool must not wait
+    // on jobs no worker is free to run; the inner loop runs inline.
+    PredictionEngine::Options opts;
+    opts.numThreads = 2;
+    PredictionEngine eng(opts);
+
+    std::atomic<int> count{0};
+    eng.parallelFor(4, [&](std::size_t) {
+        eng.parallelFor(3, [&](std::size_t) { ++count; });
+    });
+    EXPECT_EQ(count.load(), 12);
+}
+
+TEST(Engine, ParallelForCoversAllIndices)
+{
+    PredictionEngine::Options opts;
+    opts.numThreads = 4;
+    PredictionEngine eng(opts);
+
+    std::vector<int> hits(1000, 0);
+    eng.parallelFor(hits.size(),
+                    [&](std::size_t i) { hits[i] += 1; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+} // namespace
+} // namespace facile::engine
