@@ -39,6 +39,7 @@ main()
                 "MAPE(U)", "Kendall(U)", "MAPE(L)", "Kendall(L)");
     bench::printRule();
 
+    std::size_t mapeSkippedTotal = 0;
     for (uarch::UArch a : uarch::allUArchs()) {
         const auto &suite = bench::archSuite(a);
 
@@ -51,6 +52,7 @@ main()
         for (const auto &p : preds) {
             eval::Accuracy u = eval::evaluate(*p, suite, false);
             eval::Accuracy l = eval::evaluate(*p, suite, true);
+            mapeSkippedTotal += u.mapeSkipped + l.mapeSkipped;
             std::printf("%-5s %-22s %9.2f%% %10.4f %11.2f%% %10.4f\n",
                         uarch::config(a).abbrev, p->name().c_str(),
                         u.mape * 100.0, u.kendall, l.mape * 100.0,
@@ -58,5 +60,9 @@ main()
         }
         bench::printRule();
     }
+    if (mapeSkippedTotal > 0)
+        std::printf("note: %zu (measured, predicted) pairs had zero "
+                    "measured throughput and were excluded from MAPE\n",
+                    mapeSkippedTotal);
     return 0;
 }

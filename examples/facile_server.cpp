@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Standalone prediction server: serves the Facile throughput model
+ * over TCP and/or Unix-domain sockets until interrupted.
+ *
+ * Usage:
+ *   facile_server [--tcp PORT] [--unix PATH] [--threads N]
+ *                 [--window-us N] [--max-batch N]
+ *
+ * With no listener flags it serves on --unix /tmp/facile.sock.
+ * SIGINT/SIGTERM shut down cleanly and print the serving counters.
+ */
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <semaphore.h>
+#include <string>
+
+#include "server/server.h"
+
+using namespace facile;
+
+namespace {
+
+/** async-signal-safe shutdown latch. */
+sem_t g_stopSem;
+
+void
+onSignal(int)
+{
+    sem_post(&g_stopSem);
+}
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--tcp PORT] [--unix PATH] [--threads N] "
+                 "[--window-us N] [--max-batch N]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    server::ServerOptions opts;
+    int threads = 0;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--tcp") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            opts.tcpPort = std::atoi(v);
+        } else if (arg == "--unix") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            opts.unixPath = v;
+        } else if (arg == "--threads") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            threads = std::atoi(v);
+        } else if (arg == "--window-us") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            opts.batchWindowUs = std::atoi(v);
+        } else if (arg == "--max-batch") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            opts.maxBatch = static_cast<std::size_t>(std::atoll(v));
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (opts.unixPath.empty() && opts.tcpPort < 0)
+        opts.unixPath = "/tmp/facile.sock";
+
+    engine::PredictionEngine::Options eopts;
+    eopts.numThreads = threads;
+    engine::PredictionEngine eng(eopts);
+    opts.engine = &eng;
+
+    server::PredictionServer srv(opts);
+    try {
+        srv.start();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "failed to start: %s\n", e.what());
+        return 1;
+    }
+    if (!opts.unixPath.empty())
+        std::printf("serving on unix socket %s\n", opts.unixPath.c_str());
+    if (opts.tcpPort >= 0)
+        std::printf("serving on %s:%d\n", opts.tcpHost.c_str(),
+                    srv.tcpPort());
+    std::printf("engine: %d worker thread(s), admission window %d us, "
+                "max batch %zu\n",
+                eng.numThreads(), opts.batchWindowUs, opts.maxBatch);
+    std::fflush(stdout);
+
+    sem_init(&g_stopSem, 0, 0);
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    while (sem_wait(&g_stopSem) != 0 && errno == EINTR) {
+    }
+
+    server::ServerStats s = srv.stats();
+    srv.stop();
+    std::printf("\nshut down after %.1f s: %llu requests, "
+                "%llu predictions in %llu batches (max %llu), "
+                "%llu prediction-cache hits, %llu connections\n",
+                static_cast<double>(s.uptimeMs) / 1000.0,
+                static_cast<unsigned long long>(s.requests),
+                static_cast<unsigned long long>(s.predictions),
+                static_cast<unsigned long long>(s.batches),
+                static_cast<unsigned long long>(s.maxBatch),
+                static_cast<unsigned long long>(s.predictionCacheHits),
+                static_cast<unsigned long long>(s.connectionsAccepted));
+    return 0;
+}

@@ -13,23 +13,6 @@ namespace facile::engine {
 
 namespace {
 
-/** Pack the ablation switches into a stable cache-key byte pair. */
-std::uint16_t
-configBits(const model::ModelConfig &c)
-{
-    std::uint16_t b = 0;
-    b |= c.usePredec ? 1u << 0 : 0u;
-    b |= c.useDec ? 1u << 1 : 0u;
-    b |= c.useDsb ? 1u << 2 : 0u;
-    b |= c.useLsd ? 1u << 3 : 0u;
-    b |= c.useIssue ? 1u << 4 : 0u;
-    b |= c.usePorts ? 1u << 5 : 0u;
-    b |= c.usePrecedence ? 1u << 6 : 0u;
-    b |= c.simplePredec ? 1u << 7 : 0u;
-    b |= c.simpleDec ? 1u << 8 : 0u;
-    return b;
-}
-
 /** Analysis-cache key: arch byte + raw block bytes. */
 std::string
 analysisKey(const std::vector<std::uint8_t> &bytes, uarch::UArch arch)
@@ -47,7 +30,7 @@ analysisKey(const std::vector<std::uint8_t> &bytes, uarch::UArch arch)
 std::string
 predictionKey(const Request &r)
 {
-    const std::uint16_t cfg = configBits(r.config);
+    const std::uint16_t cfg = r.config.packBits();
     std::string key;
     key.reserve(r.bytes.size() + 4);
     key.push_back(r.loop ? 1 : 0);
@@ -70,23 +53,69 @@ shardOf(const std::string &key)
 
 } // namespace
 
+/**
+ * One cache shard with two-generation (old/new) eviction.
+ *
+ * Inserts and promotions go to the new generation; when it reaches the
+ * per-generation bound the old generation is dropped and the new one
+ * takes its place. A lookup that hits the old generation promotes the
+ * entry, so the hot working set keeps circulating between generations
+ * and steady-state traffic at capacity keeps its hit rate — unlike the
+ * previous epoch eviction (clear() on overflow), which discarded the
+ * entire hot set the moment a shard filled up. Entries untouched for a
+ * full generation age out; a shard never holds more than 2x the bound.
+ */
+template <typename V> struct Gen2Shard
+{
+    std::mutex mu;
+    std::unordered_map<std::string, V> newGen, oldGen;
+
+    /** Lookup with promotion; caller must hold mu. */
+    V *
+    find(const std::string &key, std::size_t maxPerGen)
+    {
+        auto it = newGen.find(key);
+        if (it != newGen.end())
+            return &it->second;
+        auto itOld = oldGen.find(key);
+        if (itOld == oldGen.end())
+            return nullptr;
+        V value = std::move(itOld->second);
+        oldGen.erase(itOld);
+        return &insert(key, std::move(value), maxPerGen);
+    }
+
+    /**
+     * Insert into the new generation, rotating when full; caller must
+     * hold mu and have checked find() under the same lock, so the key
+     * is in neither generation.
+     */
+    V &
+    insert(std::string key, V value, std::size_t maxPerGen)
+    {
+        if (newGen.size() >= maxPerGen) {
+            std::swap(oldGen, newGen);
+            newGen.clear();
+        }
+        return newGen.emplace(std::move(key), std::move(value))
+            .first->second;
+    }
+
+    void
+    clear()
+    {
+        newGen.clear();
+        oldGen.clear();
+    }
+};
+
 struct PredictionEngine::Impl
 {
     Options opts;
     ThreadPool pool;
 
-    struct AnalysisShard
-    {
-        std::mutex mu;
-        std::unordered_map<std::string,
-                           std::shared_ptr<const bb::BasicBlock>>
-            map;
-    };
-    struct PredictionShard
-    {
-        std::mutex mu;
-        std::unordered_map<std::string, model::Prediction> map;
-    };
+    using AnalysisShard = Gen2Shard<std::shared_ptr<const bb::BasicBlock>>;
+    using PredictionShard = Gen2Shard<model::Prediction>;
     AnalysisShard analysisShards[kShards];
     PredictionShard predictionShards[kShards];
 
@@ -113,11 +142,10 @@ struct PredictionEngine::Impl
         AnalysisShard &shard = analysisShards[shardOf(key)];
         {
             std::lock_guard<std::mutex> lock(shard.mu);
-            auto it = shard.map.find(key);
-            if (it != shard.map.end()) {
+            if (auto *hit = shard.find(key, opts.maxEntriesPerShard)) {
                 if (stats)
                     ++stats->analysisCacheHits;
-                return it->second;
+                return *hit;
             }
         }
         // Analyze outside the lock; concurrent misses on the same key
@@ -127,25 +155,31 @@ struct PredictionEngine::Impl
         if (stats)
             ++stats->analyzed;
         std::lock_guard<std::mutex> lock(shard.mu);
-        if (shard.map.size() >= opts.maxEntriesPerShard)
-            shard.map.clear(); // epoch eviction
-        auto [it, inserted] = shard.map.emplace(std::move(key), blk);
-        return inserted ? blk : it->second;
+        if (auto *hit = shard.find(key, opts.maxEntriesPerShard))
+            return *hit; // lost the race; share the other thread's block
+        return shard.insert(std::move(key), blk, opts.maxEntriesPerShard);
     }
 
-    model::Prediction
-    predictCached(const Request &req, BatchStats *stats)
+    /**
+     * Core lookup-or-compute. The visitor sees the prediction without
+     * a copy: on cache hits it runs under the owning shard lock with a
+     * reference to the cached entry (the zero-copy serving path).
+     */
+    void
+    predictCachedVisit(const Request &req, BatchStats *stats, int worker,
+                       std::size_t index,
+                       const PredictionEngine::PredictionVisitor &visit)
     {
         std::string key;
         if (opts.cacheEnabled) {
             key = predictionKey(req);
             PredictionShard &shard = predictionShards[shardOf(key)];
             std::lock_guard<std::mutex> lock(shard.mu);
-            auto it = shard.map.find(key);
-            if (it != shard.map.end()) {
+            if (auto *hit = shard.find(key, opts.maxEntriesPerShard)) {
                 if (stats)
                     ++stats->predictionCacheHits;
-                return it->second;
+                visit(worker, index, *hit);
+                return;
             }
         }
 
@@ -160,11 +194,22 @@ struct PredictionEngine::Impl
         if (opts.cacheEnabled) {
             PredictionShard &shard = predictionShards[shardOf(key)];
             std::lock_guard<std::mutex> lock(shard.mu);
-            if (shard.map.size() >= opts.maxEntriesPerShard)
-                shard.map.clear();
-            shard.map.emplace(std::move(key), p);
+            // A concurrent miss on the same key may have inserted an
+            // identical prediction already; find() keeps it hot.
+            if (!shard.find(key, opts.maxEntriesPerShard))
+                shard.insert(std::move(key), p, opts.maxEntriesPerShard);
         }
-        return p;
+        visit(worker, index, p);
+    }
+
+    model::Prediction
+    predictCached(const Request &req, BatchStats *stats)
+    {
+        model::Prediction out;
+        predictCachedVisit(req, stats, 0, 0,
+                           [&out](int, std::size_t,
+                                  const model::Prediction &p) { out = p; });
+        return out;
     }
 };
 
@@ -210,6 +255,38 @@ PredictionEngine::predictBatch(const std::vector<Request> &batch,
     return out;
 }
 
+void
+PredictionEngine::predictBatchVisit(const std::vector<Request> &batch,
+                                    const PredictionVisitor &visit,
+                                    BatchStats *stats)
+{
+    if (batch.empty())
+        return;
+
+    std::atomic<std::size_t> analysisHits{0}, predictionHits{0},
+        analyzed{0};
+
+    impl_->pool.parallelForWorker(
+        batch.size(), [&](int worker, std::size_t i) {
+            BatchStats local;
+            impl_->predictCachedVisit(batch[i],
+                                      stats ? &local : nullptr, worker,
+                                      i, visit);
+            if (stats) {
+                analysisHits += local.analysisCacheHits;
+                predictionHits += local.predictionCacheHits;
+                analyzed += local.analyzed;
+            }
+        });
+
+    if (stats) {
+        stats->requests += batch.size();
+        stats->analysisCacheHits += analysisHits;
+        stats->predictionCacheHits += predictionHits;
+        stats->analyzed += analyzed;
+    }
+}
+
 model::Prediction
 PredictionEngine::predictOne(const Request &req, BatchStats *stats)
 {
@@ -239,10 +316,10 @@ PredictionEngine::clearCaches()
         {
             std::lock_guard<std::mutex> lock(
                 impl_->analysisShards[s].mu);
-            impl_->analysisShards[s].map.clear();
+            impl_->analysisShards[s].clear();
         }
         std::lock_guard<std::mutex> lock(impl_->predictionShards[s].mu);
-        impl_->predictionShards[s].map.clear();
+        impl_->predictionShards[s].clear();
     }
 }
 

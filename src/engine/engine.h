@@ -65,9 +65,13 @@ struct EngineOptions
     bool cacheEnabled = true;
 
     /**
-     * Soft bound on entries per cache shard; a shard that grows past
-     * the bound is dropped wholesale (epoch eviction) so a hostile
-     * request stream cannot exhaust memory.
+     * Bound on entries per cache-shard generation. Shards use
+     * two-generation (old/new) eviction: inserts and old-generation
+     * hits go to the new generation; when it fills, the old generation
+     * is dropped and the new one ages into its place. The hot working
+     * set survives overflow (a hostile request stream still cannot
+     * exhaust memory — a shard holds at most 2x this many entries),
+     * and steady-state traffic at capacity keeps its hit rate.
      */
     std::size_t maxEntriesPerShard = 1 << 16;
 };
@@ -96,6 +100,27 @@ class PredictionEngine
     std::vector<model::Prediction>
     predictBatch(const std::vector<Request> &batch,
                  BatchStats *stats = nullptr);
+
+    /**
+     * Visitor over one prediction: (worker, requestIndex, prediction).
+     * worker is the stable pool-worker index in [0, numThreads()).
+     */
+    using PredictionVisitor =
+        std::function<void(int, std::size_t, const model::Prediction &)>;
+
+    /**
+     * As predictBatch, but instead of materializing a result vector
+     * the engine calls visit(worker, i, prediction) once per request —
+     * on prediction-cache hits with a reference to the cached entry,
+     * so the serving hot path copies nothing. Calls happen on the
+     * worker threads, concurrently for distinct i; the reference is
+     * valid only for the duration of the call (on hits it is made
+     * under the owning shard lock, so visitors must be brief and must
+     * not re-enter the engine).
+     */
+    void predictBatchVisit(const std::vector<Request> &batch,
+                           const PredictionVisitor &visit,
+                           BatchStats *stats = nullptr);
 
     /** Single-request convenience; same caches, calling thread only. */
     model::Prediction predictOne(const Request &req,

@@ -75,6 +75,19 @@ class ThreadPool
     void
     parallelFor(std::size_t n, const std::function<void(std::size_t)> &body)
     {
+        parallelForWorker(
+            n, [&body](int, std::size_t i) { body(i); });
+    }
+
+    /**
+     * As parallelFor, but the body also receives the stable worker
+     * index of the executing thread, so callers can keep per-worker
+     * state (output buffers, counters) without locks.
+     */
+    void
+    parallelForWorker(std::size_t n,
+                      const std::function<void(int, std::size_t)> &body)
+    {
         if (n == 0)
             return;
         // Re-entrant call from one of this pool's own workers: running
@@ -82,7 +95,7 @@ class ThreadPool
         // on jobs none of them is free to execute.
         if (currentPool() == this) {
             for (std::size_t i = 0; i < n; ++i)
-                body(i);
+                body(currentWorker(), i);
             return;
         }
         struct State
@@ -98,7 +111,7 @@ class ThreadPool
             static_cast<int>(std::min<std::size_t>(workers_.size(), n));
         state->active = tasks;
         for (int t = 0; t < tasks; ++t) {
-            submit([state, n, &body](int) {
+            submit([state, n, &body](int worker) {
                 for (;;) {
                     std::size_t i;
                     {
@@ -108,7 +121,7 @@ class ThreadPool
                         i = state->next++;
                     }
                     try {
-                        body(i);
+                        body(worker, i);
                     } catch (...) {
                         std::lock_guard<std::mutex> lock(state->mu);
                         if (!state->error)
@@ -136,10 +149,19 @@ class ThreadPool
         return pool;
     }
 
+    /** Worker index of the current thread (0 off the pool). */
+    static int &
+    currentWorker()
+    {
+        thread_local int worker = 0;
+        return worker;
+    }
+
     void
     workerLoop(int index)
     {
         currentPool() = this;
+        currentWorker() = index;
         for (;;) {
             std::function<void(int)> job;
             {

@@ -73,7 +73,7 @@ score(const std::vector<double> &measured,
       const std::vector<double> &predicted)
 {
     Accuracy a;
-    a.mape = mape(measured, predicted);
+    a.mape = mape(measured, predicted, &a.mapeSkipped);
     a.kendall = kendallTau(measured, predicted);
     return a;
 }

@@ -51,8 +51,11 @@ ArchSuite prepare(uarch::UArch arch,
 /** Accuracy of one predictor against the suite's ground truth. */
 struct Accuracy
 {
-    double mape = 0.0;    ///< mean absolute percentage error
+    double mape = 0.0;    ///< MAPE; NaN when no pair was evaluable
     double kendall = 0.0; ///< Kendall's tau-b rank correlation
+
+    /** Pairs excluded from MAPE because the measured value was zero. */
+    std::size_t mapeSkipped = 0;
 };
 
 /**

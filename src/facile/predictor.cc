@@ -60,6 +60,38 @@ ModelConfig::without(Component c)
     return cfg;
 }
 
+std::uint16_t
+ModelConfig::packBits() const
+{
+    std::uint16_t b = 0;
+    b |= usePredec ? 1u << 0 : 0u;
+    b |= useDec ? 1u << 1 : 0u;
+    b |= useDsb ? 1u << 2 : 0u;
+    b |= useLsd ? 1u << 3 : 0u;
+    b |= useIssue ? 1u << 4 : 0u;
+    b |= usePorts ? 1u << 5 : 0u;
+    b |= usePrecedence ? 1u << 6 : 0u;
+    b |= simplePredec ? 1u << 7 : 0u;
+    b |= simpleDec ? 1u << 8 : 0u;
+    return b;
+}
+
+ModelConfig
+ModelConfig::fromBits(std::uint16_t bits)
+{
+    ModelConfig c;
+    c.usePredec = bits & (1u << 0);
+    c.useDec = bits & (1u << 1);
+    c.useDsb = bits & (1u << 2);
+    c.useLsd = bits & (1u << 3);
+    c.useIssue = bits & (1u << 4);
+    c.usePorts = bits & (1u << 5);
+    c.usePrecedence = bits & (1u << 6);
+    c.simplePredec = bits & (1u << 7);
+    c.simpleDec = bits & (1u << 8);
+    return c;
+}
+
 Prediction::Prediction()
 {
     componentValue.fill(std::numeric_limits<double>::quiet_NaN());

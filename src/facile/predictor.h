@@ -9,6 +9,7 @@
 #define FACILE_FACILE_PREDICTOR_H
 
 #include <array>
+#include <cstdint>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -64,6 +65,14 @@ struct ModelConfig
     static ModelConfig without(Component c);
 
     bool &flag(Component c);
+
+    /**
+     * Pack the nine switches into a stable bit pattern, used by the
+     * engine's cache keys and the server wire protocol. packBits and
+     * fromBits are exact inverses.
+     */
+    std::uint16_t packBits() const;
+    static ModelConfig fromBits(std::uint16_t bits);
 };
 
 /** A throughput prediction with full interpretability payload. */

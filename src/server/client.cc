@@ -1,0 +1,252 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "server/net_util.h"
+
+namespace facile::server {
+
+Client
+Client::connectTcp(const std::string &host, int port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("socket(AF_INET)");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw std::runtime_error("bad host (want a dotted quad): " + host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
+        0) {
+        int e = errno;
+        ::close(fd);
+        errno = e;
+        throwErrno("connect " + host + ":" + std::to_string(port));
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    return Client(fd);
+}
+
+Client
+Client::connectUnix(const std::string &path)
+{
+    sockaddr_un addr{};
+    if (path.size() >= sizeof addr.sun_path)
+        throw std::runtime_error("unix path too long: " + path);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throwErrno("socket(AF_UNIX)");
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
+        0) {
+        int e = errno;
+        ::close(fd);
+        errno = e;
+        throwErrno("connect " + path);
+    }
+    return Client(fd);
+}
+
+Client::Client(int fd) : fd_(fd) {}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+Client::Client(Client &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), nextId_(other.nextId_),
+      inbuf_(std::move(other.inbuf_)), parsed_(other.parsed_)
+{}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = std::exchange(other.fd_, -1);
+        nextId_ = other.nextId_;
+        inbuf_ = std::move(other.inbuf_);
+        parsed_ = other.parsed_;
+    }
+    return *this;
+}
+
+void
+Client::writeAll(const std::uint8_t *data, std::size_t len)
+{
+    if (!sendAll(fd_, data, len))
+        throwErrno("send");
+}
+
+ResponseHeader
+Client::readResponse(const std::uint8_t *&payload)
+{
+    std::uint8_t chunk[64 * 1024];
+    for (;;) {
+        if (inbuf_.size() - parsed_ >= kResponseHeaderSize) {
+            ResponseHeader h =
+                parseResponseHeader(inbuf_.data() + parsed_);
+            if (inbuf_.size() - parsed_ >=
+                kResponseHeaderSize + h.len) {
+                payload = inbuf_.data() + parsed_ + kResponseHeaderSize;
+                parsed_ += kResponseHeaderSize + h.len;
+                // The returned view lives in inbuf_; compaction is
+                // deferred to the next refill below.
+                return h;
+            }
+        }
+        if (parsed_ == inbuf_.size()) {
+            inbuf_.clear();
+            parsed_ = 0;
+        } else if (parsed_ > sizeof chunk) {
+            inbuf_.erase(inbuf_.begin(),
+                         inbuf_.begin() +
+                             static_cast<std::ptrdiff_t>(parsed_));
+            parsed_ = 0;
+        }
+        ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            throw std::runtime_error(
+                "connection closed by prediction server");
+        inbuf_.insert(inbuf_.end(), chunk, chunk + n);
+    }
+}
+
+model::Prediction
+Client::predict(const std::vector<std::uint8_t> &bytes, uarch::UArch arch,
+                bool loop, const model::ModelConfig &config)
+{
+    if (bytes.size() > kMaxBlockBytes)
+        throw std::runtime_error("block larger than kMaxBlockBytes");
+    const std::uint64_t id = nextId_++;
+    std::vector<std::uint8_t> frame;
+    frame.reserve(kRequestHeaderSize + bytes.size());
+    appendPredictRequest(frame, id, {bytes, arch, loop, config});
+    writeAll(frame.data(), frame.size());
+
+    const std::uint8_t *payload = nullptr;
+    ResponseHeader h = readResponse(payload);
+    if (h.id != id)
+        throw std::runtime_error("response id mismatch (pipelining "
+                                 "through predict()?)");
+    if (h.status != static_cast<std::uint8_t>(Status::Ok))
+        throw std::runtime_error("server rejected request (status " +
+                                 std::to_string(h.status) + ")");
+    auto pred = decodePredictPayload(payload, h.len);
+    if (!pred)
+        throw std::runtime_error("malformed PREDICT response payload");
+    return *pred;
+}
+
+std::vector<model::Prediction>
+Client::predictMany(const std::vector<engine::Request> &reqs)
+{
+    std::vector<model::Prediction> out;
+    predictManyInto(reqs, out);
+    return out;
+}
+
+void
+Client::predictManyInto(const std::vector<engine::Request> &reqs,
+                        std::vector<model::Prediction> &out)
+{
+    out.resize(reqs.size());
+    std::vector<std::uint8_t> frames;
+    const std::uint8_t *payload = nullptr;
+    std::vector<bool> received;
+
+    for (std::size_t base = 0; base < reqs.size();
+         base += kPipelineWindow) {
+        const std::size_t end =
+            std::min(reqs.size(), base + kPipelineWindow);
+        const std::size_t window = end - base;
+
+        // Ids within a window are consecutive, so a response maps back
+        // to its request by offset — no per-request lookup structure.
+        const std::uint64_t baseId = nextId_;
+        nextId_ += window;
+        frames.clear();
+        for (std::size_t i = base; i < end; ++i) {
+            if (reqs[i].bytes.size() > kMaxBlockBytes)
+                throw std::runtime_error(
+                    "block larger than kMaxBlockBytes");
+            appendPredictRequest(frames, baseId + (i - base), reqs[i]);
+        }
+        writeAll(frames.data(), frames.size());
+
+        received.assign(window, false);
+        for (std::size_t got = 0; got < window;) {
+            ResponseHeader h = readResponse(payload);
+            if (h.id < baseId || h.id - baseId >= window)
+                throw std::runtime_error("unexpected response id");
+            const std::size_t idx =
+                static_cast<std::size_t>(h.id - baseId);
+            if (received[idx])
+                throw std::runtime_error("duplicate response id");
+            if (h.status != static_cast<std::uint8_t>(Status::Ok))
+                throw std::runtime_error(
+                    "server rejected request (status " +
+                    std::to_string(h.status) + ")");
+            if (!decodePredictInto(payload, h.len, out[base + idx]))
+                throw std::runtime_error(
+                    "malformed PREDICT response payload");
+            received[idx] = true;
+            ++got;
+        }
+    }
+}
+
+ServerStats
+Client::stats()
+{
+    const std::uint64_t id = nextId_++;
+    std::vector<std::uint8_t> frame;
+    appendControlRequest(frame, id, Op::Stats);
+    writeAll(frame.data(), frame.size());
+    const std::uint8_t *payload = nullptr;
+    ResponseHeader h = readResponse(payload);
+    if (h.id != id ||
+        h.status != static_cast<std::uint8_t>(Status::Ok))
+        throw std::runtime_error("STATS request failed");
+    auto s = decodeStatsPayload(payload, h.len);
+    if (!s)
+        throw std::runtime_error("malformed STATS response payload");
+    return *s;
+}
+
+void
+Client::ping()
+{
+    const std::uint64_t id = nextId_++;
+    std::vector<std::uint8_t> frame;
+    appendControlRequest(frame, id, Op::Ping);
+    writeAll(frame.data(), frame.size());
+    const std::uint8_t *payload = nullptr;
+    ResponseHeader h = readResponse(payload);
+    if (h.id != id ||
+        h.status != static_cast<std::uint8_t>(Status::Ok))
+        throw std::runtime_error("PING failed");
+}
+
+} // namespace facile::server

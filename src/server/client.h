@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Client library for the prediction server: a blocking, pipelining
+ * connection speaking the protocol.h wire format.
+ *
+ * One Client owns one socket and is NOT thread-safe; use one Client
+ * per thread (the server multiplexes any number of connections). The
+ * predictMany() path is the intended high-throughput API: it writes a
+ * whole window of request frames in one syscall and matches the
+ * responses back by id, so a single connection can keep the server's
+ * admission batcher fed.
+ */
+#ifndef FACILE_SERVER_CLIENT_H
+#define FACILE_SERVER_CLIENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace facile::server {
+
+class Client
+{
+  public:
+    /** Connect to a TCP endpoint (dotted-quad host). Throws on failure. */
+    static Client connectTcp(const std::string &host, int port);
+
+    /** Connect to a Unix-domain socket path. Throws on failure. */
+    static Client connectUnix(const std::string &path);
+
+    ~Client();
+    Client(Client &&other) noexcept;
+    Client &operator=(Client &&other) noexcept;
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Predict one block; one round trip. Bit-identical to serial
+     * model::predict(bb::analyze(bytes, arch), loop, config). Throws
+     * std::runtime_error on connection loss or a BadRequest status.
+     */
+    model::Prediction predict(const std::vector<std::uint8_t> &bytes,
+                              uarch::UArch arch, bool loop,
+                              const model::ModelConfig &config = {});
+
+    /**
+     * Predict a batch, pipelined: all request frames are written
+     * before any response is read (in windows of kPipelineWindow to
+     * bound buffering). out[i] corresponds to reqs[i].
+     */
+    std::vector<model::Prediction>
+    predictMany(const std::vector<engine::Request> &reqs);
+
+    /**
+     * As predictMany, but decodes into @p out, reusing each element's
+     * vector capacities — allocation-free in steady state for callers
+     * that keep the result buffer across batches (load generators,
+     * polling loops).
+     */
+    void predictManyInto(const std::vector<engine::Request> &reqs,
+                         std::vector<model::Prediction> &out);
+
+    /** Fetch the server's counters (the STATS op). */
+    ServerStats stats();
+
+    /** Health check; throws if the server does not answer. */
+    void ping();
+
+    /** Requests in flight per window of predictMany(). */
+    static constexpr std::size_t kPipelineWindow = 4096;
+
+  private:
+    explicit Client(int fd);
+
+    /**
+     * Read one complete response frame. @p payload points into the
+     * receive buffer and stays valid only until the next call.
+     */
+    ResponseHeader readResponse(const std::uint8_t *&payload);
+
+    void writeAll(const std::uint8_t *data, std::size_t len);
+
+    int fd_ = -1;
+    std::uint64_t nextId_ = 1;
+    std::vector<std::uint8_t> inbuf_; ///< unparsed bytes from the socket
+    std::size_t parsed_ = 0;          ///< consumed prefix of inbuf_
+};
+
+} // namespace facile::server
+
+#endif // FACILE_SERVER_CLIENT_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tiny POSIX socket helpers shared by the server and the client
+ * library. Kept header-only and internal to facile::server — this is
+ * plumbing for protocol.h framing, not a general networking layer.
+ */
+#ifndef FACILE_SERVER_NET_UTIL_H
+#define FACILE_SERVER_NET_UTIL_H
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace facile::server {
+
+/**
+ * send() the whole buffer, retrying on EINTR and suppressing SIGPIPE;
+ * false on any other error (peer gone).
+ */
+inline bool
+sendAll(int fd, const std::uint8_t *data, std::size_t len)
+{
+    while (len > 0) {
+        ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += static_cast<std::size_t>(n);
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+[[noreturn]] inline void
+throwErrno(const std::string &what)
+{
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+} // namespace facile::server
+
+#endif // FACILE_SERVER_NET_UTIL_H

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Wire protocol of the prediction server: a small framed binary format
+ * shared by the server, the client library, and the load generator.
+ *
+ * Every frame is a fixed-size little-endian header followed by a
+ * length-prefixed payload, so a reader can always stay in sync: it
+ * reads the header, then exactly `len` payload bytes, regardless of
+ * whether it understands the op. Doubles travel as raw IEEE-754 bit
+ * patterns, which is what makes the server's responses bit-identical
+ * to serial model::predict() — no text round-trip, no rounding.
+ *
+ * Request frame (16-byte header + len payload bytes):
+ *
+ *   offset 0   u64  id       client-chosen; echoed in the response
+ *   offset 8   u8   op       1=PREDICT  2=STATS  3=PING
+ *   offset 9   u8   arch     uarch::UArch value (PREDICT only)
+ *   offset 10  u8   flags    bit 0: loop (TPL vs TPU)
+ *   offset 11  u8   reserved must be 0
+ *   offset 12  u16  config   model::ModelConfig::packBits()
+ *   offset 14  u16  len      payload length; PREDICT: the raw block
+ *                            bytes (<= kMaxBlockBytes), others: 0
+ *
+ * Response frame (12-byte header + len payload bytes):
+ *
+ *   offset 0   u64  id       echo of the request id
+ *   offset 8   u8   status   0=OK  1=BAD_REQUEST (unknown op, bad
+ *                            arch, oversized block)
+ *   offset 9   u8   op       echo of the request op
+ *   offset 10  u16  len      payload length
+ *
+ * PREDICT response payload (72 bytes + variable tail):
+ *
+ *   u64  throughput bits          u64  componentValue bits x 7
+ *   u8   primaryBottleneck        u8   nBottlenecks
+ *   u16  nCriticalChain           u16  nContendingInsts
+ *   u16  contendedPorts
+ *   u8   bottlenecks[nBottlenecks]
+ *   i32  criticalChain[nCriticalChain]
+ *   i32  contendingInsts[nContendingInsts]
+ *
+ * STATS response payload: ServerStats as 10 u64 fields in declaration
+ * order. PING response payload: empty.
+ *
+ * A malformed-but-well-framed block (decode error) is NOT a protocol
+ * error: it follows the engine's crash protocol and yields status OK
+ * with a default prediction (throughput 0).
+ */
+#ifndef FACILE_SERVER_PROTOCOL_H
+#define FACILE_SERVER_PROTOCOL_H
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "engine/engine.h"
+#include "facile/predictor.h"
+
+namespace facile::server {
+
+static_assert(std::endian::native == std::endian::little,
+              "the wire protocol and its memcpy codec assume a "
+              "little-endian host");
+
+enum class Op : std::uint8_t {
+    Predict = 1,
+    Stats = 2,
+    Ping = 3,
+};
+
+enum class Status : std::uint8_t {
+    Ok = 0,
+    BadRequest = 1,
+};
+
+inline constexpr std::size_t kRequestHeaderSize = 16;
+inline constexpr std::size_t kResponseHeaderSize = 12;
+
+/** Upper bound on block bytes per request (BHive blocks are ~10-60). */
+inline constexpr std::size_t kMaxBlockBytes = 4096;
+
+/** Parsed request frame header. */
+struct RequestHeader
+{
+    std::uint64_t id = 0;
+    std::uint8_t op = 0;
+    std::uint8_t arch = 0;
+    std::uint8_t flags = 0;
+    std::uint16_t config = 0;
+    std::uint16_t len = 0;
+};
+
+/** Parsed response frame header. */
+struct ResponseHeader
+{
+    std::uint64_t id = 0;
+    std::uint8_t status = 0;
+    std::uint8_t op = 0;
+    std::uint16_t len = 0;
+};
+
+/** Counters reported by the STATS op (all monotonic except open/uptime). */
+struct ServerStats
+{
+    std::uint64_t requests = 0;        ///< frames received, any op
+    std::uint64_t predictions = 0;     ///< PREDICT responses sent
+    std::uint64_t batches = 0;         ///< engine batch submissions
+    std::uint64_t maxBatch = 0;        ///< largest admission batch so far
+    std::uint64_t analysisCacheHits = 0;
+    std::uint64_t predictionCacheHits = 0;
+    std::uint64_t analyzed = 0;
+    std::uint64_t connectionsAccepted = 0;
+    std::uint64_t connectionsOpen = 0;
+    std::uint64_t uptimeMs = 0;
+};
+
+// ---- little-endian append/read helpers ------------------------------------
+// Encoders write through a raw cursor into pre-grown buffer space: the
+// serving hot path appends hundreds of frames per batch, and per-byte
+// push_back bounds-checking is measurable there.
+
+/** Extend @p buf by @p n bytes and return a cursor to the new space. */
+inline std::uint8_t *
+growBuf(std::vector<std::uint8_t> &buf, std::size_t n)
+{
+    const std::size_t old = buf.size();
+    buf.resize(old + n);
+    return buf.data() + old;
+}
+
+inline void
+putU16(std::uint8_t *&p, std::uint16_t v)
+{
+    std::memcpy(p, &v, sizeof v);
+    p += sizeof v;
+}
+
+inline void
+putU32(std::uint8_t *&p, std::uint32_t v)
+{
+    std::memcpy(p, &v, sizeof v);
+    p += sizeof v;
+}
+
+inline void
+putU64(std::uint8_t *&p, std::uint64_t v)
+{
+    std::memcpy(p, &v, sizeof v);
+    p += sizeof v;
+}
+
+inline std::uint16_t
+getU16(const std::uint8_t *p)
+{
+    std::uint16_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+inline std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+inline std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof v);
+    return v;
+}
+
+// ---- frame codec ----------------------------------------------------------
+
+/** Append a PREDICT request frame for @p req with client id @p id. */
+void appendPredictRequest(std::vector<std::uint8_t> &buf, std::uint64_t id,
+                          const engine::Request &req);
+
+/** Append a payload-less request frame (STATS, PING). */
+void appendControlRequest(std::vector<std::uint8_t> &buf, std::uint64_t id,
+                          Op op);
+
+/** Parse a request header from kRequestHeaderSize bytes. */
+RequestHeader parseRequestHeader(const std::uint8_t *p);
+
+/** Parse a response header from kResponseHeaderSize bytes. */
+ResponseHeader parseResponseHeader(const std::uint8_t *p);
+
+/**
+ * Append a complete response frame (header + payload) for a
+ * prediction. The payload encodes every model::Prediction field, bits
+ * preserved.
+ */
+void appendPredictResponse(std::vector<std::uint8_t> &buf, std::uint64_t id,
+                           const model::Prediction &pred);
+
+/** Append an error / control-op response frame. */
+void appendStatusResponse(std::vector<std::uint8_t> &buf, std::uint64_t id,
+                          Op op, Status status);
+
+/** Append a STATS response frame. */
+void appendStatsResponse(std::vector<std::uint8_t> &buf, std::uint64_t id,
+                         const ServerStats &stats);
+
+/**
+ * Decode a PREDICT response payload back into a Prediction. Returns
+ * nullopt if the payload is truncated or inconsistent.
+ */
+std::optional<model::Prediction>
+decodePredictPayload(const std::uint8_t *p, std::size_t len);
+
+/**
+ * As decodePredictPayload, but decodes into @p out, reusing its
+ * vector capacities — the allocation-free path for clients that keep
+ * a result buffer across batches. Returns false (out unspecified) on
+ * a malformed payload.
+ */
+bool decodePredictInto(const std::uint8_t *p, std::size_t len,
+                       model::Prediction &out);
+
+/** Decode a STATS response payload. */
+std::optional<ServerStats> decodeStatsPayload(const std::uint8_t *p,
+                                              std::size_t len);
+
+} // namespace facile::server
+
+#endif // FACILE_SERVER_PROTOCOL_H

@@ -1,0 +1,613 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "server/net_util.h"
+#include "uarch/config.h"
+
+namespace facile::server {
+
+struct PredictionServer::Impl
+{
+    /** One accepted connection. */
+    struct Conn
+    {
+        std::atomic<int> fd{-1};
+        std::atomic<bool> open{true};
+
+        /**
+         * Set by the reader thread as its very last action. The
+         * reaper joins only exited readers: open==false alone can
+         * mean a collector-side write failure on a reader that is
+         * still running — and possibly about to take connMu for a
+         * STATS snapshot, which would deadlock a join under connMu.
+         */
+        std::atomic<bool> readerExited{false};
+        std::mutex writeMu;
+        std::thread reader;
+
+        /** Frame-atomic buffered write; false once the peer is gone. */
+        bool
+        write(const std::vector<std::uint8_t> &buf)
+        {
+            std::lock_guard<std::mutex> lock(writeMu);
+            int f = fd.load();
+            if (f < 0 || !open.load())
+                return false;
+            if (!sendAll(f, buf.data(), buf.size())) {
+                open.store(false);
+                // Unblock the reader thread promptly so the reaper can
+                // join it even if the peer never sends EOF.
+                ::shutdown(f, SHUT_RDWR);
+                return false;
+            }
+            return true;
+        }
+    };
+
+    /** One admitted PREDICT request awaiting batch submission. */
+    struct Pending
+    {
+        std::shared_ptr<Conn> conn;
+        std::uint64_t id = 0;
+        engine::Request req;
+    };
+
+    ServerOptions opts;
+    engine::PredictionEngine *engine = nullptr;
+
+    std::atomic<bool> running{false};
+    std::atomic<bool> stopping{false};
+    std::chrono::steady_clock::time_point startTime;
+
+    int tcpFd = -1;
+    int unixFd = -1;
+    int boundTcpPort = -1;
+    std::thread tcpAccept, unixAccept;
+
+    mutable std::mutex connMu;
+    std::vector<std::shared_ptr<Conn>> conns;
+
+    std::mutex queueMu;
+    std::condition_variable queueCv;
+    std::vector<Pending> pending;
+    std::thread collector;
+
+    std::atomic<std::uint64_t> requestCount{0}; ///< per-frame hot path
+    mutable std::mutex statsMu;
+    ServerStats counters; ///< batch-grained; derived fields on read
+
+    explicit Impl(ServerOptions o)
+        : opts(std::move(o)),
+          engine(opts.engine ? opts.engine
+                             : &engine::PredictionEngine::shared())
+    {}
+
+    // ---- listeners --------------------------------------------------------
+
+    int
+    listenTcp()
+    {
+        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            throwErrno("socket(AF_INET)");
+        int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port =
+            htons(static_cast<std::uint16_t>(opts.tcpPort));
+        if (::inet_pton(AF_INET, opts.tcpHost.c_str(), &addr.sin_addr) !=
+            1) {
+            ::close(fd);
+            throw std::runtime_error("bad tcpHost: " + opts.tcpHost);
+        }
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
+                0 ||
+            ::listen(fd, 64) < 0) {
+            int e = errno;
+            ::close(fd);
+            errno = e;
+            throwErrno("bind/listen tcp " + opts.tcpHost);
+        }
+        sockaddr_in bound{};
+        socklen_t blen = sizeof bound;
+        if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound),
+                          &blen) == 0)
+            boundTcpPort = ntohs(bound.sin_port);
+        return fd;
+    }
+
+    int
+    listenUnix()
+    {
+        sockaddr_un addr{};
+        if (opts.unixPath.size() >= sizeof addr.sun_path)
+            throw std::runtime_error("unix path too long: " +
+                                     opts.unixPath);
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            throwErrno("socket(AF_UNIX)");
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, opts.unixPath.c_str(),
+                     sizeof addr.sun_path - 1);
+        ::unlink(opts.unixPath.c_str()); // stale socket from a crash
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
+                0 ||
+            ::listen(fd, 64) < 0) {
+            int e = errno;
+            ::close(fd);
+            errno = e;
+            throwErrno("bind/listen unix " + opts.unixPath);
+        }
+        return fd;
+    }
+
+    void
+    acceptLoop(int listenFd, bool tcp)
+    {
+        while (!stopping.load()) {
+            int fd = ::accept(listenFd, nullptr, nullptr);
+            if (fd < 0) {
+                if (errno == EINTR)
+                    continue;
+                break; // listener closed by stop()
+            }
+            if (tcp) {
+                int one = 1;
+                ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                             sizeof one);
+            }
+            auto conn = std::make_shared<Conn>();
+            conn->fd.store(fd);
+            {
+                std::lock_guard<std::mutex> lock(statsMu);
+                ++counters.connectionsAccepted;
+            }
+            // Start the reader BEFORE publishing the conn: once it is
+            // in conns, the other transport's accept thread may reap
+            // it, and a concurrent move-assignment of conn->reader
+            // would race that reap's joinable() check.
+            conn->reader =
+                std::thread([this, conn] { readerLoop(conn); });
+            std::lock_guard<std::mutex> lock(connMu);
+            reapClosedLocked();
+            conns.push_back(conn);
+        }
+    }
+
+    /** Join and drop connections whose reader has exited; holds connMu. */
+    void
+    reapClosedLocked()
+    {
+        for (auto it = conns.begin(); it != conns.end();) {
+            Conn &c = **it;
+            // readerExited (not open) gates the join: an exited reader
+            // can no longer take connMu, so joining it under connMu is
+            // safe — and the join returns promptly.
+            if (c.readerExited.load() && c.reader.joinable()) {
+                c.reader.join();
+                std::lock_guard<std::mutex> lock(c.writeMu);
+                int f = c.fd.exchange(-1);
+                if (f >= 0)
+                    ::close(f);
+                it = conns.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    // ---- per-connection reader -------------------------------------------
+
+    void
+    readerLoop(const std::shared_ptr<Conn> &conn)
+    {
+        std::vector<std::uint8_t> inbuf;
+        std::size_t parsed = 0; // consumed prefix of inbuf
+        std::vector<std::uint8_t> chunk(64 * 1024);
+        std::vector<Pending> admitted;
+        std::vector<std::uint8_t> reply;
+
+        for (;;) {
+            ssize_t n = ::recv(conn->fd.load(), chunk.data(),
+                               chunk.size(), 0);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0)
+                break; // EOF, error, or shutdown() from stop()
+            inbuf.insert(inbuf.end(), chunk.begin(),
+                         chunk.begin() + n);
+
+            admitted.clear();
+            reply.clear();
+            while (inbuf.size() - parsed >= kRequestHeaderSize) {
+                RequestHeader h =
+                    parseRequestHeader(inbuf.data() + parsed);
+                const std::size_t frame = kRequestHeaderSize + h.len;
+                if (inbuf.size() - parsed < frame)
+                    break; // wait for the rest of the payload
+                handleFrame(conn, h,
+                            inbuf.data() + parsed + kRequestHeaderSize,
+                            admitted, reply);
+                parsed += frame;
+            }
+            if (parsed == inbuf.size()) {
+                inbuf.clear();
+                parsed = 0;
+            } else if (parsed > (64 * 1024)) {
+                inbuf.erase(inbuf.begin(),
+                            inbuf.begin() +
+                                static_cast<std::ptrdiff_t>(parsed));
+                parsed = 0;
+            }
+
+            // Control responses first (cheap, keeps health checks
+            // responsive), then hand the whole admitted chunk to the
+            // collector under one lock.
+            if (!reply.empty())
+                conn->write(reply);
+            if (!admitted.empty()) {
+                {
+                    std::lock_guard<std::mutex> lock(queueMu);
+                    pending.insert(pending.end(),
+                                   std::make_move_iterator(
+                                       admitted.begin()),
+                                   std::make_move_iterator(
+                                       admitted.end()));
+                }
+                queueCv.notify_one();
+            }
+            if (!conn->open.load())
+                break;
+        }
+        conn->open.store(false);
+        conn->readerExited.store(true);
+    }
+
+    void
+    handleFrame(const std::shared_ptr<Conn> &conn, const RequestHeader &h,
+                const std::uint8_t *payload, std::vector<Pending> &admitted,
+                std::vector<std::uint8_t> &reply)
+    {
+        requestCount.fetch_add(1, std::memory_order_relaxed);
+        switch (static_cast<Op>(h.op)) {
+          case Op::Ping:
+            appendStatusResponse(reply, h.id, Op::Ping, Status::Ok);
+            return;
+          case Op::Stats:
+            appendStatsResponse(reply, h.id, snapshotStats());
+            return;
+          case Op::Predict: {
+            if (h.arch >= uarch::allUArchs().size() ||
+                h.len > kMaxBlockBytes) {
+                appendStatusResponse(reply, h.id, Op::Predict,
+                                     Status::BadRequest);
+                return;
+            }
+            Pending p;
+            p.conn = conn;
+            p.id = h.id;
+            p.req.bytes.assign(payload, payload + h.len);
+            p.req.arch = static_cast<uarch::UArch>(h.arch);
+            p.req.loop = (h.flags & 1) != 0;
+            p.req.config = model::ModelConfig::fromBits(h.config);
+            admitted.push_back(std::move(p));
+            return;
+          }
+          default:
+            appendStatusResponse(reply, h.id, static_cast<Op>(h.op),
+                                 Status::BadRequest);
+            return;
+        }
+    }
+
+    // ---- admission batching ----------------------------------------------
+
+    /** Per-worker response staging: worker w owns workerBufs[w]. */
+    struct ConnBuf
+    {
+        std::shared_ptr<Conn> conn;
+        std::vector<std::uint8_t> buf;
+    };
+
+    void
+    collectorLoop()
+    {
+        std::vector<Pending> batch;
+        std::vector<engine::Request> reqs;
+        std::vector<std::size_t> order; // batch index in submission order
+        std::vector<std::vector<ConnBuf>> workerBufs(
+            static_cast<std::size_t>(engine->numThreads()));
+
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> lock(queueMu);
+                queueCv.wait(lock, [&] {
+                    return stopping.load() || !pending.empty();
+                });
+                if (pending.empty() && stopping.load())
+                    return;
+                // Admission window: wait for stragglers of the burst,
+                // close early when maxBatch are pending.
+                if (opts.batchWindowUs > 0 &&
+                    pending.size() < opts.maxBatch)
+                    queueCv.wait_for(
+                        lock,
+                        std::chrono::microseconds(opts.batchWindowUs),
+                        [&] {
+                            return stopping.load() ||
+                                   pending.size() >= opts.maxBatch;
+                        });
+                batch.clear();
+                std::swap(batch, pending);
+            }
+            submitBatch(batch, reqs, order, workerBufs);
+        }
+    }
+
+    void
+    submitBatch(std::vector<Pending> &batch,
+                std::vector<engine::Request> &reqs,
+                std::vector<std::size_t> &order,
+                std::vector<std::vector<ConnBuf>> &workerBufs)
+    {
+        // Group requests per arch (stable counting sort) so one engine
+        // fan-out walks each arch's cache shards and uop tables
+        // contiguously. Single-arch batches — the common production
+        // shape — skip the permutation entirely.
+        constexpr std::size_t kArches = 256; // arch is a wire byte
+        std::size_t cnt[kArches + 1] = {};
+        for (const Pending &p : batch)
+            ++cnt[static_cast<std::size_t>(p.req.arch) + 1];
+        const bool singleArch =
+            cnt[static_cast<std::size_t>(batch.front().req.arch) + 1] ==
+            batch.size();
+
+        order.clear();
+        if (singleArch) {
+            for (std::size_t i = 0; i < batch.size(); ++i)
+                order.push_back(i);
+        } else {
+            for (std::size_t a = 1; a <= kArches; ++a)
+                cnt[a] += cnt[a - 1];
+            order.resize(batch.size());
+            for (std::size_t i = 0; i < batch.size(); ++i)
+                order[cnt[static_cast<std::size_t>(
+                    batch[i].req.arch)]++] = i;
+        }
+
+        reqs.clear();
+        reqs.reserve(order.size());
+        for (std::size_t i : order)
+            reqs.push_back(std::move(batch[i].req));
+
+        // Zero-copy serving: each engine worker serializes predictions
+        // straight from the cache into its own per-connection staging
+        // buffer (no Prediction copies, no locks between workers), and
+        // every non-empty buffer is flushed with one write afterwards.
+        // Responses are matched by id, so the worker interleaving is
+        // invisible to clients.
+        for (auto &bufs : workerBufs) {
+            for (auto it = bufs.begin(); it != bufs.end();) {
+                it->buf.clear(); // keep capacity across batches
+                if (!it->conn->open.load())
+                    it = bufs.erase(it);
+                else
+                    ++it;
+            }
+        }
+        engine::BatchStats bs;
+        engine->predictBatchVisit(
+            reqs,
+            [&](int worker, std::size_t k,
+                const model::Prediction &pred) {
+                Pending &p = batch[order[k]];
+                auto &bufs = workerBufs[static_cast<std::size_t>(worker)];
+                ConnBuf *cb = nullptr;
+                for (auto &b : bufs)
+                    if (b.conn.get() == p.conn.get()) {
+                        cb = &b;
+                        break;
+                    }
+                if (!cb) {
+                    bufs.push_back({p.conn, {}});
+                    cb = &bufs.back();
+                }
+                appendPredictResponse(cb->buf, p.id, pred);
+            },
+            &bs);
+        {
+            std::lock_guard<std::mutex> lock(statsMu);
+            counters.predictions += reqs.size();
+            ++counters.batches;
+            counters.maxBatch =
+                std::max<std::uint64_t>(counters.maxBatch, reqs.size());
+            counters.analysisCacheHits += bs.analysisCacheHits;
+            counters.predictionCacheHits += bs.predictionCacheHits;
+            counters.analyzed += bs.analyzed;
+        }
+        for (auto &bufs : workerBufs)
+            for (auto &b : bufs)
+                if (!b.buf.empty())
+                    b.conn->write(b.buf); // closed peers drop silently
+    }
+
+    // ---- stats ------------------------------------------------------------
+
+    ServerStats
+    snapshotStats() const
+    {
+        ServerStats s;
+        {
+            std::lock_guard<std::mutex> lock(statsMu);
+            s = counters;
+        }
+        s.requests = requestCount.load(std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(connMu);
+            std::size_t open = 0;
+            for (const auto &c : conns)
+                open += c->open.load() ? 1 : 0;
+            s.connectionsOpen = open;
+        }
+        s.uptimeMs = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - startTime)
+                .count());
+        return s;
+    }
+
+    // ---- lifecycle ---------------------------------------------------------
+
+    void
+    start()
+    {
+        if (running.load())
+            return;
+        if (opts.unixPath.empty() && opts.tcpPort < 0)
+            throw std::runtime_error(
+                "PredictionServer: no listener configured");
+        startTime = std::chrono::steady_clock::now();
+        stopping.store(false);
+        if (!opts.unixPath.empty())
+            unixFd = listenUnix();
+        if (opts.tcpPort >= 0) {
+            try {
+                tcpFd = listenTcp();
+            } catch (...) {
+                if (unixFd >= 0) {
+                    ::close(unixFd);
+                    ::unlink(opts.unixPath.c_str());
+                    unixFd = -1;
+                }
+                throw;
+            }
+        }
+        running.store(true);
+        collector = std::thread([this] { collectorLoop(); });
+        if (tcpFd >= 0)
+            tcpAccept = std::thread([this] { acceptLoop(tcpFd, true); });
+        if (unixFd >= 0)
+            unixAccept =
+                std::thread([this] { acceptLoop(unixFd, false); });
+    }
+
+    void
+    stop()
+    {
+        if (!running.exchange(false))
+            return;
+        stopping.store(true);
+
+        // 1. Close listeners; accept threads unblock and exit (no more
+        //    sweeps run after this, so fds below cannot be recycled
+        //    under us).
+        if (tcpFd >= 0)
+            ::shutdown(tcpFd, SHUT_RDWR);
+        if (unixFd >= 0)
+            ::shutdown(unixFd, SHUT_RDWR);
+        if (tcpAccept.joinable())
+            tcpAccept.join();
+        if (unixAccept.joinable())
+            unixAccept.join();
+        if (tcpFd >= 0)
+            ::close(tcpFd);
+        if (unixFd >= 0) {
+            ::close(unixFd);
+            ::unlink(opts.unixPath.c_str());
+        }
+        tcpFd = unixFd = -1;
+
+        // 2. Unblock connection readers and join them. Join WITHOUT
+        //    holding connMu: a reader serving a STATS op takes connMu
+        //    in snapshotStats(), and joining it under the same lock
+        //    would deadlock.
+        std::vector<std::shared_ptr<Conn>> snapshot;
+        {
+            std::lock_guard<std::mutex> lock(connMu);
+            snapshot = conns;
+        }
+        for (auto &c : snapshot) {
+            int f = c->fd.load();
+            if (f >= 0)
+                ::shutdown(f, SHUT_RDWR);
+        }
+        for (auto &c : snapshot)
+            if (c->reader.joinable())
+                c->reader.join();
+
+        // 3. Drain the collector (it answers what it can; writes to
+        //    closed peers fail silently), then close the sockets.
+        queueCv.notify_all();
+        if (collector.joinable())
+            collector.join();
+        {
+            std::lock_guard<std::mutex> lock(connMu);
+            for (auto &c : conns) {
+                std::lock_guard<std::mutex> wlock(c->writeMu);
+                int f = c->fd.exchange(-1);
+                if (f >= 0)
+                    ::close(f);
+            }
+            conns.clear();
+        }
+    }
+};
+
+PredictionServer::PredictionServer(ServerOptions opts)
+    : impl_(std::make_unique<Impl>(std::move(opts)))
+{}
+
+PredictionServer::~PredictionServer()
+{
+    impl_->stop();
+}
+
+void
+PredictionServer::start()
+{
+    impl_->start();
+}
+
+void
+PredictionServer::stop()
+{
+    impl_->stop();
+}
+
+int
+PredictionServer::tcpPort() const
+{
+    return impl_->boundTcpPort;
+}
+
+const std::string &
+PredictionServer::unixPath() const
+{
+    return impl_->opts.unixPath;
+}
+
+ServerStats
+PredictionServer::stats() const
+{
+    return impl_->snapshotStats();
+}
+
+} // namespace facile::server

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Streaming prediction server: exposes the batched PredictionEngine
+ * over TCP and Unix-domain sockets with the framed binary protocol of
+ * protocol.h.
+ *
+ * Architecture (one process, no external dependencies):
+ *
+ *   listener threads (TCP / UDS)  -- accept -->  one reader thread
+ *                                                per connection
+ *        reader: frame parsing, request validation, control ops
+ *            |  complete PREDICT frames, appended in bulk
+ *            v
+ *   admission queue  --  collector thread groups requests for up to
+ *                        batchWindowUs or until maxBatch are pending,
+ *                        orders them arch-major, and submits ONE
+ *                        engine::predictBatch call
+ *            |
+ *            v
+ *   PredictionEngine (worker pool, sharded two-generation caches,
+ *                     zero-alloc hot paths)
+ *            |
+ *            v
+ *   responses serialized per connection and written in one syscall
+ *   per (connection, batch) pair
+ *
+ * The admission batching is what lets wire serving inherit the batch
+ * engine's economics: a burst of N requests from any mix of clients
+ * costs one pool fan-out, and repeated blocks collapse into cache
+ * hits. Responses carry the client-chosen request id, so clients may
+ * pipeline arbitrarily deep; per-connection frame order across batches
+ * follows submission order of the batches, but within one batch the
+ * order is the engine's — match by id.
+ */
+#ifndef FACILE_SERVER_SERVER_H
+#define FACILE_SERVER_SERVER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "server/protocol.h"
+
+namespace facile::server {
+
+struct ServerOptions
+{
+    /** Unix-domain socket path; empty disables the UDS listener. */
+    std::string unixPath;
+
+    /**
+     * TCP listen port; -1 disables the TCP listener, 0 binds an
+     * ephemeral port (query it with tcpPort() after start()).
+     */
+    int tcpPort = -1;
+
+    /** TCP bind address. Loopback by default; widen deliberately. */
+    std::string tcpHost = "127.0.0.1";
+
+    /**
+     * Admission window in microseconds: after the first request of a
+     * batch arrives, the collector waits up to this long for more
+     * before submitting, so bursts coalesce into one engine fan-out.
+     * 0 submits whatever is pending immediately.
+     */
+    int batchWindowUs = 200;
+
+    /** Admission batch size that closes the window early. */
+    std::size_t maxBatch = 1024;
+
+    /** Engine to serve from; nullptr uses PredictionEngine::shared(). */
+    engine::PredictionEngine *engine = nullptr;
+};
+
+class PredictionServer
+{
+  public:
+    explicit PredictionServer(ServerOptions opts);
+
+    /** Stops and joins everything if still running. */
+    ~PredictionServer();
+
+    PredictionServer(const PredictionServer &) = delete;
+    PredictionServer &operator=(const PredictionServer &) = delete;
+
+    /**
+     * Bind the configured listeners and start serving. Throws
+     * std::runtime_error (with errno detail) if no listener could be
+     * established.
+     */
+    void start();
+
+    /** Stop listeners, drain in-flight batches, join all threads. */
+    void stop();
+
+    /** Actual TCP port after start() (ephemeral binds resolved). */
+    int tcpPort() const;
+
+    /** UDS path (empty when the UDS listener is disabled). */
+    const std::string &unixPath() const;
+
+    /** Snapshot of the serving counters (same data as the STATS op). */
+    ServerStats stats() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace facile::server
+
+#endif // FACILE_SERVER_SERVER_H

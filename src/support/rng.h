@@ -38,6 +38,14 @@ class Rng
         return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
     }
 
+    /** Uniform 64-bit value (two next() draws, high word first). */
+    std::uint64_t
+    next64()
+    {
+        std::uint64_t hi = next();
+        return (hi << 32) | next();
+    }
+
     /** Uniform integer in [0, bound) using rejection sampling. */
     std::uint32_t
     below(std::uint32_t bound)
@@ -52,12 +60,44 @@ class Rng
         }
     }
 
-    /** Uniform integer in [lo, hi] inclusive. */
+    /**
+     * Uniform integer in [0, bound) via 64-bit rejection sampling.
+     * bound == 0 means the full 2^64 range.
+     */
+    std::uint64_t
+    below64(std::uint64_t bound)
+    {
+        if (bound == 0)
+            return next64();
+        if (bound <= 1)
+            return 0;
+        std::uint64_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint64_t r = next64();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /**
+     * Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+     *
+     * Spans that fit in 32 bits draw exactly one below() sample, keeping
+     * the historical output sequence (the deterministic BHive suite).
+     * Wider spans — including hi - lo + 1 overflowing int64, where the
+     * unsigned span wraps to 0 and encodes the full 2^64 range — sample
+     * in 64 bits instead of silently truncating the span to uint32.
+     */
     std::int64_t
     range(std::int64_t lo, std::int64_t hi)
     {
-        return lo + static_cast<std::int64_t>(
-                        below(static_cast<std::uint32_t>(hi - lo + 1)));
+        std::uint64_t span = static_cast<std::uint64_t>(hi) -
+                             static_cast<std::uint64_t>(lo) + 1;
+        if (span != 0 && span <= 0xffffffffULL)
+            return lo + static_cast<std::int64_t>(
+                            below(static_cast<std::uint32_t>(span)));
+        return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                         below64(span));
     }
 
     /** Uniform double in [0, 1). */

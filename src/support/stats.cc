@@ -3,13 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
 namespace facile {
 
 double
-mape(const std::vector<double> &measured, const std::vector<double> &predicted)
+mape(const std::vector<double> &measured, const std::vector<double> &predicted,
+     std::size_t *skipped)
 {
     if (measured.size() != predicted.size())
         throw std::invalid_argument("mape: size mismatch");
@@ -21,7 +23,11 @@ mape(const std::vector<double> &measured, const std::vector<double> &predicted)
         sum += std::abs(measured[i] - predicted[i]) / measured[i];
         ++n;
     }
-    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+    if (skipped)
+        *skipped = measured.size() - n;
+    if (n == 0)
+        return std::numeric_limits<double>::quiet_NaN();
+    return sum / static_cast<double>(n);
 }
 
 namespace {

@@ -15,10 +15,15 @@ namespace facile {
  * Mean Absolute Percentage Error over pairs of (measured, predicted)
  * throughputs, as defined in the paper:
  *   MAPE(S) = (1/n) * sum |m_i - p_i| / m_i.
- * Pairs with measured value zero are skipped (they carry no information).
+ * Pairs with measured value zero are skipped (the relative error is
+ * undefined for them); the number of skipped pairs is reported through
+ * @p skipped when non-null. If no pair survives — all-zero measured
+ * input, or empty vectors — the metric is undefined and NaN is
+ * returned, never a (vacuously perfect) 0.
  */
 double mape(const std::vector<double> &measured,
-            const std::vector<double> &predicted);
+            const std::vector<double> &predicted,
+            std::size_t *skipped = nullptr);
 
 /**
  * Kendall's tau-b rank correlation coefficient.

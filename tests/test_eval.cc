@@ -60,6 +60,22 @@ TEST(Eval, PerfectPredictorScoresZeroMape)
     EXPECT_GT(a.kendall, 0.999);
 }
 
+TEST(Eval, ScoreSurfacesSkippedZeroMeasuredPairs)
+{
+    Accuracy a = score({0.0, 2.0}, {1.0, 2.0});
+    EXPECT_EQ(a.mapeSkipped, 1u);
+    EXPECT_DOUBLE_EQ(a.mape, 0.0); // the surviving pair is exact
+
+    // All pairs skipped: the metric is undefined, not perfect.
+    Accuracy b = score({0.0, 0.0}, {1.0, 2.0});
+    EXPECT_TRUE(std::isnan(b.mape));
+    EXPECT_EQ(b.mapeSkipped, 2u);
+
+    Accuracy c = evaluate(baselines::FacilePredictor{}, preparedSkl(),
+                          false);
+    EXPECT_EQ(c.mapeSkipped, 0u); // real suites have no zero ground truth
+}
+
 TEST(Eval, RunPredictorRoundsToTwoDecimals)
 {
     baselines::FacilePredictor facile;

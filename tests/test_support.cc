@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <numeric>
 
 #include "support/math_util.h"
@@ -54,9 +56,41 @@ TEST(Stats, MapeSkipsZeroMeasured)
     EXPECT_NEAR(mape({0.0, 2.0}, {5.0, 1.0}), 0.5, 1e-12);
 }
 
+TEST(Stats, MapeReportsSkippedCount)
+{
+    std::size_t skipped = 99;
+    EXPECT_NEAR(mape({0.0, 2.0, 4.0}, {5.0, 1.0, 4.0}, &skipped), 0.25,
+                1e-12);
+    EXPECT_EQ(skipped, 1u);
+
+    EXPECT_DOUBLE_EQ(mape({1.0, 2.0}, {1.0, 2.0}, &skipped), 0.0);
+    EXPECT_EQ(skipped, 0u);
+}
+
+TEST(Stats, MapeAllZeroMeasuredIsNaN)
+{
+    // An all-zero measured vector evaluates nothing; returning 0 here
+    // would report a perfect score for an unevaluated metric.
+    std::size_t skipped = 0;
+    EXPECT_TRUE(std::isnan(mape({0.0, 0.0}, {1.0, 2.0}, &skipped)));
+    EXPECT_EQ(skipped, 2u);
+}
+
+TEST(Stats, MapeEmptyIsNaN)
+{
+    std::size_t skipped = 99;
+    EXPECT_TRUE(std::isnan(mape({}, {}, &skipped)));
+    EXPECT_EQ(skipped, 0u);
+}
+
 TEST(Stats, MapeSizeMismatchThrows)
 {
     EXPECT_THROW(mape({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Stats, KendallSizeMismatchThrows)
+{
+    EXPECT_THROW(kendallTau({1.0}, {1.0, 2.0}), std::invalid_argument);
 }
 
 TEST(Stats, KendallPerfectCorrelation)
@@ -171,6 +205,68 @@ TEST(Rng, RangeInclusive)
     }
     EXPECT_TRUE(sawLo);
     EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, RangeSmallSpanKeepsHistoricalSequence)
+{
+    // Spans that fit in 32 bits must keep drawing exactly one below()
+    // sample, or every deterministic BHive suite silently changes.
+    Rng a(20231020), b(20231020);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(a.range(-16, 64),
+                  -16 + static_cast<std::int64_t>(b.below(81)));
+}
+
+TEST(Rng, RangeDegenerate)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.range(5, 5), 5);
+    EXPECT_EQ(rng.range(-7, -7), -7);
+}
+
+TEST(Rng, RangeWiderThan32BitsCoversFullSpan)
+{
+    // The pre-fix code truncated hi - lo + 1 to uint32: for a span of
+    // 2^40 + 1 that truncates to 1, so every sample came out as lo.
+    Rng rng(17);
+    const std::int64_t hi = std::int64_t{1} << 40;
+    bool sawAbove32Bits = false, sawNonZero = false;
+    for (int i = 0; i < 200; ++i) {
+        std::int64_t v = rng.range(0, hi);
+        ASSERT_GE(v, 0);
+        ASSERT_LE(v, hi);
+        sawNonZero |= v != 0;
+        sawAbove32Bits |= v > std::int64_t{0xffffffff};
+    }
+    EXPECT_TRUE(sawNonZero);
+    EXPECT_TRUE(sawAbove32Bits);
+}
+
+TEST(Rng, RangeFullInt64SpanDoesNotCollapse)
+{
+    // hi - lo + 1 overflows int64 here; the unsigned span wraps to 0.
+    // Pre-fix this collapsed to below(0) == 0, i.e. always INT64_MIN.
+    Rng rng(23);
+    const std::int64_t lo = std::numeric_limits<std::int64_t>::min();
+    const std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+    bool sawNegative = false, sawPositive = false;
+    for (int i = 0; i < 200; ++i) {
+        std::int64_t v = rng.range(lo, hi);
+        sawNegative |= v < 0;
+        sawPositive |= v > 0;
+    }
+    EXPECT_TRUE(sawNegative);
+    EXPECT_TRUE(sawPositive);
+}
+
+TEST(Rng, Below64RespectsBound)
+{
+    Rng rng(29);
+    const std::uint64_t bound = (std::uint64_t{1} << 40) + 3;
+    for (int i = 0; i < 500; ++i)
+        EXPECT_LT(rng.below64(bound), bound);
+    EXPECT_EQ(rng.below64(1), 0u);
 }
 
 TEST(Rng, UniformInUnitInterval)
