@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Cold-path throughput: uncached (analysis-cache-off) blocks/sec —
+ * the rate at which the engine handles *never-seen* blocks, which is
+ * what caps serving throughput for fresh traffic.
+ *
+ * Two serial baselines bracket the measurement:
+ *
+ *   - "fresh" analysis (InternMode::Off): every instruction pays a full
+ *     uops::lookup plus a heap-allocated InstrInfo copy — the pre-
+ *     interning cold path;
+ *   - interned analysis (the default): per-instruction results are
+ *     memoized process-wide, so a never-seen *block* reuses the decode
+ *     effort of every instruction seen before in any block (the
+ *     BHive-style workload regime: a small instruction universe across
+ *     millions of distinct blocks).
+ *
+ * The engine rows run with both engine cache levels disabled at 1/2/4/8
+ * worker threads. Every prediction (serial interned and all engine
+ * rows) is checked bit-identical to the fresh serial reference; the
+ * binary exits non-zero on any mismatch. Results are written to
+ * BENCH_coldpath.json.
+ */
+#include "bench_common.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "analysis/intern.h"
+#include "support/stats.h"
+
+using namespace facile;
+
+int
+main()
+{
+    const auto &suite = bench::evalSuite();
+    const uarch::UArch arch = uarch::UArch::SKL;
+    const bool loop = true;
+
+    std::vector<engine::Request> batch;
+    batch.reserve(suite.size());
+    for (const auto &b : suite)
+        batch.push_back({b.bytesL, arch, loop, {}});
+    const auto nBlocks = static_cast<double>(batch.size());
+
+    bench::BenchReport report("coldpath");
+    report.scalar("suite_blocks", nBlocks);
+    report.scalar("arch", "SKL");
+    report.boolean("quick_mode", bench::quickMode());
+    report.scalar("hw_threads",
+                  static_cast<double>(std::thread::hardware_concurrency()));
+
+    std::printf("COLD-PATH THROUGHPUT: uncached blocks/sec, %zu blocks "
+                "(TPL, %s)\n",
+                batch.size(), uarch::config(arch).abbrev);
+    bench::printRule();
+    std::printf("%-34s %12s %10s %10s\n", "Configuration", "blocks/s",
+                "ms/block", "speedup");
+    bench::printRule();
+
+    // Serial cold paths, measured interleaved (alternating one fresh
+    // pass and one interned pass per round, minimum over the rounds
+    // for each) so load drift on a shared machine hits both sides
+    // equally and the speedup ratio stays meaningful.
+    //
+    //   fresh    — InternMode::Off: per-instruction decode + lookups
+    //              with per-block heap copies, the pre-interning
+    //              behavior; also the bit-identity oracle below.
+    //   interned — steady-state intern cache (the warm-up pass
+    //              populates it), mirroring a server that has seen the
+    //              instruction universe but none of the incoming
+    //              blocks.
+    std::vector<model::Prediction> fresh(batch.size());
+    std::vector<model::Prediction> interned(batch.size());
+    auto freshPass = [&] {
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            fresh[i] = model::predict(
+                bb::analyze(batch[i].bytes, arch, bb::InternMode::Off),
+                loop, batch[i].config);
+    };
+    auto internedPass = [&] {
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            interned[i] = model::predict(bb::analyze(batch[i].bytes, arch),
+                                         loop, batch[i].config);
+    };
+    double freshMs = 1e300, internedMs = 1e300;
+    freshPass();    // warm-up (and first oracle fill)
+    internedPass(); // warm-up (populates the intern cache)
+    for (int round = 0; round < 8; ++round) {
+        freshMs = std::min(freshMs, eval::bestOfRunsMs(freshPass, 1, false));
+        internedMs =
+            std::min(internedMs, eval::bestOfRunsMs(internedPass, 1, false));
+    }
+    const double freshBps = 1000.0 * nBlocks / freshMs;
+    std::printf("%-34s %12.0f %10.5f %10s\n", "serial, fresh (pre-PR path)",
+                freshBps, freshMs / nBlocks, "1.00x");
+    report.row("serial_fresh");
+    report.metric("threads", 1);
+    report.metric("blocks_per_sec", freshBps);
+
+    bool identical = true;
+    auto check = [&](const model::Prediction &p, std::size_t i,
+                     const char *what) {
+        if (!bench::samePrediction(p, fresh[i])) {
+            std::fprintf(stderr, "MISMATCH vs fresh serial at block %zu "
+                                 "(%s)\n",
+                         i, what);
+            identical = false;
+        }
+    };
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        check(interned[i], i, "serial interned");
+    const double internedBps = 1000.0 * nBlocks / internedMs;
+    const double speedup = internedBps / freshBps;
+    std::printf("%-34s %12.0f %10.5f %9.2fx\n", "serial, interned",
+                internedBps, internedMs / nBlocks, speedup);
+    report.row("serial_interned");
+    report.metric("threads", 1);
+    report.metric("blocks_per_sec", internedBps);
+
+    // Per-block cold latency percentiles on the interned serial path.
+    {
+        std::vector<double> us;
+        us.reserve(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            auto t0 = std::chrono::steady_clock::now();
+            model::Prediction p = model::predict(
+                bb::analyze(batch[i].bytes, arch), loop, batch[i].config);
+            auto t1 = std::chrono::steady_clock::now();
+            check(p, i, "latency probe");
+            us.push_back(std::chrono::duration<double, std::micro>(t1 - t0)
+                             .count());
+        }
+        const double p50 = percentile(us, 50);
+        const double p99 = percentile(us, 99);
+        std::printf("per-block cold latency: p50 %.2f us, p99 %.2f us\n",
+                    p50, p99);
+        report.scalar("p50_us", p50);
+        report.scalar("p99_us", p99);
+    }
+
+    // Engine rows: both engine cache levels off, so every block is
+    // analyzed and predicted from scratch (modulo interning).
+    for (int threads : {1, 2, 4, 8}) {
+        engine::PredictionEngine::Options opts;
+        opts.numThreads = threads;
+        opts.cacheEnabled = false;
+        engine::PredictionEngine eng(opts);
+
+        std::vector<model::Prediction> out;
+        const double ms =
+            eval::bestOfRunsMs([&] { out = eng.predictBatch(batch); });
+        const double bps = 1000.0 * nBlocks / ms;
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            check(out[i], i, "engine uncached");
+
+        char label[64];
+        std::snprintf(label, sizeof label, "engine uncached, %d thread%s",
+                      threads, threads == 1 ? "" : "s");
+        std::printf("%-34s %12.0f %10.5f %9.2fx\n", label, bps,
+                    ms / nBlocks, bps / freshBps);
+        std::snprintf(label, sizeof label, "engine_uncached_%dt", threads);
+        report.row(label);
+        report.metric("threads", threads);
+        report.metric("blocks_per_sec", bps);
+    }
+
+    const analysis::InternStats st = analysis::InstInterner::statsAllArchs();
+    const double hitRate = st.hitRate();
+    bench::printRule();
+    std::printf("intern cache: %.1f%% hit rate (%llu hits, %llu distinct "
+                "instructions)\n",
+                100.0 * hitRate, static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.misses));
+    std::printf("interned vs fresh cold path: %.2fx (target >= 1.5x)\n",
+                speedup);
+    std::printf("bit-identical to fresh serial predict: %s\n",
+                identical ? "yes" : "NO");
+    report.scalar("cache_hit_rate", hitRate);
+    report.scalar("speedup_vs_fresh", speedup);
+    report.boolean("bit_identical", identical);
+    report.boolean("speedup_target_met", speedup >= 1.5);
+    report.write();
+
+    return identical ? 0 : 1;
+}

@@ -12,7 +12,8 @@
  * near zero.
  *
  * Every wire prediction is checked bit-identical to serial
- * model::predict; the binary exits non-zero on any mismatch.
+ * model::predict; the binary exits non-zero on any mismatch. Results
+ * are written to BENCH_server.json.
  */
 #include "bench_common.h"
 
@@ -32,20 +33,7 @@ using namespace facile;
 
 namespace {
 
-bool
-samePrediction(const model::Prediction &a, const model::Prediction &b)
-{
-    if (std::memcmp(&a.throughput, &b.throughput, sizeof(double)) != 0)
-        return false;
-    if (std::memcmp(a.componentValue.data(), b.componentValue.data(),
-                    sizeof(double) * a.componentValue.size()) != 0)
-        return false;
-    return a.bottlenecks == b.bottlenecks &&
-           a.primaryBottleneck == b.primaryBottleneck &&
-           a.criticalChain == b.criticalChain &&
-           a.contendedPorts == b.contendedPorts &&
-           a.contendingInsts == b.contendingInsts;
-}
+using bench::samePrediction;
 
 std::string
 socketPath()
@@ -69,6 +57,12 @@ main()
     for (const auto &b : suite)
         batch.push_back({b.bytesL, arch, loop, {}});
     const auto nBlocks = static_cast<double>(batch.size());
+
+    bench::BenchReport report("server");
+    report.scalar("suite_blocks", nBlocks);
+    report.scalar("arch", "SKL");
+    report.boolean("quick_mode", bench::quickMode());
+    report.scalar("clients", kClients);
 
     // Serial reference (also the bit-identity oracle).
     std::vector<model::Prediction> serial(batch.size());
@@ -227,18 +221,32 @@ main()
         cl.predictMany(batch);
         server::ServerStats after = cl.stats();
         const double hitRate =
-            100.0 *
             static_cast<double>(after.predictionCacheHits -
                                 before.predictionCacheHits) /
             nBlocks;
         std::printf("capacity-bound engine (512-entry generations, "
-                    "600-block set): steady-state hit rate %.0f%%\n",
-                    hitRate);
+                    "%zu-block set): steady-state hit rate %.0f%%\n",
+                    batch.size(), 100.0 * hitRate);
+        report.scalar("capacity_bound_hit_rate", hitRate);
         tightSrv.stop();
     }
 
     bench::printRule();
     std::printf("bit-identical to serial predict: %s\n",
                 identical ? "yes" : "NO");
+
+    report.row("serial");
+    report.metric("threads", 1);
+    report.metric("blocks_per_sec", serialBps);
+    report.row("inprocess_cached_4t");
+    report.metric("threads", 4);
+    report.metric("blocks_per_sec", inprocBps);
+    report.row("server_loopback");
+    report.metric("threads", 4);
+    report.metric("blocks_per_sec", serverBps);
+    report.scalar("p50_us", p50);
+    report.scalar("p99_us", p99);
+    report.boolean("bit_identical", identical);
+    report.write();
     return identical ? 0 : 1;
 }

@@ -4,6 +4,7 @@
  * blocks/sec over the generated BHive suite (bytes in, predictions
  * out), at 1/2/4/8 worker threads, against the serial
  * bb::analyze + model::predict path — plus the cache-hit serving rate.
+ * Results are written to BENCH_throughput.json.
  *
  * Every engine prediction is checked bit-identical to the serial
  * predictor's output (throughput and component values compared by bit
@@ -13,38 +14,11 @@
  */
 #include "bench_common.h"
 
-#include <cstring>
 #include <thread>
 
 #include "facile/predictor.h"
 
 using namespace facile;
-
-namespace {
-
-bool
-sameBits(double a, double b)
-{
-    return std::memcmp(&a, &b, sizeof a) == 0;
-}
-
-bool
-samePrediction(const model::Prediction &a, const model::Prediction &b)
-{
-    if (!sameBits(a.throughput, b.throughput))
-        return false;
-    // Bitwise comparison handles the NaN markers for skipped components.
-    if (std::memcmp(a.componentValue.data(), b.componentValue.data(),
-                    sizeof(double) * a.componentValue.size()) != 0)
-        return false;
-    return a.bottlenecks == b.bottlenecks &&
-           a.primaryBottleneck == b.primaryBottleneck &&
-           a.criticalChain == b.criticalChain &&
-           a.contendedPorts == b.contendedPorts &&
-           a.contendingInsts == b.contendingInsts;
-}
-
-} // namespace
 
 int
 main()
@@ -58,6 +32,13 @@ main()
     for (const auto &b : suite)
         batch.push_back({b.bytesL, arch, loop, {}});
     const auto nBlocks = static_cast<double>(batch.size());
+
+    bench::BenchReport report("throughput");
+    report.scalar("suite_blocks", nBlocks);
+    report.scalar("arch", "SKL");
+    report.boolean("quick_mode", bench::quickMode());
+    report.scalar("hw_threads",
+                  static_cast<double>(std::thread::hardware_concurrency()));
 
     // Serial reference: analyze + predict per block, no engine.
     std::vector<model::Prediction> serial(batch.size());
@@ -77,6 +58,9 @@ main()
     bench::printRule();
     std::printf("%-28s %12.0f %10.5f %10s\n", "serial (analyze+predict)",
                 serialBps, serialMs / nBlocks, "1.00x");
+    report.row("serial");
+    report.metric("threads", 1);
+    report.metric("blocks_per_sec", serialBps);
 
     bool identical = true;
     double bps4 = 0.0;
@@ -95,7 +79,7 @@ main()
             bps4 = bps;
 
         for (std::size_t i = 0; i < batch.size(); ++i)
-            if (!samePrediction(out[i], serial[i])) {
+            if (!bench::samePrediction(out[i], serial[i])) {
                 std::fprintf(stderr,
                              "MISMATCH vs serial at block %zu "
                              "(%d threads)\n",
@@ -108,6 +92,10 @@ main()
                       threads == 1 ? "" : "s");
         std::printf("%-28s %12.0f %10.5f %9.2fx\n", label, bps,
                     ms / nBlocks, bps / serialBps);
+        std::snprintf(label, sizeof label, "engine_%dt", threads);
+        report.row(label);
+        report.metric("threads", threads);
+        report.metric("blocks_per_sec", bps);
     }
 
     // Default engine configuration (4 workers, caches on): steady-state
@@ -118,22 +106,34 @@ main()
         engine::PredictionEngine::Options opts;
         opts.numThreads = 4;
         engine::PredictionEngine eng(opts);
-        engine::BatchStats stats;
         std::vector<model::Prediction> out =
-            eng.predictBatch(batch, &stats); // cold: fills caches
+            eng.predictBatch(batch); // cold: fills caches
         const double ms =
             eval::bestOfRunsMs([&] { out = eng.predictBatch(batch); });
         for (std::size_t i = 0; i < batch.size(); ++i)
-            if (!samePrediction(out[i], serial[i])) {
+            if (!bench::samePrediction(out[i], serial[i])) {
                 std::fprintf(stderr, "MISMATCH vs serial on cache hit "
                                      "at block %zu\n",
                              i);
                 identical = false;
             }
         bpsDefault = 1000.0 * nBlocks / ms;
+
+        // Steady-state hit rate of one more pass (prediction cache).
+        engine::BatchStats stats;
+        eng.predictBatch(batch, &stats);
+        const double hitRate =
+            stats.requests
+                ? static_cast<double>(stats.predictionCacheHits) /
+                      static_cast<double>(stats.requests)
+                : 0.0;
         std::printf("%-28s %12.0f %10.5f %9.2fx\n",
                     "engine, 4 threads (cached)", bpsDefault,
                     ms / nBlocks, bpsDefault / serialBps);
+        report.row("engine_4t_cached");
+        report.metric("threads", 4);
+        report.metric("blocks_per_sec", bpsDefault);
+        report.metric("cache_hit_rate", hitRate);
     }
 
     bench::printRule();
@@ -146,5 +146,7 @@ main()
     std::printf("4-thread engine, default config, vs serial: %.2fx "
                 "(target >= 2x)\n",
                 bpsDefault / serialBps);
+    report.boolean("bit_identical", identical);
+    report.write();
     return identical ? 0 : 1;
 }

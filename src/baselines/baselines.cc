@@ -71,7 +71,7 @@ unfusedUops(const bb::BasicBlock &blk)
     for (const auto &ai : blk.insts) {
         if (ai.fusedWithPrev)
             continue;
-        n += std::max<std::size_t>(1, ai.info.portUops.size());
+        n += std::max<std::size_t>(1, ai.info->portUops.size());
     }
     return n;
 }
@@ -89,9 +89,9 @@ greedyPortBound(const bb::BasicBlock &blk, bool respectElimination)
     for (const auto &ai : blk.insts) {
         if (ai.fusedWithPrev)
             continue;
-        if (respectElimination && ai.info.eliminated)
+        if (respectElimination && ai.info->eliminated)
             continue;
-        for (const auto &u : ai.info.portUops) {
+        for (const auto &u : ai.info->portUops) {
             if (!u.ports)
                 continue;
             int best = -1;
@@ -181,8 +181,10 @@ class CqaLike : public ThroughputPredictor
         // Coarse dependence bound: every instruction latency clamped
         // to 3 cycles (the tool has no per-µarch latency tables).
         bb::BasicBlock coarse = blk;
-        for (auto &ai : coarse.insts)
-            ai.info.latency = std::min(ai.info.latency, 3);
+        for (std::size_t i = 0; i < coarse.insts.size(); ++i) {
+            uops::InstrInfo &info = coarse.mutableInfo(i);
+            info.latency = std::min(info.latency, 3);
+        }
         tp = std::max(tp, model::precedence(coarse).throughput);
         return tp;
     }

@@ -8,13 +8,22 @@
  * pairing, which merges a fusible instruction with a directly
  * following conditional branch into a single unit for everything
  * downstream of the instruction queue.
+ *
+ * Annotations are *interned*: an AnnotatedInst points at an immutable
+ * InstRecord in the process-wide per-arch instruction cache
+ * (src/analysis/intern.h), so analyzing a never-seen block reuses the
+ * µop decomposition and read/write sets of every instruction seen
+ * before in any block, and allocates nothing per instruction.
  */
 #ifndef FACILE_BB_BASIC_BLOCK_H
 #define FACILE_BB_BASIC_BLOCK_H
 
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <vector>
 
+#include "analysis/intern.h"
 #include "isa/decoder.h"
 #include "uarch/config.h"
 #include "uops/info.h"
@@ -24,8 +33,38 @@ namespace facile::bb {
 /** One instruction with layout and microarchitectural annotations. */
 struct AnnotatedInst
 {
-    isa::DecodedInst dec;
-    uops::InstrInfo info;
+    /**
+     * Decoded form plus byte-layout facts. Same interned lifetime and
+     * ownership as info/rw below (decode results are memoized per
+     * instruction encoding, not recomputed per block).
+     */
+    const isa::DecodedInst *dec = nullptr;
+
+    /**
+     * Characteristics of the instruction on the block's µarch. Points
+     * into the process-wide intern arena (or, for blocks analyzed with
+     * InternMode::Off or locally mutated annotations, into the block's
+     * ownedRecords). Never null on an analyzed block; immutable through
+     * this pointer — use BasicBlock::mutableInfo to change a copy.
+     */
+    const uops::InstrInfo *info = nullptr;
+
+    /**
+     * Precomputed read/write sets of the instruction (same lifetime and
+     * ownership as info). Unaffected by macro-fusion: each instruction
+     * of a fused pair keeps its own architectural semantics. Null on
+     * InternMode::Off blocks — consumers (precedence, sim) fall back to
+     * computing the sets per call, exactly like the pre-interning code.
+     */
+    const isa::RwSets *rw = nullptr;
+
+    /**
+     * The interned base record behind info/rw — the instruction's
+     * canonical identity in the per-arch arena, used to key derived
+     * (macro-fused) variants. Null on InternMode::Off blocks and after
+     * mutableInfo.
+     */
+    const analysis::InstRecord *rec = nullptr;
 
     /** Byte offset of the instruction within the block. */
     int start = 0;
@@ -44,6 +83,12 @@ struct AnnotatedInst
     bool fusedWithPrev = false;
 };
 
+/** Whether analysis may use the process-wide instruction intern cache. */
+enum class InternMode {
+    Shared, ///< default: annotations point into the per-arch arena
+    Off,    ///< fresh lookups, block-owned records (testing / baselines)
+};
+
 /** A basic block analyzed for one microarchitecture. */
 struct BasicBlock
 {
@@ -51,12 +96,30 @@ struct BasicBlock
     std::vector<AnnotatedInst> insts;
     uarch::UArch arch;
 
+    /**
+     * Block-owned annotation records: filled by InternMode::Off
+     * analysis and by mutableInfo. A std::deque for pointer stability;
+     * shared_ptr so copied blocks keep their annotation pointers valid
+     * (copies share the storage — copying is cheap and safe, but
+     * concurrent mutableInfo calls on copies sharing storage are not).
+     */
+    std::shared_ptr<std::deque<analysis::InstRecord>> ownedRecords;
+
+    /**
+     * Block-level µop totals, precomputed by analyze() so the DSB /
+     * LSD / Issue components don't re-sum the annotations on every
+     * predict. -1 = not cached (hand-built blocks, or after
+     * mutableInfo) — the accessors then fall back to summing.
+     */
+    int cachedFusedUops = -1;
+    int cachedIssueUops = -1;
+
     int lengthBytes() const { return static_cast<int>(bytes.size()); }
 
     bool
     endsInBranch() const
     {
-        return !insts.empty() && insts.back().dec.inst.isBranch();
+        return !insts.empty() && insts.back().dec->inst.isBranch();
     }
 
     /** Fused-domain µops at decode (DSB/LSD counting, paper 4.5/4.6). */
@@ -71,6 +134,15 @@ struct BasicBlock
      * at a 32-byte-aligned address — the JCC-erratum trigger condition.
      */
     bool touchesJccErratumBoundary() const;
+
+    /**
+     * Copy-on-write escape hatch for consumers that must perturb an
+     * annotation (e.g. the CQA-like baseline's latency clamp): copies
+     * instruction @p i's record into ownedRecords, repoints insts[i] at
+     * the copy, and returns it mutable. The shared intern arena is
+     * never written through.
+     */
+    uops::InstrInfo &mutableInfo(std::size_t i);
 };
 
 /**
@@ -80,10 +152,12 @@ struct BasicBlock
  *
  * @throws isa::DecodeError on malformed input.
  */
-BasicBlock analyze(std::vector<std::uint8_t> bytes, uarch::UArch arch);
+BasicBlock analyze(std::vector<std::uint8_t> bytes, uarch::UArch arch,
+                   InternMode mode = InternMode::Shared);
 
 /** Convenience: encode @p insts and analyze the result. */
-BasicBlock analyze(const std::vector<isa::Inst> &insts, uarch::UArch arch);
+BasicBlock analyze(const std::vector<isa::Inst> &insts, uarch::UArch arch,
+                   InternMode mode = InternMode::Shared);
 
 } // namespace facile::bb
 

@@ -13,6 +13,7 @@
 #ifndef FACILE_EVAL_HARNESS_H
 #define FACILE_EVAL_HARNESS_H
 
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
@@ -22,6 +23,26 @@
 #include "engine/engine.h"
 
 namespace facile::eval {
+
+/**
+ * The bit-identity oracle shared by the perf benches and tests: exact
+ * bit pattern on throughput and component values (NaN markers
+ * included), value equality on the interpretability payload.
+ */
+inline bool
+samePrediction(const model::Prediction &a, const model::Prediction &b)
+{
+    if (std::memcmp(&a.throughput, &b.throughput, sizeof(double)) != 0)
+        return false;
+    if (std::memcmp(a.componentValue.data(), b.componentValue.data(),
+                    sizeof(double) * a.componentValue.size()) != 0)
+        return false;
+    return a.bottlenecks == b.bottlenecks &&
+           a.primaryBottleneck == b.primaryBottleneck &&
+           a.criticalChain == b.criticalChain &&
+           a.contendedPorts == b.contendedPorts &&
+           a.contendingInsts == b.contendingInsts;
+}
 
 /** One microarchitecture's analyzed suite with measured ground truth. */
 struct ArchSuite

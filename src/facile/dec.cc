@@ -7,21 +7,46 @@
 
 namespace facile::model {
 
+namespace {
+
+/** Decode unit: macro-fused pairs occupy a single decoder slot. */
+struct Unit
+{
+    bool complex;
+    int nAvailSimple;
+    bool macroFusible;
+    bool branch;
+};
+
+/**
+ * Per-thread buffers for dec(); capacity persists across calls so
+ * steady-state decode analysis allocates nothing.
+ */
+struct DecScratch
+{
+    std::vector<Unit> units;
+    std::vector<int> nComplexDecInIteration;
+    std::vector<int> firstInstrOnDecInIteration;
+};
+
+DecScratch &
+tlsScratch()
+{
+    thread_local DecScratch s;
+    return s;
+}
+
+} // namespace
+
 double
 dec(const bb::BasicBlock &blk)
 {
     const uarch::MicroArchConfig &cfg = uarch::config(blk.arch);
     const int nDec = cfg.nDecoders;
 
-    // Decode units: macro-fused pairs occupy a single decoder slot.
-    struct Unit
-    {
-        bool complex;
-        int nAvailSimple;
-        bool macroFusible;
-        bool branch;
-    };
-    std::vector<Unit> units;
+    DecScratch &s = tlsScratch();
+    std::vector<Unit> &units = s.units;
+    units.clear();
     for (const auto &ai : blk.insts) {
         if (ai.fusedWithPrev) {
             // The fused branch rides along with its predecessor; it still
@@ -30,9 +55,9 @@ dec(const bb::BasicBlock &blk)
                 units.back().branch = true;
             continue;
         }
-        units.push_back({ai.info.needsComplexDecoder,
-                         ai.info.nAvailableSimpleDecoders,
-                         ai.info.macroFusible, ai.dec.inst.isBranch()});
+        units.push_back({ai.info->needsComplexDecoder,
+                         ai.info->nAvailableSimpleDecoders,
+                         ai.info->macroFusible, ai.dec->inst.isBranch()});
     }
     if (units.empty())
         return 0.0;
@@ -40,8 +65,11 @@ dec(const bb::BasicBlock &blk)
     // Algorithm 1.
     int curDec = nDec - 1;
     int nAvailableSimpleDecoders = 0;
-    std::vector<int> nComplexDecInIteration(1, 0); // index 0 unused
-    std::vector<int> firstInstrOnDecInIteration(nDec, -1);
+    std::vector<int> &nComplexDecInIteration = s.nComplexDecInIteration;
+    nComplexDecInIteration.assign(1, 0); // index 0 unused
+    std::vector<int> &firstInstrOnDecInIteration =
+        s.firstInstrOnDecInIteration;
+    firstInstrOnDecInIteration.assign(nDec, -1);
     int iteration = 0;
 
     constexpr int kMaxIterations = 256; // safety net; steady state is fast
@@ -99,7 +127,7 @@ simpleDec(const bb::BasicBlock &blk)
         if (ai.fusedWithPrev)
             continue;
         ++n;
-        if (ai.info.needsComplexDecoder)
+        if (ai.info->needsComplexDecoder)
             ++c;
     }
     return std::max(static_cast<double>(n) / cfg.nDecoders,

@@ -20,6 +20,14 @@ tlsScratch()
     return s;
 }
 
+/*
+ * The engines below operate on EdgeArrays (struct-of-arrays) and follow
+ * a common contract: they return the maximum cycle ratio and leave the
+ * node indices of one critical cycle in s.engineCycle (empty if none).
+ * All staging lives in the scratch, so a warm scratch makes every call
+ * allocation-free.
+ */
+
 /**
  * Detect a cycle of strictly positive total weight under the modified
  * weights w(e) = weight(e) - lambda * count(e), using Bellman-Ford in
@@ -27,23 +35,35 @@ tlsScratch()
  * are left in s.cycle; on failure s.cycle is empty.
  */
 bool
-positiveCycle(int n, const std::vector<RatioEdge> &edges, double lambda,
+positiveCycle(int n, const EdgeArrays &edges, double lambda,
               PrecedenceScratch &s)
 {
     s.cycle.clear();
     if (n == 0)
         return false;
+    const std::size_t m = edges.size();
+    const int *from = edges.from.data();
+    const int *to = edges.to.data();
+
+    // Modified weights w(e) - lambda * count(e), precomputed once; the
+    // relaxation rounds then stream one contiguous array. Same
+    // arithmetic per edge as computing it in the loop, so results are
+    // bit-identical.
+    s.probeW.resize(m);
+    for (std::size_t j = 0; j < m; ++j)
+        s.probeW[j] = edges.weight[j] - lambda * edges.count[j];
+    const double *w = s.probeW.data();
+
     s.dist.assign(static_cast<std::size_t>(n), 0.0);
     s.pred.assign(static_cast<std::size_t>(n), -1);
     int updatedNode = -1;
     for (int round = 0; round < n; ++round) {
         updatedNode = -1;
-        for (const auto &e : edges) {
-            double w = e.weight - lambda * e.count;
-            if (s.dist[e.from] + w > s.dist[e.to] + 1e-12) {
-                s.dist[e.to] = s.dist[e.from] + w;
-                s.pred[e.to] = e.from;
-                updatedNode = e.to;
+        for (std::size_t j = 0; j < m; ++j) {
+            if (s.dist[from[j]] + w[j] > s.dist[to[j]] + 1e-12) {
+                s.dist[to[j]] = s.dist[from[j]] + w[j];
+                s.pred[to[j]] = from[j];
+                updatedNode = to[j];
             }
         }
         if (updatedNode < 0)
@@ -71,15 +91,15 @@ positiveCycle(int n, const std::vector<RatioEdge> &edges, double lambda,
  * declares that the caller already probed a cycle beating the seed,
  * skipping the redundant feasibility pass.
  */
-CycleRatioResult
-maxCycleRatioDense(int n_nodes, const std::vector<RatioEdge> &edges,
-                   double seed, bool seedFeasible, PrecedenceScratch &s)
+double
+maxCycleRatioDense(int n_nodes, const EdgeArrays &edges, double seed,
+                   bool seedFeasible, PrecedenceScratch &s)
 {
-    CycleRatioResult result;
+    s.engineCycle.clear();
 
     double lo = std::max(0.0, seed), hi = 0.0;
-    for (const auto &e : edges)
-        hi += std::max(0.0, e.weight);
+    for (double w : edges.weight)
+        hi += std::max(0.0, w);
     if (hi == 0.0)
         hi = 1.0;
 
@@ -88,7 +108,7 @@ maxCycleRatioDense(int n_nodes, const std::vector<RatioEdge> &edges,
     // positive.
     if (!seedFeasible &&
         !positiveCycle(n_nodes, edges, lo > 0.0 ? lo : -1e-6, s))
-        return result;
+        return 0.0;
 
     // Binary search for the largest lambda admitting a positive cycle.
     for (int it = 0; it < 64 && hi - lo > 1e-10 * (1.0 + hi); ++it) {
@@ -98,98 +118,98 @@ maxCycleRatioDense(int n_nodes, const std::vector<RatioEdge> &edges,
         else
             hi = mid;
     }
-    result.ratio = 0.5 * (lo + hi);
-    if (result.ratio < 1e-9)
-        result.ratio = 0.0;
+    double ratio = 0.5 * (lo + hi);
+    if (ratio < 1e-9)
+        ratio = 0.0;
 
     // Extract a critical cycle just below the optimum.
-    double probe = result.ratio - std::max(1e-7, result.ratio * 1e-6);
+    double probe = ratio - std::max(1e-7, ratio * 1e-6);
     positiveCycle(n_nodes, edges, probe, s);
-    result.cycleNodes = s.cycle;
-    return result;
+    s.engineCycle.assign(s.cycle.begin(), s.cycle.end());
+    return ratio;
 }
 
 /**
- * Kosaraju strongly-connected components; fills s.comp with a component
- * id per node (ids are arbitrary but equal within a component).
+ * Strongly-connected components in one pass (iterative Tarjan); fills
+ * s.comp with a component id per node (ids are arbitrary but equal
+ * within a component) and returns the component count. Needs only the
+ * forward CSR adjacency — half the bookkeeping of the previous
+ * Kosaraju two-pass implementation, and sccIds is a third of the
+ * precedence cost on the cold path.
  */
-void
-sccIds(int n, const std::vector<RatioEdge> &edges, PrecedenceScratch &s)
+int
+sccIds(int n, const EdgeArrays &edges, PrecedenceScratch &s)
 {
     const int m = static_cast<int>(edges.size());
+    const int *eFrom = edges.from.data();
+    const int *eTo = edges.to.data();
 
-    // CSR adjacency for the forward and reverse graphs (stable counting
-    // sort, so neighbor order matches edge order).
+    // Forward CSR adjacency (stable counting sort, so neighbor order
+    // matches edge order).
     s.fwdStart.assign(static_cast<std::size_t>(n) + 1, 0);
-    s.revStart.assign(static_cast<std::size_t>(n) + 1, 0);
-    for (const auto &e : edges) {
-        ++s.fwdStart[e.from + 1];
-        ++s.revStart[e.to + 1];
-    }
+    for (int j = 0; j < m; ++j)
+        ++s.fwdStart[eFrom[j] + 1];
     std::partial_sum(s.fwdStart.begin(), s.fwdStart.end(),
                      s.fwdStart.begin());
-    std::partial_sum(s.revStart.begin(), s.revStart.end(),
-                     s.revStart.begin());
     s.fwdAdj.resize(static_cast<std::size_t>(m));
-    s.revAdj.resize(static_cast<std::size_t>(m));
     s.howPos.assign(s.fwdStart.begin(), s.fwdStart.end() - 1);
-    for (const auto &e : edges)
-        s.fwdAdj[s.howPos[e.from]++] = e.to;
-    s.howPos.assign(s.revStart.begin(), s.revStart.end() - 1);
-    for (const auto &e : edges)
-        s.revAdj[s.howPos[e.to]++] = e.from;
+    for (int j = 0; j < m; ++j)
+        s.fwdAdj[s.howPos[eFrom[j]]++] = eTo[j];
 
-    // First pass: finish order on the forward graph (iterative DFS).
-    s.order.clear();
-    s.seen.assign(static_cast<std::size_t>(n), 0);
+    s.comp.assign(static_cast<std::size_t>(n), -1);
+    s.tjIndex.assign(static_cast<std::size_t>(n), -1);
+    s.tjLow.resize(static_cast<std::size_t>(n));
+    s.order.clear(); // Tarjan node stack
+    s.seen.assign(static_cast<std::size_t>(n), 0); // on-stack flags
     s.stackNode.clear();
     s.stackIter.clear();
+
+    int idx = 0;
+    int nComp = 0;
     for (int root = 0; root < n; ++root) {
-        if (s.seen[root])
+        if (s.tjIndex[root] >= 0)
             continue;
+        s.tjIndex[root] = s.tjLow[root] = idx++;
+        s.order.push_back(root);
+        s.seen[root] = 1;
         s.stackNode.push_back(root);
         s.stackIter.push_back(s.fwdStart[root]);
-        s.seen[root] = 1;
         while (!s.stackNode.empty()) {
             int v = s.stackNode.back();
             int &i = s.stackIter.back();
             if (i < s.fwdStart[v + 1]) {
                 int w = s.fwdAdj[i++];
-                if (!s.seen[w]) {
+                if (s.tjIndex[w] < 0) {
+                    s.tjIndex[w] = s.tjLow[w] = idx++;
+                    s.order.push_back(w);
                     s.seen[w] = 1;
                     s.stackNode.push_back(w);
                     s.stackIter.push_back(s.fwdStart[w]);
+                } else if (s.seen[w] && s.tjIndex[w] < s.tjLow[v]) {
+                    s.tjLow[v] = s.tjIndex[w];
                 }
             } else {
-                s.order.push_back(v);
+                if (s.tjLow[v] == s.tjIndex[v]) {
+                    int u;
+                    do {
+                        u = s.order.back();
+                        s.order.pop_back();
+                        s.seen[u] = 0;
+                        s.comp[u] = nComp;
+                    } while (u != v);
+                    ++nComp;
+                }
                 s.stackNode.pop_back();
                 s.stackIter.pop_back();
-            }
-        }
-    }
-
-    // Second pass: components on the reverse graph.
-    s.comp.assign(static_cast<std::size_t>(n), -1);
-    int nComp = 0;
-    for (auto it = s.order.rbegin(); it != s.order.rend(); ++it) {
-        if (s.comp[*it] >= 0)
-            continue;
-        s.stackNode.clear();
-        s.stackNode.push_back(*it);
-        s.comp[*it] = nComp;
-        while (!s.stackNode.empty()) {
-            int v = s.stackNode.back();
-            s.stackNode.pop_back();
-            for (int i = s.revStart[v]; i < s.revStart[v + 1]; ++i) {
-                int w = s.revAdj[i];
-                if (s.comp[w] < 0) {
-                    s.comp[w] = nComp;
-                    s.stackNode.push_back(w);
+                if (!s.stackNode.empty()) {
+                    int parent = s.stackNode.back();
+                    if (s.tjLow[v] < s.tjLow[parent])
+                        s.tjLow[parent] = s.tjLow[v];
                 }
             }
         }
-        ++nComp;
     }
+    return nComp;
 }
 
 /**
@@ -202,25 +222,29 @@ sccIds(int n, const std::vector<RatioEdge> &edges, PrecedenceScratch &s)
  * binary-search fallback (never observed to trigger on dependence
  * graphs, but cheap insurance).
  */
-CycleRatioResult
-howardDense(int n, const std::vector<RatioEdge> &edges, double seed,
-            bool seedFeasible, PrecedenceScratch &s)
+double
+howardDense(int n, const EdgeArrays &edges, double seed, bool seedFeasible,
+            PrecedenceScratch &s)
 {
-    CycleRatioResult result;
+    s.engineCycle.clear();
+    const int *eFrom = edges.from.data();
+    const int *eTo = edges.to.data();
+    const double *eW = edges.weight.data();
+    const int *eC = edges.count.data();
 
     // CSR adjacency of edge indices grouped by source node.
     s.howStart.assign(static_cast<std::size_t>(n) + 1, 0);
-    for (const auto &e : edges)
-        ++s.howStart[e.from + 1];
+    for (std::size_t j = 0; j < edges.size(); ++j)
+        ++s.howStart[eFrom[j] + 1];
     std::partial_sum(s.howStart.begin(), s.howStart.end(),
                      s.howStart.begin());
     for (int v = 0; v < n; ++v)
         if (s.howStart[v + 1] == s.howStart[v])
-            return result; // not strongly connected: caller filtered SCCs
+            return 0.0; // not strongly connected: caller filtered SCCs
     s.howEdge.resize(edges.size());
     s.howPos.assign(s.howStart.begin(), s.howStart.end() - 1);
     for (std::size_t e = 0; e < edges.size(); ++e)
-        s.howEdge[s.howPos[edges[e].from]++] = static_cast<int>(e);
+        s.howEdge[s.howPos[eFrom[e]]++] = static_cast<int>(e);
 
     s.howPolicy.resize(static_cast<std::size_t>(n));
     for (int v = 0; v < n; ++v)
@@ -245,7 +269,7 @@ howardDense(int n, const std::vector<RatioEdge> &edges, double seed,
             int v = start;
             while (s.howMark[v] < 0) {
                 s.howMark[v] = start;
-                v = edges[s.howPolicy[v]].to;
+                v = eTo[s.howPolicy[v]];
             }
             if (s.howMark[v] == start && s.howAnchor[v] < 0) {
                 // Found a new cycle; extract it.
@@ -255,9 +279,9 @@ howardDense(int n, const std::vector<RatioEdge> &edges, double seed,
                 int u = v;
                 do {
                     s.howCycle.push_back(u);
-                    w += edges[s.howPolicy[u]].weight;
-                    t += edges[s.howPolicy[u]].count;
-                    u = edges[s.howPolicy[u]].to;
+                    w += eW[s.howPolicy[u]];
+                    t += eC[s.howPolicy[u]];
+                    u = eTo[s.howPolicy[u]];
                 } while (u != v);
                 double ratio = t > 0 ? w / t : 0.0;
                 for (int c : s.howCycle)
@@ -289,12 +313,12 @@ howardDense(int n, const std::vector<RatioEdge> &edges, double seed,
             int v = start;
             while (!s.howSolved[v]) {
                 s.howPath.push_back(v);
-                v = edges[s.howPolicy[v]].to;
+                v = eTo[s.howPolicy[v]];
             }
             for (auto it = s.howPath.rbegin(); it != s.howPath.rend();
                  ++it) {
-                const RatioEdge &e = edges[s.howPolicy[*it]];
-                s.howD[*it] = e.weight - r * e.count + s.howD[e.to];
+                const int e = s.howPolicy[*it];
+                s.howD[*it] = eW[e] - r * eC[e] + s.howD[eTo[e]];
                 s.howSolved[*it] = 1;
             }
         }
@@ -303,8 +327,8 @@ howardDense(int n, const std::vector<RatioEdge> &edges, double seed,
         bool improved = false;
         for (int v = 0; v < n; ++v) {
             for (int i = s.howStart[v]; i < s.howStart[v + 1]; ++i) {
-                const RatioEdge &e = edges[s.howEdge[i]];
-                double cand = e.weight - r * e.count + s.howD[e.to];
+                const int e = s.howEdge[i];
+                double cand = eW[e] - r * eC[e] + s.howD[eTo[e]];
                 if (cand > s.howD[v] + 1e-9) {
                     s.howD[v] = cand;
                     s.howPolicy[v] = s.howEdge[i];
@@ -313,9 +337,9 @@ howardDense(int n, const std::vector<RatioEdge> &edges, double seed,
             }
         }
         if (!improved) {
-            result.ratio = std::max(0.0, r);
-            result.cycleNodes = s.howBestCycle;
-            return result;
+            s.engineCycle.assign(s.howBestCycle.begin(),
+                                 s.howBestCycle.end());
+            return std::max(0.0, r);
         }
     }
     // Fallback: the guard fired; use the exhaustive engine.
@@ -323,7 +347,9 @@ howardDense(int n, const std::vector<RatioEdge> &edges, double seed,
 }
 
 /**
- * Solve per SCC with the given dense engine; take the maximum.
+ * Solve per SCC with the given dense engine; take the maximum. Returns
+ * the best ratio and leaves the critical cycle's global node ids in
+ * s.bestCycle.
  *
  * Components are solved in discovery order; the best ratio found so far
  * seeds the next component's search, and a single Bellman-Ford probe
@@ -331,33 +357,35 @@ howardDense(int n, const std::vector<RatioEdge> &edges, double seed,
  * critical component has been seen.
  */
 template <typename Engine>
-CycleRatioResult
-perScc(int n_nodes, const std::vector<RatioEdge> &edges, Engine engine,
+double
+perScc(int n_nodes, const EdgeArrays &edges, Engine engine,
        PrecedenceScratch &s)
 {
-    CycleRatioResult result;
+    s.bestCycle.clear();
+    double bestRatio = 0.0;
     if (n_nodes == 0 || edges.empty())
-        return result;
+        return bestRatio;
 
     // Cycles live entirely within strongly connected components; solve
     // each component separately (they are typically tiny) and take the
     // maximum. Self-loops are components of size one with an edge.
-    sccIds(n_nodes, edges, s);
-    const int nComp =
-        *std::max_element(s.comp.begin(), s.comp.end()) + 1;
+    const int nComp = sccIds(n_nodes, edges, s);
+
+    const int *eFrom = edges.from.data();
+    const int *eTo = edges.to.data();
 
     // Group intra-component edge indices by component (counting sort).
     s.compStart.assign(static_cast<std::size_t>(nComp) + 1, 0);
-    for (const auto &e : edges)
-        if (s.comp[e.from] == s.comp[e.to])
-            ++s.compStart[s.comp[e.from] + 1];
+    for (std::size_t j = 0; j < edges.size(); ++j)
+        if (s.comp[eFrom[j]] == s.comp[eTo[j]])
+            ++s.compStart[s.comp[eFrom[j]] + 1];
     std::partial_sum(s.compStart.begin(), s.compStart.end(),
                      s.compStart.begin());
     s.compEdgeIdx.resize(static_cast<std::size_t>(s.compStart.back()));
     s.howPos.assign(s.compStart.begin(), s.compStart.end() - 1);
     for (std::size_t e = 0; e < edges.size(); ++e)
-        if (s.comp[edges[e].from] == s.comp[edges[e].to])
-            s.compEdgeIdx[s.howPos[s.comp[edges[e].from]]++] =
+        if (s.comp[eFrom[e]] == s.comp[eTo[e]])
+            s.compEdgeIdx[s.howPos[s.comp[eFrom[e]]]++] =
                 static_cast<int>(e);
 
     s.localId.assign(static_cast<std::size_t>(n_nodes), -1);
@@ -368,44 +396,104 @@ perScc(int n_nodes, const std::vector<RatioEdge> &edges, Engine engine,
         s.globalId.clear();
         s.localEdges.clear();
         for (int i = s.compStart[c]; i < s.compStart[c + 1]; ++i) {
-            const RatioEdge &e = edges[s.compEdgeIdx[i]];
-            for (int v : {e.from, e.to}) {
+            const int e = s.compEdgeIdx[i];
+            for (int v : {eFrom[e], eTo[e]}) {
                 if (s.localId[v] < 0) {
                     s.localId[v] = static_cast<int>(s.globalId.size());
                     s.globalId.push_back(v);
                 }
             }
-            s.localEdges.push_back({s.localId[e.from], s.localId[e.to],
-                                    e.weight, e.count});
+            s.localEdges.push(s.localId[eFrom[e]], s.localId[eTo[e]],
+                              edges.weight[e], edges.count[e]);
         }
         const int localN = static_cast<int>(s.globalId.size());
+        const bool probed = bestRatio > 0.0;
+
+        if (localN == 1) {
+            // Self-loop fast path: ~3/4 of solvable components are a
+            // single node whose cycles are its individual self-edges.
+            // Replicates the Bellman-Ford probe and howardDense
+            // specialized to n == 1 (same rounds, same thresholds, so
+            // the resulting doubles are identical), skipping the CSR
+            // and bookkeeping.
+            const double *w = s.localEdges.weight.data();
+            const int *c = s.localEdges.count.data();
+            const std::size_t m = s.localEdges.size();
+            bool worth = !probed;
+            if (probed) {
+                for (std::size_t j = 0; j < m; ++j)
+                    if (w[j] - bestRatio * c[j] > 1e-12) {
+                        worth = true;
+                        break;
+                    }
+            }
+            if (worth) {
+                int policy = 0;
+                double r = 0.0;
+                bool solved = false;
+                for (int round = 0; round < 20; ++round) {
+                    r = c[policy] > 0 ? w[policy] / c[policy] : 0.0;
+                    // Improvement exactly as howardDense at n == 1:
+                    // cand = w - r*c + d (the self-edge ends at the
+                    // node itself, so d appears on both sides and the
+                    // LAST edge with positive reduced cost wins).
+                    double d = 0.0;
+                    bool improved = false;
+                    for (std::size_t j = 0; j < m; ++j) {
+                        double cand = w[j] - r * c[j] + d;
+                        if (cand > d + 1e-9) {
+                            d = cand;
+                            policy = static_cast<int>(j);
+                            improved = true;
+                        }
+                    }
+                    if (!improved) {
+                        solved = true;
+                        break;
+                    }
+                }
+                double sub;
+                if (solved) {
+                    sub = std::max(0.0, r);
+                    s.engineCycle.assign(1, 0);
+                } else {
+                    sub = maxCycleRatioDense(1, s.localEdges, bestRatio,
+                                             probed, s);
+                }
+                if (sub > bestRatio ||
+                    (s.bestCycle.empty() && !s.engineCycle.empty())) {
+                    bestRatio = std::max(bestRatio, sub);
+                    s.bestCycle.assign(1, s.globalId[0]);
+                }
+            }
+            s.localId[s.globalId[0]] = -1;
+            continue;
+        }
 
         // Early exit: can this component beat the best ratio so far?
         // (With no positive ratio yet the probe is left to the engine,
         // which handles the zero-weight-cycle case itself.)
-        const bool probed = result.ratio > 0.0;
         const bool worthSolving =
-            !probed || positiveCycle(localN, s.localEdges, result.ratio, s);
+            !probed || positiveCycle(localN, s.localEdges, bestRatio, s);
         if (worthSolving) {
-            CycleRatioResult sub =
-                engine(localN, s.localEdges, result.ratio, probed, s);
-            if (sub.ratio > result.ratio ||
-                (result.cycleNodes.empty() && !sub.cycleNodes.empty())) {
-                result.ratio = std::max(result.ratio, sub.ratio);
-                result.cycleNodes.clear();
-                for (int v : sub.cycleNodes)
-                    result.cycleNodes.push_back(s.globalId[v]);
+            double sub = engine(localN, s.localEdges, bestRatio, probed, s);
+            if (sub > bestRatio ||
+                (s.bestCycle.empty() && !s.engineCycle.empty())) {
+                bestRatio = std::max(bestRatio, sub);
+                s.bestCycle.clear();
+                for (int v : s.engineCycle)
+                    s.bestCycle.push_back(s.globalId[v]);
             }
         }
 
         for (int v : s.globalId)
             s.localId[v] = -1;
     }
-    return result;
+    return bestRatio;
 }
 
-CycleRatioResult
-maxCycleRatioImpl(int n_nodes, const std::vector<RatioEdge> &edges,
+double
+maxCycleRatioImpl(int n_nodes, const EdgeArrays &edges,
                   PrecedenceScratch &s)
 {
     // Howard's algorithm is the paper's engine of choice [16, 18] and is
@@ -413,24 +501,49 @@ maxCycleRatioImpl(int n_nodes, const std::vector<RatioEdge> &edges,
     return perScc(n_nodes, edges, howardDense, s);
 }
 
+template <typename Engine>
+CycleRatioResult
+solveAos(int n_nodes, const std::vector<RatioEdge> &edges, Engine engine)
+{
+    PrecedenceScratch &s = tlsScratch();
+    s.inputEdges.assignFrom(edges);
+    CycleRatioResult result;
+    result.ratio = perScc(n_nodes, s.inputEdges, engine, s);
+    result.cycleNodes.assign(s.bestCycle.begin(), s.bestCycle.end());
+    return result;
+}
+
 } // namespace
 
 CycleRatioResult
 maxCycleRatioHoward(int n_nodes, const std::vector<RatioEdge> &edges)
 {
-    return perScc(n_nodes, edges, howardDense, tlsScratch());
+    return solveAos(n_nodes, edges,
+                    [](int n, const EdgeArrays &e, double seed,
+                       bool feasible, PrecedenceScratch &s) {
+                        return howardDense(n, e, seed, feasible, s);
+                    });
 }
 
 CycleRatioResult
 maxCycleRatioLawler(int n_nodes, const std::vector<RatioEdge> &edges)
 {
-    return perScc(n_nodes, edges, maxCycleRatioDense, tlsScratch());
+    return solveAos(n_nodes, edges,
+                    [](int n, const EdgeArrays &e, double seed,
+                       bool feasible, PrecedenceScratch &s) {
+                        return maxCycleRatioDense(n, e, seed, feasible, s);
+                    });
 }
 
 CycleRatioResult
 maxCycleRatio(int n_nodes, const std::vector<RatioEdge> &edges)
 {
-    return maxCycleRatioImpl(n_nodes, edges, tlsScratch());
+    PrecedenceScratch &s = tlsScratch();
+    s.inputEdges.assignFrom(edges);
+    CycleRatioResult result;
+    result.ratio = maxCycleRatioImpl(n_nodes, s.inputEdges, s);
+    result.cycleNodes.assign(s.bestCycle.begin(), s.bestCycle.end());
+    return result;
 }
 
 PrecedenceResult
@@ -448,6 +561,8 @@ precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
     s.nodeInst.clear();
     s.nodeValue.clear();
     s.edges.clear();
+    s.edges.reserve(blk.insts.size() * 4);
+    s.rwPtr.clear();
     if (s.rw.size() < blk.insts.size())
         s.rw.resize(blk.insts.size());
 
@@ -455,8 +570,27 @@ precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
     lastWriterEnd.fill(-1);
 
     for (std::size_t i = 0; i < blk.insts.size(); ++i) {
-        isa::instRw(blk.insts[i].dec.inst, s.rw[i]);
-        for (int v : s.rw[i].writes) {
+        const analysis::InstRecord *rec = blk.insts[i].rec;
+        if (rec && rec->nWritesInl != analysis::InstRecord::kSpilled) {
+            // Interned fast path: write values inline in the record.
+            s.rwPtr.push_back(&rec->rw);
+            for (std::uint8_t k = 0; k < rec->nWritesInl; ++k) {
+                const int v = rec->writesInl[k];
+                lastWriterEnd[v] = static_cast<int>(s.nodeInst.size());
+                s.nodeInst.push_back(static_cast<int>(i));
+                s.nodeValue.push_back(v);
+            }
+            continue;
+        }
+        // Interned blocks carry precomputed read/write sets; compute
+        // them only for hand-built blocks.
+        const isa::RwSets *rw = blk.insts[i].rw;
+        if (!rw) {
+            isa::instRw(blk.insts[i].dec->inst, s.rw[i]);
+            rw = &s.rw[i];
+        }
+        s.rwPtr.push_back(rw);
+        for (int v : rw->writes) {
             lastWriterEnd[v] = static_cast<int>(s.nodeInst.size());
             s.nodeInst.push_back(static_cast<int>(i));
             s.nodeValue.push_back(v);
@@ -469,14 +603,77 @@ precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
     int nodeCursor = 0;
     for (std::size_t i = 0; i < blk.insts.size(); ++i) {
         const auto &ai = blk.insts[i];
-        const auto &sets = s.rw[i];
+        const analysis::InstRecord *irec = ai.rec;
+
+        if (irec && irec->nWritesInl != analysis::InstRecord::kSpilled &&
+            irec->nDepInl != analysis::InstRecord::kSpilled) {
+            // Interned fast path: everything the edge builder needs is
+            // inline in the record (values identical to the vector
+            // path by construction).
+            const int firstWriteNode = nodeCursor;
+            const int nWrites = irec->nWritesInl;
+            if (!irec->depBreaking && nWrites > 0) {
+                for (std::uint8_t k = 0; k < irec->nDepInl; ++k) {
+                    const analysis::DepRead &dr = irec->depInl[k];
+                    int producer = lastWriter[dr.value];
+                    int iterCount = 0;
+                    if (producer < 0) {
+                        producer = lastWriterEnd[dr.value];
+                        iterCount = 1;
+                    }
+                    if (producer < 0)
+                        continue; // loop-invariant input
+                    for (int w = 0; w < nWrites; ++w) {
+                        double edgeLat = dr.latency;
+                        if (irec->stackOp &&
+                            s.nodeValue[firstWriteNode + w] == 4)
+                            edgeLat = 0.0;
+                        s.edges.push(producer, firstWriteNode + w,
+                                     edgeLat, iterCount);
+                    }
+                }
+            }
+            for (int w = 0; w < nWrites; ++w)
+                lastWriter[s.nodeValue[firstWriteNode + w]] =
+                    firstWriteNode + w;
+            nodeCursor += nWrites;
+            continue;
+        }
+
+        const auto &sets = *s.rwPtr[i];
         const int firstWriteNode = nodeCursor;
         const int nWrites = static_cast<int>(sets.writes.size());
 
-        if (!sets.depBreaking && nWrites > 0) {
+        if (!sets.depBreaking && nWrites > 0 && ai.rec) {
+            // Interned fast path: the per-read producer-edge latencies
+            // (including the address-register load latency) and the
+            // stack-op flag were derived once at intern time.
+            const analysis::InstRecord &rec = *ai.rec;
+            for (const analysis::DepRead &dr : rec.depReads) {
+                int producer = lastWriter[dr.value];
+                int iterCount = 0;
+                if (producer < 0) {
+                    producer = lastWriterEnd[dr.value];
+                    iterCount = 1;
+                }
+                if (producer < 0)
+                    continue; // loop-invariant input
+                for (int w = 0; w < nWrites; ++w) {
+                    double edgeLat = dr.latency;
+                    // The stack engine updates rsp outside the execution
+                    // core; rsp results of stack ops are available
+                    // immediately.
+                    if (rec.stackOp &&
+                        s.nodeValue[firstWriteNode + w] == 4)
+                        edgeLat = 0.0;
+                    s.edges.push(producer, firstWriteNode + w, edgeLat,
+                                 iterCount);
+                }
+            }
+        } else if (!sets.depBreaking && nWrites > 0) {
             // Determine which reads are address registers of a load.
-            const isa::MemOp *m = ai.dec.inst.memOperand();
-            const bool loads = ai.dec.inst.isLoad();
+            const isa::MemOp *m = ai.dec->inst.memOperand();
+            const bool loads = ai.dec->inst.isLoad();
             auto isAddrReg = [&](int v) {
                 if (!m || !loads)
                     return false;
@@ -484,10 +681,10 @@ precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
                        (m->index.valid() && m->index.family() == v);
             };
             const bool stackOp =
-                ai.dec.inst.mnem == isa::Mnemonic::PUSH ||
-                ai.dec.inst.mnem == isa::Mnemonic::POP ||
-                ai.dec.inst.mnem == isa::Mnemonic::CALL ||
-                ai.dec.inst.mnem == isa::Mnemonic::RET;
+                ai.dec->inst.mnem == isa::Mnemonic::PUSH ||
+                ai.dec->inst.mnem == isa::Mnemonic::POP ||
+                ai.dec->inst.mnem == isa::Mnemonic::CALL ||
+                ai.dec->inst.mnem == isa::Mnemonic::RET;
 
             for (int r : sets.reads) {
                 int producer = lastWriter[r];
@@ -498,7 +695,7 @@ precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
                 }
                 if (producer < 0)
                     continue; // loop-invariant input
-                double lat = static_cast<double>(ai.info.latency);
+                double lat = static_cast<double>(ai.info->latency);
                 if (isAddrReg(r))
                     lat += cfg.loadLatency;
                 for (int w = 0; w < nWrites; ++w) {
@@ -508,8 +705,8 @@ precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
                     // immediately.
                     if (stackOp && s.nodeValue[firstWriteNode + w] == 4)
                         edgeLat = 0.0;
-                    s.edges.push_back({producer, firstWriteNode + w,
-                                       edgeLat, iterCount});
+                    s.edges.push(producer, firstWriteNode + w, edgeLat,
+                                 iterCount);
                 }
             }
         }
@@ -520,12 +717,10 @@ precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
         nodeCursor += nWrites;
     }
 
-    CycleRatioResult crr = maxCycleRatioImpl(
-        static_cast<int>(s.nodeInst.size()), s.edges, s);
-
     PrecedenceResult result;
-    result.throughput = crr.ratio;
-    for (int n : crr.cycleNodes) {
+    result.throughput = maxCycleRatioImpl(
+        static_cast<int>(s.nodeInst.size()), s.edges, s);
+    for (int n : s.bestCycle) {
         int inst = s.nodeInst[n];
         if (result.criticalChain.empty() ||
             result.criticalChain.back() != inst)

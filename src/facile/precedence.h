@@ -34,11 +34,10 @@ struct PrecedenceResult
 };
 
 /**
- * Maximum cycle ratio sum(weight)/sum(count) over all cycles of a
- * directed graph; 0 if the graph is acyclic. Exposed for testing.
- *
- * Every cycle must contain at least one edge with count > 0 (guaranteed
- * by the dependence-graph construction; asserted here).
+ * One edge of a cycle-ratio problem, as accepted by the public
+ * maxCycleRatio entry points (convenient for tests and callers).
+ * Internally edges are held as struct-of-arrays (EdgeArrays) so the
+ * Bellman-Ford and Howard inner loops stream contiguous data.
  */
 struct RatioEdge
 {
@@ -46,6 +45,58 @@ struct RatioEdge
     int to;
     double weight;
     int count;
+};
+
+/**
+ * Struct-of-arrays edge list: from/to/weight/count in separate
+ * contiguous arrays. The cycle-ratio inner loops touch only the arrays
+ * they need per pass (Bellman-Ford reads all four sequentially; the
+ * SCC passes read only from/to), so the hot data stays cache-dense.
+ * Indexing is shared: edge j is (from[j], to[j], weight[j], count[j]).
+ */
+struct EdgeArrays
+{
+    std::vector<int> from, to, count;
+    std::vector<double> weight;
+
+    std::size_t size() const { return from.size(); }
+    bool empty() const { return from.empty(); }
+
+    void
+    clear()
+    {
+        from.clear();
+        to.clear();
+        count.clear();
+        weight.clear();
+    }
+
+    void
+    reserve(std::size_t n)
+    {
+        from.reserve(n);
+        to.reserve(n);
+        count.reserve(n);
+        weight.reserve(n);
+    }
+
+    void
+    push(int f, int t, double w, int c)
+    {
+        from.push_back(f);
+        to.push_back(t);
+        weight.push_back(w);
+        count.push_back(c);
+    }
+
+    void
+    assignFrom(const std::vector<RatioEdge> &edges)
+    {
+        clear();
+        reserve(edges.size());
+        for (const auto &e : edges)
+            push(e.from, e.to, e.weight, e.count);
+    }
 };
 
 struct CycleRatioResult
@@ -60,9 +111,11 @@ struct CycleRatioResult
  * All per-call temporaries (dependence-graph buffers, Bellman-Ford
  * dist/pred arrays, CSR adjacency, SCC bookkeeping) live here and keep
  * their capacity between calls, so repeated analysis allocates nothing
- * in steady state. One scratch may not be shared between threads; the
- * scratch-less entry points below use a thread_local instance, which
- * gives every engine worker its own buffers for free.
+ * in steady state — the only allocations left are the criticalChain /
+ * cycleNodes the caller receives and owns. One scratch may not be
+ * shared between threads; the scratch-less entry points below use a
+ * thread_local instance, which gives every engine worker its own
+ * buffers for free.
  *
  * The fields are an implementation detail: treat the object as opaque
  * and merely keep it alive across calls.
@@ -70,29 +123,42 @@ struct CycleRatioResult
 struct PrecedenceScratch
 {
     // Dependence-graph construction.
-    std::vector<isa::RwSets> rw;
+    std::vector<isa::RwSets> rw; ///< fallback for blocks without ai.rw
+    std::vector<const isa::RwSets *> rwPtr;
     std::vector<int> nodeInst;
     std::vector<int> nodeValue;
-    std::vector<RatioEdge> edges;
+    EdgeArrays edges;
+
+    // Staging area for the public AoS entry points.
+    EdgeArrays inputEdges;
 
     // Bellman-Ford positive-cycle detection (Lawler engine and the
-    // per-SCC early-exit probe).
+    // per-SCC early-exit probe). probeW holds the per-probe modified
+    // weights w(e) - lambda * count(e), precomputed once so the n
+    // relaxation rounds stream a single array.
     std::vector<double> dist;
+    std::vector<double> probeW;
     std::vector<int> pred;
     std::vector<int> cycle;
 
-    // Kosaraju SCC: CSR adjacency, finish order, component ids.
+    // Tarjan SCC (single pass): forward CSR adjacency, DFS frames,
+    // index/lowlink arrays, the Tarjan node stack (order) and on-stack
+    // flags (seen), component ids.
     std::vector<int> fwdStart, fwdAdj;
-    std::vector<int> revStart, revAdj;
     std::vector<int> order;
     std::vector<int> comp;
     std::vector<int> stackNode, stackIter;
     std::vector<char> seen;
+    std::vector<int> tjIndex, tjLow;
 
     // Per-component edge grouping and dense renumbering.
     std::vector<int> compStart, compEdgeIdx;
     std::vector<int> localId, globalId;
-    std::vector<RatioEdge> localEdges;
+    EdgeArrays localEdges;
+
+    // Engine output staging (critical cycles, global node ids).
+    std::vector<int> engineCycle;
+    std::vector<int> bestCycle;
 
     // Howard policy iteration.
     std::vector<int> howStart, howEdge, howPos;
@@ -112,6 +178,13 @@ PrecedenceResult precedence(const bb::BasicBlock &blk);
 PrecedenceResult precedence(const bb::BasicBlock &blk,
                             PrecedenceScratch &scratch);
 
+/**
+ * Maximum cycle ratio sum(weight)/sum(count) over all cycles of a
+ * directed graph; 0 if the graph is acyclic. Exposed for testing.
+ *
+ * Every cycle must contain at least one edge with count > 0 (guaranteed
+ * by the dependence-graph construction; asserted here).
+ */
 CycleRatioResult maxCycleRatio(int n_nodes,
                                const std::vector<RatioEdge> &edges);
 

@@ -6,6 +6,27 @@
 
 namespace facile::model {
 
+namespace {
+
+/**
+ * Per-thread buffers for predec(); capacity persists across calls so
+ * steady-state predecode analysis allocates nothing.
+ */
+struct PredecScratch
+{
+    std::vector<int> L, O, LCP;
+    std::vector<std::int64_t> cycleNLCP;
+};
+
+PredecScratch &
+tlsScratch()
+{
+    thread_local PredecScratch s;
+    return s;
+}
+
+} // namespace
+
 double
 predec(const bb::BasicBlock &blk, bool unrolled)
 {
@@ -23,7 +44,11 @@ predec(const bb::BasicBlock &blk, bool unrolled)
     //   O(b):   instructions whose nominal opcode starts in block b but
     //           whose last byte is in a later block
     //   LCP(b): LCP instructions whose nominal opcode starts in block b
-    std::vector<int> L(n, 0), O(n, 0), LCP(n, 0);
+    PredecScratch &s = tlsScratch();
+    std::vector<int> &L = s.L, &O = s.O, &LCP = s.LCP;
+    L.assign(n, 0);
+    O.assign(n, 0);
+    LCP.assign(n, 0);
 
     for (std::int64_t c = 0; c < u; ++c) {
         const std::int64_t base = c * l;
@@ -35,13 +60,14 @@ predec(const bb::BasicBlock &blk, bool unrolled)
             ++L[bLast];
             if (bOpc != bLast)
                 ++O[bOpc];
-            if (ai.dec.lcp)
+            if (ai.dec->lcp)
                 ++LCP[bOpc];
         }
     }
 
     // cycleNLCP(b) = ceil((L(b) + O(b)) / 5)
-    std::vector<std::int64_t> cycleNLCP(n, 0);
+    std::vector<std::int64_t> &cycleNLCP = s.cycleNLCP;
+    cycleNLCP.assign(n, 0);
     for (std::int64_t b = 0; b < n; ++b)
         cycleNLCP[b] = ceilDiv(L[b] + O[b], 5);
 

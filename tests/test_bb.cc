@@ -43,11 +43,11 @@ TEST(BasicBlock, MacroFusionFoldsPair)
     ASSERT_EQ(blk.insts.size(), 3u);
     EXPECT_FALSE(blk.insts[1].fusedWithPrev);
     EXPECT_TRUE(blk.insts[2].fusedWithPrev);
-    EXPECT_EQ(blk.insts[2].info.fusedUops, 0);
-    EXPECT_TRUE(blk.insts[2].info.portUops.empty());
+    EXPECT_EQ(blk.insts[2].info->fusedUops, 0);
+    EXPECT_TRUE(blk.insts[2].info->portUops.empty());
     // The pair contributes a single fused µop on the branch ports.
-    EXPECT_EQ(blk.insts[1].info.fusedUops, 1);
-    ASSERT_EQ(blk.insts[1].info.portUops.size(), 1u);
+    EXPECT_EQ(blk.insts[1].info->fusedUops, 1);
+    ASSERT_EQ(blk.insts[1].info->portUops.size(), 1u);
     // Total: add(1) + fused pair(1).
     EXPECT_EQ(blk.fusedUops(), 2);
 }
@@ -72,7 +72,7 @@ TEST(BasicBlock, FusedPairKeepsMicroFusedLoad)
     };
     BasicBlock blk = analyze(insts, UArch::SKL);
     ASSERT_TRUE(blk.insts[1].fusedWithPrev);
-    EXPECT_EQ(blk.insts[0].info.portUops.size(), 2u); // load + branch
+    EXPECT_EQ(blk.insts[0].info->portUops.size(), 2u); // load + branch
 }
 
 TEST(BasicBlock, EndsInBranch)
@@ -133,8 +133,8 @@ TEST(BasicBlock, AnnotationsDifferAcrossArchs)
     std::vector<Inst> insts = {make(Mnemonic::MOV, {R(RAX), R(RBX)})};
     BasicBlock snb = analyze(insts, UArch::SNB);
     BasicBlock skl = analyze(insts, UArch::SKL);
-    EXPECT_FALSE(snb.insts[0].info.eliminated);
-    EXPECT_TRUE(skl.insts[0].info.eliminated);
+    EXPECT_FALSE(snb.insts[0].info->eliminated);
+    EXPECT_TRUE(skl.insts[0].info->eliminated);
 }
 
 TEST(BasicBlock, RoundTripThroughBytes)
@@ -148,7 +148,7 @@ TEST(BasicBlock, RoundTripThroughBytes)
     BasicBlock blk = analyze(bytes, UArch::RKL);
     ASSERT_EQ(blk.insts.size(), 3u);
     EXPECT_EQ(blk.bytes, bytes);
-    EXPECT_EQ(blk.insts[1].dec.inst.mnem, Mnemonic::VFMADD231PD);
+    EXPECT_EQ(blk.insts[1].dec->inst.mnem, Mnemonic::VFMADD231PD);
 }
 
 } // namespace

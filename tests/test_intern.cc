@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Tests for the instruction interning cache (src/analysis/intern.h) and
+ * the interned block analysis built on it.
+ *
+ * The core contract: analysis through the shared intern cache is
+ * bit-identical to fresh (intern-disabled) analysis — same predictions,
+ * same annotations — over randomized BHive blocks on all nine
+ * microarchitectures, including under concurrent hammering from the
+ * engine worker pool (the concurrency tests run under TSan in CI).
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "analysis/intern.h"
+#include "bb/basic_block.h"
+#include "bhive/generator.h"
+#include "engine/engine.h"
+#include "eval/harness.h"
+#include "facile/predictor.h"
+
+namespace facile {
+namespace {
+
+using eval::samePrediction;
+
+/** Value equality of two InstrInfos (they have no operator==). */
+bool
+sameInfo(const uops::InstrInfo &a, const uops::InstrInfo &b)
+{
+    if (a.fusedUops != b.fusedUops || a.issueUops != b.issueUops ||
+        a.latency != b.latency ||
+        a.needsComplexDecoder != b.needsComplexDecoder ||
+        a.nAvailableSimpleDecoders != b.nAvailableSimpleDecoders ||
+        a.macroFusible != b.macroFusible || a.eliminated != b.eliminated)
+        return false;
+    if (a.portUops.size() != b.portUops.size())
+        return false;
+    for (std::size_t i = 0; i < a.portUops.size(); ++i)
+        if (a.portUops[i].ports != b.portUops[i].ports ||
+            a.portUops[i].kind != b.portUops[i].kind)
+            return false;
+    return true;
+}
+
+/** A randomized suite distinct from the default evaluation seed. */
+const std::vector<bhive::Benchmark> &
+randomSuite()
+{
+    static const std::vector<bhive::Benchmark> suite =
+        bhive::generateSuite(0xfac11e5eedULL, 6);
+    return suite;
+}
+
+TEST(Intern, BitIdenticalToFreshAnalysisAllArches)
+{
+    for (uarch::UArch arch : uarch::allUArchs()) {
+        for (const auto &b : randomSuite()) {
+            for (const auto *bytes : {&b.bytesU, &b.bytesL}) {
+                bb::BasicBlock shared = bb::analyze(*bytes, arch);
+                bb::BasicBlock fresh =
+                    bb::analyze(*bytes, arch, bb::InternMode::Off);
+
+                ASSERT_EQ(shared.insts.size(), fresh.insts.size());
+                for (std::size_t i = 0; i < shared.insts.size(); ++i) {
+                    const auto &si = shared.insts[i];
+                    const auto &fi = fresh.insts[i];
+                    EXPECT_EQ(si.start, fi.start);
+                    EXPECT_EQ(si.end, fi.end);
+                    EXPECT_EQ(si.opcodePos, fi.opcodePos);
+                    EXPECT_EQ(si.fusedWithPrev, fi.fusedWithPrev);
+                    EXPECT_EQ(si.dec->length, fi.dec->length);
+                    EXPECT_EQ(si.dec->lcp, fi.dec->lcp);
+                    EXPECT_TRUE(sameInfo(*si.info, *fi.info));
+                    // Off-mode blocks carry no precomputed sets (the
+                    // pre-interning path computed them per call);
+                    // interned sets must equal a fresh computation.
+                    EXPECT_EQ(fi.rw, nullptr);
+                    const isa::RwSets freshRw =
+                        isa::instRw(fi.dec->inst);
+                    EXPECT_EQ(si.rw->reads, freshRw.reads);
+                    EXPECT_EQ(si.rw->writes, freshRw.writes);
+                    EXPECT_EQ(si.rw->depBreaking, freshRw.depBreaking);
+                }
+
+                for (bool loop : {false, true}) {
+                    model::Prediction ps =
+                        model::predict(shared, loop, {});
+                    model::Prediction pf = model::predict(fresh, loop, {});
+                    EXPECT_TRUE(samePrediction(ps, pf))
+                        << b.id << " " << uarch::config(arch).abbrev
+                        << " loop=" << loop;
+                }
+            }
+        }
+    }
+}
+
+TEST(Intern, RepeatedAnalysisSharesRecords)
+{
+    const auto &b = randomSuite().front();
+    bb::BasicBlock first = bb::analyze(b.bytesL, uarch::UArch::SKL);
+    bb::BasicBlock second = bb::analyze(b.bytesL, uarch::UArch::SKL);
+    ASSERT_EQ(first.insts.size(), second.insts.size());
+    for (std::size_t i = 0; i < first.insts.size(); ++i) {
+        // Same arena records: pointer-equal annotations, no per-block
+        // copies (this is what makes the cold path allocation-free).
+        EXPECT_EQ(first.insts[i].dec, second.insts[i].dec);
+        EXPECT_EQ(first.insts[i].info, second.insts[i].info);
+        EXPECT_EQ(first.insts[i].rw, second.insts[i].rw);
+    }
+    EXPECT_FALSE(first.ownedRecords);
+}
+
+TEST(Intern, MissesBoundedByInstructionUniverse)
+{
+    const auto &b = randomSuite().back();
+    (void)bb::analyze(b.bytesL, uarch::UArch::RKL);
+    const auto before =
+        analysis::InstInterner::forArch(uarch::UArch::RKL).stats();
+    // Re-analyzing the same block cannot create new canonical records.
+    (void)bb::analyze(b.bytesL, uarch::UArch::RKL);
+    const auto after =
+        analysis::InstInterner::forArch(uarch::UArch::RKL).stats();
+    EXPECT_EQ(before.misses, after.misses);
+    EXPECT_EQ(before.fusedMisses, after.fusedMisses);
+    EXPECT_GT(after.hits, before.hits);
+}
+
+TEST(Intern, MutableInfoIsCopyOnWrite)
+{
+    const auto &b = randomSuite().front();
+    bb::BasicBlock blk = bb::analyze(b.bytesU, uarch::UArch::SKL);
+    bb::BasicBlock copy = blk;
+
+    const int origLatency = blk.insts[0].info->latency;
+    copy.mutableInfo(0).latency = origLatency + 7;
+
+    // The copy sees its mutation; the original and the shared arena
+    // do not.
+    EXPECT_EQ(copy.insts[0].info->latency, origLatency + 7);
+    EXPECT_EQ(blk.insts[0].info->latency, origLatency);
+    bb::BasicBlock again = bb::analyze(b.bytesU, uarch::UArch::SKL);
+    EXPECT_EQ(again.insts[0].info->latency, origLatency);
+}
+
+/**
+ * Hammer the intern cache from the engine pool: concurrent first-touch
+ * interning (misses racing on insert) and concurrent hits, across
+ * multiple microarchitectures, with bit-identity against fresh serial
+ * analysis. TSan-clean by contract.
+ */
+TEST(Intern, ConcurrentEngineHammer)
+{
+    const auto &suite = randomSuite();
+    const std::vector<uarch::UArch> arches = {
+        uarch::UArch::SNB, uarch::UArch::HSW, uarch::UArch::SKL,
+        uarch::UArch::ICL, uarch::UArch::RKL,
+    };
+
+    std::vector<engine::Request> batch;
+    for (uarch::UArch arch : arches)
+        for (const auto &b : suite) {
+            batch.push_back({b.bytesU, arch, false, {}});
+            batch.push_back({b.bytesL, arch, true, {}});
+        }
+
+    std::vector<model::Prediction> reference(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        reference[i] = model::predict(
+            bb::analyze(batch[i].bytes, batch[i].arch, bb::InternMode::Off),
+            batch[i].loop, batch[i].config);
+
+    engine::PredictionEngine::Options opts;
+    opts.numThreads = 4;
+    opts.cacheEnabled = false; // every pass re-analyzes through the interner
+    engine::PredictionEngine eng(opts);
+
+    for (int pass = 0; pass < 3; ++pass) {
+        std::vector<model::Prediction> out = eng.predictBatch(batch);
+        ASSERT_EQ(out.size(), reference.size());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            ASSERT_TRUE(samePrediction(out[i], reference[i]))
+                << "pass " << pass << " request " << i;
+    }
+}
+
+/** Raw concurrent internAt on one arch: all threads get equal records. */
+TEST(Intern, ConcurrentInternPointerStability)
+{
+    const auto &b = randomSuite()[1];
+    analysis::InstInterner &interner =
+        analysis::InstInterner::forArch(uarch::UArch::TGL);
+
+    constexpr int kThreads = 4;
+    std::vector<std::vector<const analysis::InstRecord *>> seen(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            for (int rep = 0; rep < 50; ++rep) {
+                std::size_t pos = 0;
+                std::size_t idx = 0;
+                while (pos < b.bytesL.size()) {
+                    const analysis::InstRecord *rec = interner.internAt(
+                        b.bytesL.data(), b.bytesL.size(), pos);
+                    if (rep == 0)
+                        seen[t].push_back(rec);
+                    else
+                        ASSERT_EQ(seen[t][idx], rec);
+                    pos += rec->dec.length;
+                    ++idx;
+                }
+            }
+        });
+    for (auto &th : threads)
+        th.join();
+
+    // Canonical records: every thread resolved every instruction to the
+    // same arena pointer.
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(seen[0], seen[t]);
+}
+
+} // namespace
+} // namespace facile
