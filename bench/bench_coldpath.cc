@@ -25,9 +25,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "analysis/intern.h"
+#include "facile/component.h"
 #include "support/stats.h"
 
 using namespace facile;
@@ -63,7 +65,10 @@ main()
     // Serial cold paths, measured interleaved (alternating one fresh
     // pass and one interned pass per round, minimum over the rounds
     // for each) so load drift on a shared machine hits both sides
-    // equally and the speedup ratio stays meaningful.
+    // equally and the speedup ratio stays meaningful. Both run the
+    // serving regime: explicit scratch, Payload::None (bounds and
+    // bottleneck classification, no interpretability payload) — the
+    // path the engine and server drive for fresh traffic.
     //
     //   fresh    — InternMode::Off: per-instruction decode + lookups
     //              with per-block heap copies, the pre-interning
@@ -72,27 +77,33 @@ main()
     //              populates it), mirroring a server that has seen the
     //              instruction universe but none of the incoming
     //              blocks.
+    model::PredictScratch scratch;
     std::vector<model::Prediction> fresh(batch.size());
     std::vector<model::Prediction> interned(batch.size());
     auto freshPass = [&] {
         for (std::size_t i = 0; i < batch.size(); ++i)
             fresh[i] = model::predict(
                 bb::analyze(batch[i].bytes, arch, bb::InternMode::Off),
-                loop, batch[i].config);
+                loop, batch[i].config, scratch);
     };
     auto internedPass = [&] {
         for (std::size_t i = 0; i < batch.size(); ++i)
-            interned[i] = model::predict(bb::analyze(batch[i].bytes, arch),
-                                         loop, batch[i].config);
+            interned[i] =
+                model::predict(bb::analyze(batch[i].bytes, arch), loop,
+                               batch[i].config, scratch);
     };
     double freshMs = 1e300, internedMs = 1e300;
     freshPass();    // warm-up (and first oracle fill)
     internedPass(); // warm-up (populates the intern cache)
+    const model::PredictCountersSnapshot countersBefore =
+        model::predictCounters();
     for (int round = 0; round < 8; ++round) {
         freshMs = std::min(freshMs, eval::bestOfRunsMs(freshPass, 1, false));
         internedMs =
             std::min(internedMs, eval::bestOfRunsMs(internedPass, 1, false));
     }
+    const model::PredictCountersSnapshot countersAfter =
+        model::predictCounters();
     const double freshBps = 1000.0 * nBlocks / freshMs;
     std::printf("%-34s %12.0f %10.5f %10s\n", "serial, fresh (pre-PR path)",
                 freshBps, freshMs / nBlocks, "1.00x");
@@ -120,14 +131,70 @@ main()
     report.metric("threads", 1);
     report.metric("blocks_per_sec", internedBps);
 
+    // The lazy-payload split, machine-readably: the same interned
+    // serial pass with Payload::Full (eager criticalChain /
+    // contendedPorts / contendingInsts, the pre-refactor behavior of
+    // every call) vs the bound-only rate above. Full-payload results
+    // are checked for bit-identity against a fresh full-payload pass.
+    std::uint64_t fullPredictsDelta = 0;
+    {
+        std::vector<model::Prediction> freshFull(batch.size());
+        std::vector<model::Prediction> full(batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            freshFull[i] = model::predict(
+                bb::analyze(batch[i].bytes, arch, bb::InternMode::Off),
+                loop, batch[i].config, scratch, model::Payload::Full);
+        double fullMs = 1e300;
+        auto fullPass = [&] {
+            for (std::size_t i = 0; i < batch.size(); ++i)
+                full[i] = model::predict(bb::analyze(batch[i].bytes, arch),
+                                         loop, batch[i].config, scratch,
+                                         model::Payload::Full);
+        };
+        fullPass(); // warm-up
+        const model::PredictCountersSnapshot fullBefore =
+            model::predictCounters();
+        for (int round = 0; round < 4; ++round)
+            fullMs = std::min(fullMs,
+                              eval::bestOfRunsMs(fullPass, 1, false));
+        fullPredictsDelta = model::predictCounters().fullPredicts -
+                            fullBefore.fullPredicts;
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            if (!bench::samePrediction(full[i], freshFull[i])) {
+                std::fprintf(stderr, "MISMATCH full-payload vs fresh "
+                                     "full-payload at block %zu\n",
+                             i);
+                identical = false;
+            }
+            // The bound-only prediction must agree with the full one on
+            // everything but the payload vectors.
+            if (std::memcmp(&full[i].throughput, &interned[i].throughput,
+                            sizeof(double)) != 0 ||
+                full[i].primaryBottleneck != interned[i].primaryBottleneck) {
+                std::fprintf(stderr, "MISMATCH bound-only vs full payload "
+                                     "at block %zu\n",
+                             i);
+                identical = false;
+            }
+        }
+        const double fullBps = 1000.0 * nBlocks / fullMs;
+        std::printf("%-34s %12.0f %10.5f %9.2fx\n",
+                    "serial, interned + full payload", fullBps,
+                    fullMs / nBlocks, fullBps / freshBps);
+        report.row("serial_interned_full_payload");
+        report.metric("threads", 1);
+        report.metric("blocks_per_sec", fullBps);
+    }
+
     // Per-block cold latency percentiles on the interned serial path.
     {
         std::vector<double> us;
         us.reserve(batch.size());
         for (std::size_t i = 0; i < batch.size(); ++i) {
             auto t0 = std::chrono::steady_clock::now();
-            model::Prediction p = model::predict(
-                bb::analyze(batch[i].bytes, arch), loop, batch[i].config);
+            model::Prediction p =
+                model::predict(bb::analyze(batch[i].bytes, arch), loop,
+                               batch[i].config, scratch);
             auto t1 = std::chrono::steady_clock::now();
             check(p, i, "latency probe");
             us.push_back(std::chrono::duration<double, std::micro>(t1 - t0)
@@ -174,12 +241,46 @@ main()
                 "instructions)\n",
                 100.0 * hitRate, static_cast<unsigned long long>(st.hits),
                 static_cast<unsigned long long>(st.misses));
+
+    // Staged-pipeline counters over the timed serial rounds: how often
+    // the precedence engines were skipped (self-carried-only dependence
+    // graphs) and how the lazy-payload split fell out.
+    const std::uint64_t precEvals =
+        countersAfter.precedenceEvals - countersBefore.precedenceEvals;
+    const std::uint64_t precSkips = countersAfter.precedenceShortCircuits -
+                                    countersBefore.precedenceShortCircuits;
+    const double precSkipRate =
+        precEvals ? static_cast<double>(precSkips) /
+                        static_cast<double>(precEvals)
+                  : 0.0;
+    // Deltas over the measured regions (same pattern as the skip rate):
+    // the bound-only count covers the timed serial rounds, the
+    // full-payload count the timed full-payload rounds — not cumulative
+    // process totals, so restructuring the bench cannot silently skew
+    // the checked-in trajectory.
+    const std::uint64_t boundPredictsDelta =
+        countersAfter.boundPredicts - countersBefore.boundPredicts;
+    std::printf("precedence short-circuit: %.1f%% of %llu bound "
+                "evaluations skipped the cycle-ratio engines\n",
+                100.0 * precSkipRate,
+                static_cast<unsigned long long>(precEvals));
+    std::printf("lazy payload: %llu bound-only (timed serial rounds) vs "
+                "%llu full-payload (timed full rounds) predicts\n",
+                static_cast<unsigned long long>(boundPredictsDelta),
+                static_cast<unsigned long long>(fullPredictsDelta));
     std::printf("interned vs fresh cold path: %.2fx (target >= 1.5x)\n",
                 speedup);
     std::printf("bit-identical to fresh serial predict: %s\n",
                 identical ? "yes" : "NO");
     report.scalar("cache_hit_rate", hitRate);
     report.scalar("speedup_vs_fresh", speedup);
+    report.scalar("precedence_skip_rate", precSkipRate);
+    report.scalar("precedence_evals",
+                  static_cast<double>(precEvals));
+    report.scalar("bound_only_predicts",
+                  static_cast<double>(boundPredictsDelta));
+    report.scalar("full_predicts",
+                  static_cast<double>(fullPredictsDelta));
     report.boolean("bit_identical", identical);
     report.boolean("speedup_target_met", speedup >= 1.5);
     report.write();

@@ -24,6 +24,7 @@
 #include <cstring>
 #include <thread>
 
+#include "facile/component.h"
 #include "facile/predictor.h"
 #include "server/client.h"
 #include "server/server.h"
@@ -64,12 +65,15 @@ main()
     report.boolean("quick_mode", bench::quickMode());
     report.scalar("clients", kClients);
 
-    // Serial reference (also the bit-identity oracle).
+    // Serial reference (also the bit-identity oracle), in the serving
+    // mode the wire defaults to: explicit scratch, bound-only payload.
+    model::PredictScratch scratch;
     std::vector<model::Prediction> serial(batch.size());
     const double serialMs = eval::bestOfRunsMs([&] {
         for (std::size_t i = 0; i < batch.size(); ++i)
-            serial[i] = model::predict(bb::analyze(batch[i].bytes, arch),
-                                       loop, batch[i].config);
+            serial[i] =
+                model::predict(bb::analyze(batch[i].bytes, arch), loop,
+                               batch[i].config, scratch);
     });
     const double serialBps = 1000.0 * nBlocks / serialMs;
 
@@ -173,6 +177,22 @@ main()
         }
         p50 = percentile(us, 50);
         p99 = percentile(us, 99);
+
+        // Explain round trip: the wire flag must yield exactly the
+        // eager full-payload prediction.
+        {
+            const auto &r = batch.front();
+            auto p = cl.predict(r.bytes, r.arch, r.loop, r.config,
+                                model::Payload::Full);
+            auto ref = model::predict(bb::analyze(r.bytes, r.arch),
+                                      r.loop, r.config, scratch,
+                                      model::Payload::Full);
+            if (!samePrediction(p, ref)) {
+                std::fprintf(stderr,
+                             "MISMATCH on explain round trip\n");
+                identical = false;
+            }
+        }
     }
 
     server::ServerStats st = srv.stats();

@@ -16,6 +16,7 @@
 
 #include <thread>
 
+#include "facile/component.h"
 #include "facile/predictor.h"
 
 using namespace facile;
@@ -40,12 +41,17 @@ main()
     report.scalar("hw_threads",
                   static_cast<double>(std::thread::hardware_concurrency()));
 
-    // Serial reference: analyze + predict per block, no engine.
+    // Serial reference: analyze + predict per block, no engine — in the
+    // same serving mode the engine runs (explicit scratch, bound-only
+    // payload), so the comparison and the bit-identity oracle are
+    // like-for-like.
+    model::PredictScratch scratch;
     std::vector<model::Prediction> serial(batch.size());
     const double serialMs = eval::bestOfRunsMs([&] {
         for (std::size_t i = 0; i < batch.size(); ++i)
-            serial[i] = model::predict(bb::analyze(batch[i].bytes, arch),
-                                       loop, batch[i].config);
+            serial[i] =
+                model::predict(bb::analyze(batch[i].bytes, arch), loop,
+                               batch[i].config, scratch);
     });
     const double serialBps = 1000.0 * nBlocks / serialMs;
 

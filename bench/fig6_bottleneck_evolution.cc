@@ -4,11 +4,14 @@
  * Sandy Bridge via Haswell and Cascade Lake to Rocket Lake.
  *
  * For every benchmark the bottleneck component is determined with the
- * paper's front-end-first tie-break (Predec > Dec > Issue > Ports >
- * Precedence); the Sankey diagram is rendered as per-µarch shares plus
- * the three transition matrices between consecutive generations.
+ * paper's front-end-first tie-break (model::bottleneckPriority(); under
+ * TPU the DSB/LSD slots are never evaluated); the Sankey diagram is
+ * rendered as per-µarch shares plus the three transition matrices
+ * between consecutive generations.
  */
 #include "bench_common.h"
+
+#include "facile/component.h"
 
 using namespace facile;
 using model::Component;
@@ -20,7 +23,10 @@ constexpr int kNumC = model::kNumComponents;
 int
 bottleneckOf(const bb::BasicBlock &blk)
 {
-    return static_cast<int>(model::predictUnrolled(blk).primaryBottleneck);
+    // Bound-only path: the bottleneck classification needs no payload.
+    return static_cast<int>(
+        model::predict(blk, false, {}, model::tlsPredictScratch())
+            .primaryBottleneck);
 }
 
 } // namespace

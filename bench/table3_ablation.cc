@@ -11,79 +11,9 @@
 #include "bench_common.h"
 
 #include "baselines/predictor_iface.h"
+#include "facile/component.h"
 
 using namespace facile;
-using model::Component;
-using model::ModelConfig;
-
-namespace {
-
-struct Variant
-{
-    std::string name;
-    ModelConfig config;
-    bool runU = true;
-    bool runL = true;
-};
-
-std::vector<Variant>
-variants()
-{
-    std::vector<Variant> v;
-    v.push_back({"Facile", {}, true, true});
-
-    ModelConfig simplePredec;
-    simplePredec.simplePredec = true;
-    v.push_back({"Facile w/ SimplePredec", simplePredec, true, false});
-
-    ModelConfig simpleDec;
-    simpleDec.simpleDec = true;
-    v.push_back({"Facile w/ SimpleDec", simpleDec, true, false});
-
-    struct OnlyRow
-    {
-        Component c;
-        bool u, l;
-    };
-    const OnlyRow onlyRows[] = {
-        {Component::Predec, true, false},
-        {Component::Dec, true, false},
-        {Component::DSB, false, true},
-        {Component::LSD, false, true},
-        {Component::Issue, true, true},
-        {Component::Ports, true, true},
-        {Component::Precedence, true, true},
-    };
-    for (const auto &r : onlyRows)
-        v.push_back({"only " + std::string(model::componentName(r.c)),
-                     ModelConfig::only(r.c), r.u, r.l});
-
-    // Combination rows of Table 3.
-    ModelConfig predecPorts = ModelConfig::only(Component::Predec);
-    predecPorts.usePorts = true;
-    v.push_back({"only Predec+Ports", predecPorts, true, false});
-
-    ModelConfig precPorts = ModelConfig::only(Component::Precedence);
-    precPorts.usePorts = true;
-    v.push_back({"only Precedence+Ports", precPorts, true, true});
-
-    const OnlyRow withoutRows[] = {
-        {Component::Predec, true, false},
-        {Component::Dec, true, false},
-        {Component::DSB, false, true},
-        {Component::LSD, false, true},
-        {Component::Issue, true, true},
-        {Component::Ports, true, true},
-        {Component::Precedence, true, true},
-    };
-    for (const auto &r : withoutRows)
-        v.push_back({"Facile w/o " +
-                         std::string(model::componentName(r.c)),
-                     ModelConfig::without(r.c), r.u, r.l});
-    return v;
-}
-
-} // namespace
 
 int
 main()
@@ -101,7 +31,10 @@ main()
         bench::printRule();
         std::printf("%s\n", uarch::config(a).name);
         bench::printRule();
-        for (const auto &variant : variants()) {
+        // Rows derived from the component registry metadata (names,
+        // Simple* substitutes, and per-notion participation) instead of
+        // a hand-rolled list.
+        for (const auto &variant : model::ablationVariants()) {
             baselines::FacilePredictor p(variant.config, variant.name);
             std::printf("%-24s", variant.name.c_str());
             if (variant.runU) {

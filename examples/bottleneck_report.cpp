@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bb/basic_block.h"
+#include "facile/component.h"
 #include "facile/predictor.h"
 #include "isa/builder.h"
 
@@ -33,9 +34,13 @@ main()
     std::printf("%-14s %8s %-12s %s\n", "uArch", "cyc/iter", "bottleneck",
                 "explanation");
 
+    model::PredictScratch scratch;
     for (uarch::UArch a : uarch::allUArchs()) {
         bb::BasicBlock blk = bb::analyze(body, a);
-        model::Prediction p = model::predictLoop(blk);
+        // An interpretability report wants the payload: request it
+        // explicitly (the full-explain call path).
+        model::Prediction p = model::predict(blk, true, {}, scratch,
+                                             model::Payload::Full);
 
         std::string why;
         if (p.primaryBottleneck == model::Component::Precedence &&
@@ -60,9 +65,12 @@ main()
                     why.c_str());
     }
 
-    // Counterfactual analysis on Skylake.
+    // Counterfactual analysis on Skylake. idealized() only reads the
+    // component values, so the cheap bound-only call suffices here —
+    // the two call paths of the new API side by side.
     bb::BasicBlock blk = bb::analyze(body, uarch::UArch::SKL);
-    model::Prediction p = model::predictLoop(blk);
+    model::Prediction p =
+        model::predict(blk, true, {}, scratch, model::Payload::None);
     std::printf("\nCounterfactuals on Skylake (baseline %.2f cyc/iter):\n",
                 p.throughput);
     for (int c = 0; c < model::kNumComponents; ++c) {

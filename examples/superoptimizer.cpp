@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "bb/basic_block.h"
+#include "facile/component.h"
 #include "facile/predictor.h"
 #include "isa/builder.h"
 #include "support/rng.h"
@@ -64,6 +65,11 @@ main()
     std::vector<Inst> bestSeq;
     int evaluations = 0;
 
+    // The search loop drives the cheap call path: caller-owned scratch,
+    // no interpretability payload — tens of thousands of bound-only
+    // queries is exactly the regime the staged pipeline serves.
+    model::PredictScratch scratch;
+
     auto t0 = std::chrono::steady_clock::now();
     for (int iter = 0; iter < 20000; ++iter) {
         // Random candidate: pick fragments and optionally pad with a
@@ -76,7 +82,8 @@ main()
             candidate.push_back(i);
 
         bb::BasicBlock blk = bb::analyze(candidate, uarch::UArch::SKL);
-        model::Prediction p = model::predictUnrolled(blk);
+        model::Prediction p =
+            model::predict(blk, false, {}, scratch, model::Payload::None);
         ++evaluations;
 
         // Cost: predicted steady-state cycles; break ties toward fewer
@@ -100,9 +107,24 @@ main()
     for (const auto &inst : bestSeq)
         std::printf("  %s\n", toString(inst).c_str());
 
+    // Only the winner earns the full explanation: predict cheap, then
+    // fill the interpretability payload on demand with explain() — the
+    // payload is byte-identical to an eager Payload::Full call.
     bb::BasicBlock blk = bb::analyze(bestSeq, uarch::UArch::SKL);
-    model::Prediction p = model::predictUnrolled(blk);
-    std::printf("Bottleneck: %s\n",
+    model::Prediction p =
+        model::predict(blk, false, {}, scratch, model::Payload::None);
+    model::explain(blk, {}, scratch, p);
+    std::printf("Bottleneck: %s",
                 model::componentName(p.primaryBottleneck).data());
+    if (p.primaryBottleneck == model::Component::Ports &&
+        p.contendedPorts)
+        std::printf(" (contention on %s)",
+                    uarch::portMaskName(p.contendedPorts).c_str());
+    else if (p.primaryBottleneck == model::Component::Precedence &&
+             !p.criticalChain.empty())
+        std::printf(" (dependence chain through %zu instruction%s)",
+                    p.criticalChain.size(),
+                    p.criticalChain.size() == 1 ? "" : "s");
+    std::printf("\n");
     return 0;
 }

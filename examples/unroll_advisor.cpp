@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bb/basic_block.h"
+#include "facile/component.h"
 #include "facile/predictor.h"
 #include "isa/builder.h"
 
@@ -41,6 +42,10 @@ main()
     std::printf("%-8s %14s %16s %s\n", "unroll", "cyc/loop-iter",
                 "cyc/element", "bottleneck");
 
+    // One scratch for the whole advisor run: buffers stay warm across
+    // the unroll candidates (one scratch per thread, not per call).
+    model::PredictScratch scratch;
+
     double bestPerElement = 1e9;
     int bestFactor = 1;
     for (int unroll : {1, 2, 4, 8}) {
@@ -56,7 +61,11 @@ main()
         body.push_back(backEdge(Cond::NE));
 
         bb::BasicBlock blk = bb::analyze(body, uarch::UArch::SKL);
-        model::Prediction p = model::predictLoop(blk);
+        // The cheap call path: an advisor loop only needs the bound
+        // and the bottleneck classification, not the interpretability
+        // payload, so it asks for Payload::None explicitly.
+        model::Prediction p =
+            model::predict(blk, true, {}, scratch, model::Payload::None);
         double perElement = p.throughput / unroll;
 
         std::printf("%-8d %14.2f %16.3f %s\n", unroll, p.throughput,

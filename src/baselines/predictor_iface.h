@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bb/basic_block.h"
+#include "facile/component.h"
 #include "facile/predictor.h"
 
 namespace facile::baselines {
@@ -27,6 +28,21 @@ class ThroughputPredictor
 
     /** Predicted throughput in cycles/iteration for the TPU/TPL notion. */
     virtual double predict(const bb::BasicBlock &blk, bool loop) const = 0;
+
+    /**
+     * As above, with an explicit per-thread scratch — the overload the
+     * eval harness drives (one scratch per worker lane). Predictors
+     * built on the Facile pipeline use it for allocation-free,
+     * payload-free evaluation; others fall back to predict(blk, loop).
+     * The throughput value is identical either way.
+     */
+    virtual double
+    predict(const bb::BasicBlock &blk, bool loop,
+            model::PredictScratch &scratch) const
+    {
+        (void)scratch;
+        return predict(blk, loop);
+    }
 };
 
 /** Facile with a given ablation configuration. */
@@ -40,10 +56,24 @@ class FacilePredictor : public ThroughputPredictor
 
     std::string name() const override { return name_; }
 
+    using ThroughputPredictor::predict;
+
     double
     predict(const bb::BasicBlock &blk, bool loop) const override
     {
-        return model::predict(blk, loop, config_).throughput;
+        return predict(blk, loop, model::tlsPredictScratch());
+    }
+
+    double
+    predict(const bb::BasicBlock &blk, bool loop,
+            model::PredictScratch &scratch) const override
+    {
+        // The serving-path cheap mode: tables only consume the
+        // throughput, which is bit-identical to the payload-building
+        // overloads.
+        return model::predict(blk, loop, config_, scratch,
+                              model::Payload::None)
+            .throughput;
     }
 
   private:

@@ -31,6 +31,8 @@ BasicBlock::issueUops() const
 bool
 BasicBlock::touchesJccErratumBoundary() const
 {
+    if (cachedJccTouch >= 0)
+        return cachedJccTouch != 0;
     for (std::size_t i = 0; i < insts.size(); ++i) {
         const AnnotatedInst &ai = insts[i];
         if (!ai.dec->inst.isBranch())
@@ -202,6 +204,11 @@ analyze(std::vector<std::uint8_t> bytes, uarch::UArch arch, InternMode mode)
         }
         blk.cachedFusedUops = fused;
         blk.cachedIssueUops = issue;
+        // The JCC-boundary test is layout-only; compute it once (after
+        // fusion pairing, which moves a fused pair's start) instead of
+        // rescanning on every TPL predict.
+        const bool jcc = blk.touchesJccErratumBoundary();
+        blk.cachedJccTouch = jcc ? 1 : 0;
     }
 
     return blk;

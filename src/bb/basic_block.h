@@ -114,6 +114,13 @@ struct BasicBlock
     int cachedFusedUops = -1;
     int cachedIssueUops = -1;
 
+    /**
+     * Precomputed touchesJccErratumBoundary() (layout-only, so never
+     * invalidated by mutableInfo). -1 = not cached (hand-built blocks)
+     * — the accessor then falls back to scanning the instructions.
+     */
+    std::int8_t cachedJccTouch = -1;
+
     int lengthBytes() const { return static_cast<int>(bytes.size()); }
 
     bool

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "engine/thread_pool.h"
+#include "facile/component.h"
 
 namespace facile::engine {
 
@@ -26,14 +27,16 @@ analysisKey(const std::vector<std::uint8_t> &bytes, uarch::UArch arch)
     return key;
 }
 
-/** Prediction-cache key: notion + config bits + analysis key. */
+/** Prediction-cache key: notion + payload depth + config + analysis key. */
 std::string
 predictionKey(const Request &r)
 {
     const std::uint16_t cfg = r.config.packBits();
     std::string key;
     key.reserve(r.bytes.size() + 4);
-    key.push_back(r.loop ? 1 : 0);
+    key.push_back(static_cast<char>(
+        (r.loop ? 1 : 0) |
+        (r.payload == model::Payload::Full ? 2 : 0)));
     key.push_back(static_cast<char>(cfg & 0xff));
     key.push_back(static_cast<char>(cfg >> 8));
     key.push_back(static_cast<char>(r.arch));
@@ -119,13 +122,26 @@ struct PredictionEngine::Impl
     AnalysisShard analysisShards[kShards];
     PredictionShard predictionShards[kShards];
 
+    /**
+     * One component-pipeline scratch per pool worker: scratch
+     * ownership is explicit (a worker's index selects its scratch),
+     * not thread_local-scattered, and a worker's buffers stay warm
+     * across batches.
+     */
+    std::vector<std::unique_ptr<model::PredictScratch>> workerScratch;
+
     explicit Impl(Options o)
         : opts(o),
           pool(o.numThreads > 0
                    ? o.numThreads
                    : static_cast<int>(
                          std::max(1u, std::thread::hardware_concurrency())))
-    {}
+    {
+        workerScratch.reserve(static_cast<std::size_t>(pool.size()));
+        for (int i = 0; i < pool.size(); ++i)
+            workerScratch.push_back(
+                std::make_unique<model::PredictScratch>());
+    }
 
     std::shared_ptr<const bb::BasicBlock>
     analyzeCached(const std::vector<std::uint8_t> &bytes, uarch::UArch arch,
@@ -167,7 +183,7 @@ struct PredictionEngine::Impl
      */
     void
     predictCachedVisit(const Request &req, BatchStats *stats, int worker,
-                       std::size_t index,
+                       std::size_t index, model::PredictScratch &scratch,
                        const PredictionEngine::PredictionVisitor &visit)
     {
         std::string key;
@@ -186,7 +202,8 @@ struct PredictionEngine::Impl
         model::Prediction p;
         try {
             auto blk = analyzeCached(req.bytes, req.arch, stats);
-            p = model::predict(*blk, req.loop, req.config);
+            p = model::predict(*blk, req.loop, req.config, scratch,
+                               req.payload);
         } catch (const std::exception &) {
             p = model::Prediction{}; // malformed block: throughput 0
         }
@@ -202,11 +219,12 @@ struct PredictionEngine::Impl
         visit(worker, index, p);
     }
 
+    /** Calling-thread path (predictOne): uses the thread's scratch. */
     model::Prediction
     predictCached(const Request &req, BatchStats *stats)
     {
         model::Prediction out;
-        predictCachedVisit(req, stats, 0, 0,
+        predictCachedVisit(req, stats, 0, 0, model::tlsPredictScratch(),
                            [&out](int, std::size_t,
                                   const model::Prediction &p) { out = p; });
         return out;
@@ -236,15 +254,21 @@ PredictionEngine::predictBatch(const std::vector<Request> &batch,
     std::atomic<std::size_t> analysisHits{0}, predictionHits{0},
         analyzed{0};
 
-    impl_->pool.parallelFor(batch.size(), [&](std::size_t i) {
-        BatchStats local;
-        out[i] = impl_->predictCached(batch[i], stats ? &local : nullptr);
-        if (stats) {
-            analysisHits += local.analysisCacheHits;
-            predictionHits += local.predictionCacheHits;
-            analyzed += local.analyzed;
-        }
-    });
+    impl_->pool.parallelForWorker(
+        batch.size(), [&](int worker, std::size_t i) {
+            BatchStats local;
+            impl_->predictCachedVisit(
+                batch[i], stats ? &local : nullptr, worker, i,
+                *impl_->workerScratch[static_cast<std::size_t>(worker)],
+                [&out](int, std::size_t idx, const model::Prediction &p) {
+                    out[idx] = p;
+                });
+            if (stats) {
+                analysisHits += local.analysisCacheHits;
+                predictionHits += local.predictionCacheHits;
+                analyzed += local.analyzed;
+            }
+        });
 
     if (stats) {
         stats->requests += batch.size();
@@ -269,9 +293,10 @@ PredictionEngine::predictBatchVisit(const std::vector<Request> &batch,
     impl_->pool.parallelForWorker(
         batch.size(), [&](int worker, std::size_t i) {
             BatchStats local;
-            impl_->predictCachedVisit(batch[i],
-                                      stats ? &local : nullptr, worker,
-                                      i, visit);
+            impl_->predictCachedVisit(
+                batch[i], stats ? &local : nullptr, worker, i,
+                *impl_->workerScratch[static_cast<std::size_t>(worker)],
+                visit);
             if (stats) {
                 analysisHits += local.analysisCacheHits;
                 predictionHits += local.predictionCacheHits;
@@ -307,6 +332,13 @@ PredictionEngine::parallelFor(std::size_t n,
                               const std::function<void(std::size_t)> &body)
 {
     impl_->pool.parallelFor(n, body);
+}
+
+void
+PredictionEngine::parallelForWorker(
+    std::size_t n, const std::function<void(int, std::size_t)> &body)
+{
+    impl_->pool.parallelForWorker(n, body);
 }
 
 void

@@ -12,15 +12,19 @@
  *   - a sharded per-arch analysis cache keyed on the raw block bytes
  *     lets repeated blocks skip decoding and uop lookup entirely;
  *   - a second-level prediction cache keyed additionally on the
- *     throughput notion and the ablation config short-circuits fully
- *     repeated requests;
- *   - per-thread PrecedenceScratch buffers (see facile/precedence.h)
- *     make the dominant analytical component allocation-free in steady
- *     state.
+ *     throughput notion, the ablation config, and the payload depth
+ *     short-circuits fully repeated requests;
+ *   - one model::PredictScratch per pool worker (see
+ *     facile/component.h) makes the whole component pipeline
+ *     allocation-free in steady state, with scratch ownership explicit
+ *     instead of thread_local-scattered;
+ *   - requests default to Payload::None: the serving path computes
+ *     bounds and bottleneck classification but skips the
+ *     interpretability payload unless a request asks for it.
  *
- * Predictions are bit-identical to serial facile::model::predict():
- * the same deterministic code runs per block, only scheduling and
- * memoization differ.
+ * Predictions are bit-identical to serial facile::model::predict()
+ * at the same payload depth: the same deterministic code runs per
+ * block, only scheduling and memoization differ.
  */
 #ifndef FACILE_ENGINE_ENGINE_H
 #define FACILE_ENGINE_ENGINE_H
@@ -45,6 +49,16 @@ struct Request
     uarch::UArch arch = uarch::UArch::SKL;
     bool loop = false;
     model::ModelConfig config{};
+
+    /**
+     * How much of the Prediction to build. The serving default is the
+     * cheap path: throughput, componentValue and the bottleneck
+     * classification, no interpretability payload. Payload::Full asks
+     * for criticalChain / contendedPorts / contendingInsts as well and
+     * is cached separately (the payload depth is part of the
+     * prediction-cache key).
+     */
+    model::Payload payload = model::Payload::None;
 };
 
 /** Counters for one predictBatch call. */
@@ -141,6 +155,15 @@ class PredictionEngine
      */
     void parallelFor(std::size_t n,
                      const std::function<void(std::size_t)> &body);
+
+    /**
+     * As parallelFor, with the stable pool-worker index in
+     * [0, numThreads()) as the first argument — the hook callers use
+     * to bind one PredictScratch (or any per-lane state) per worker.
+     */
+    void
+    parallelForWorker(std::size_t n,
+                      const std::function<void(int, std::size_t)> &body);
 
     void clearCaches();
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "sim/pipeline.h"
 #include "support/math_util.h"
@@ -55,16 +56,26 @@ runPredictor(const baselines::ThroughputPredictor &p, const ArchSuite &suite,
 {
     const auto &blocks = loop ? suite.blocksL : suite.blocksU;
     std::vector<double> out(blocks.size());
-    engine::PredictionEngine::shared().parallelFor(
-        blocks.size(), [&](std::size_t i) {
-            double tp = 0.0;
-            try {
-                tp = p.predict(blocks[i], loop);
-            } catch (const std::exception &) {
-                tp = 0.0; // crash -> throughput 0, per the paper's protocol
-            }
-            out[i] = round2(tp);
-        });
+    engine::PredictionEngine &eng = engine::PredictionEngine::shared();
+
+    // One pipeline scratch per worker lane, threaded explicitly into
+    // the predictor (Facile-family predictors run allocation-free and
+    // payload-free on it; others ignore it).
+    std::vector<std::unique_ptr<model::PredictScratch>> scratch;
+    scratch.reserve(static_cast<std::size_t>(eng.numThreads()));
+    for (int w = 0; w < eng.numThreads(); ++w)
+        scratch.push_back(std::make_unique<model::PredictScratch>());
+
+    eng.parallelForWorker(blocks.size(), [&](int worker, std::size_t i) {
+        double tp = 0.0;
+        try {
+            tp = p.predict(blocks[i], loop,
+                           *scratch[static_cast<std::size_t>(worker)]);
+        } catch (const std::exception &) {
+            tp = 0.0; // crash -> throughput 0, per the paper's protocol
+        }
+        out[i] = round2(tp);
+    });
     return out;
 }
 
@@ -110,10 +121,13 @@ timePerBenchmarkMs(const baselines::ThroughputPredictor &p,
     const auto &blocks = loop ? suite.blocksL : suite.blocksU;
     if (blocks.empty())
         return 0.0;
+    // Times the serving-shaped path: explicit scratch, no payload for
+    // Facile-family predictors.
+    model::PredictScratch scratch;
     volatile double sink = 0.0;
     double bestMs = bestOfRunsMs([&] {
         for (const auto &blk : blocks)
-            sink = sink + p.predict(blk, loop);
+            sink = sink + p.predict(blk, loop, scratch);
     });
     (void)sink;
     return bestMs / static_cast<double>(blocks.size());

@@ -9,26 +9,6 @@ namespace facile::model {
 
 namespace {
 
-/** Decode unit: macro-fused pairs occupy a single decoder slot. */
-struct Unit
-{
-    bool complex;
-    int nAvailSimple;
-    bool macroFusible;
-    bool branch;
-};
-
-/**
- * Per-thread buffers for dec(); capacity persists across calls so
- * steady-state decode analysis allocates nothing.
- */
-struct DecScratch
-{
-    std::vector<Unit> units;
-    std::vector<int> nComplexDecInIteration;
-    std::vector<int> firstInstrOnDecInIteration;
-};
-
 DecScratch &
 tlsScratch()
 {
@@ -41,11 +21,16 @@ tlsScratch()
 double
 dec(const bb::BasicBlock &blk)
 {
+    return dec(blk, tlsScratch());
+}
+
+double
+dec(const bb::BasicBlock &blk, DecScratch &s)
+{
     const uarch::MicroArchConfig &cfg = uarch::config(blk.arch);
     const int nDec = cfg.nDecoders;
 
-    DecScratch &s = tlsScratch();
-    std::vector<Unit> &units = s.units;
+    std::vector<DecUnit> &units = s.units;
     units.clear();
     for (const auto &ai : blk.insts) {
         if (ai.fusedWithPrev) {
@@ -77,7 +62,7 @@ dec(const bb::BasicBlock &blk)
         ++iteration;
         nComplexDecInIteration.push_back(0);
         for (std::size_t idx = 0; idx < units.size(); ++idx) {
-            const Unit &i = units[idx];
+            const DecUnit &i = units[idx];
             if (i.complex) {
                 curDec = 0;
                 nAvailableSimpleDecoders = i.nAvailSimple;

@@ -12,12 +12,38 @@
 #ifndef FACILE_FACILE_DEC_H
 #define FACILE_FACILE_DEC_H
 
+#include <vector>
+
 #include "bb/basic_block.h"
 
 namespace facile::model {
 
+/** One decode unit: macro-fused pairs occupy a single decoder slot. */
+struct DecUnit
+{
+    bool complex;
+    int nAvailSimple;
+    bool macroFusible;
+    bool branch;
+};
+
+/**
+ * Reusable workspace for dec(); capacity persists across calls so
+ * steady-state decode analysis allocates nothing. One scratch may not
+ * be shared between threads; treat the fields as opaque.
+ */
+struct DecScratch
+{
+    std::vector<DecUnit> units;
+    std::vector<int> nComplexDecInIteration;
+    std::vector<int> firstInstrOnDecInIteration;
+};
+
 /** Steady-state decoder throughput in cycles per iteration. */
 double dec(const bb::BasicBlock &blk);
+
+/** As above, with caller-owned scratch (zero steady-state allocation). */
+double dec(const bb::BasicBlock &blk, DecScratch &scratch);
 
 /**
  * Simple decoder model: max(n/d, c) where n is the number of

@@ -12,19 +12,6 @@ namespace {
 using uarch::PortMask;
 
 /**
- * Per-thread buffers for ports(): µop masks and the port-combination
- * work lists keep their capacity across calls, so steady-state port
- * analysis allocates nothing beyond the result's contendingInsts.
- */
-struct PortsScratch
-{
-    std::vector<std::pair<PortMask, int>> uops; ///< (mask, inst index)
-    std::vector<PortMask> pcs;
-    std::vector<int> pcsCount; ///< µops per distinct mask (histogram)
-    std::vector<PortMask> pairs;
-};
-
-/**
  * The pairwise port bound is a pure function of the mask histogram —
  * and workloads reuse a small set of histograms across millions of
  * distinct blocks. A small thread-local memo keyed on the histogram
@@ -110,7 +97,8 @@ PortsResult
 boundForCombinations(const std::vector<std::pair<PortMask, int>> &uops,
                      const std::vector<PortMask> &masks,
                      const std::vector<int> &maskCount,
-                     const std::vector<PortMask> &combinations)
+                     const std::vector<PortMask> &combinations,
+                     bool collectContending = true)
 {
     PortsResult best;
     for (PortMask pc : combinations) {
@@ -126,7 +114,8 @@ boundForCombinations(const std::vector<std::pair<PortMask, int>> &uops,
             best.bottleneckPorts = pc;
         }
     }
-    extractContending(uops, best);
+    if (collectContending)
+        extractContending(uops, best);
     return best;
 }
 
@@ -160,7 +149,12 @@ buildMaskHistogram(const std::vector<std::pair<PortMask, int>> &uops,
 PortsResult
 ports(const bb::BasicBlock &blk)
 {
-    PortsScratch &s = tlsScratch();
+    return ports(blk, tlsScratch(), true);
+}
+
+PortsResult
+ports(const bb::BasicBlock &blk, PortsScratch &s, bool collectContending)
+{
     collectUopMasks(blk, s.uops);
     buildMaskHistogram(s.uops, s.pcs, s.pcsCount);
 
@@ -200,7 +194,8 @@ ports(const bb::BasicBlock &blk)
                     PortsResult best;
                     best.throughput = slot->throughput;
                     best.bottleneckPorts = slot->bottleneckPorts;
-                    extractContending(s.uops, best);
+                    if (collectContending)
+                        extractContending(s.uops, best);
                     return best;
                 }
             }
@@ -216,8 +211,8 @@ ports(const bb::BasicBlock &blk)
     s.pairs.erase(std::unique(s.pairs.begin(), s.pairs.end()),
                   s.pairs.end());
 
-    PortsResult best =
-        boundForCombinations(s.uops, s.pcs, s.pcsCount, s.pairs);
+    PortsResult best = boundForCombinations(s.uops, s.pcs, s.pcsCount,
+                                            s.pairs, collectContending);
     if (slot) {
         slot->n = static_cast<std::uint8_t>(nDistinct);
         for (std::size_t i = 0; i < nDistinct; ++i) {

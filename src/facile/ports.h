@@ -14,6 +14,7 @@
 #define FACILE_FACILE_PORTS_H
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bb/basic_block.h"
@@ -32,8 +33,32 @@ struct PortsResult
     std::vector<int> contendingInsts;
 };
 
+/**
+ * Reusable workspace for ports(): µop masks and the port-combination
+ * work lists keep their capacity across calls, so steady-state port
+ * analysis allocates nothing beyond the result's contendingInsts. One
+ * scratch may not be shared between threads; treat the fields as
+ * opaque and merely keep the object alive across calls.
+ */
+struct PortsScratch
+{
+    std::vector<std::pair<uarch::PortMask, int>> uops; ///< (mask, inst)
+    std::vector<uarch::PortMask> pcs;
+    std::vector<int> pcsCount; ///< µops per distinct mask (histogram)
+    std::vector<uarch::PortMask> pairs;
+};
+
 /** Pairwise port-combination heuristic (the model Facile uses). */
 PortsResult ports(const bb::BasicBlock &blk);
+
+/**
+ * As above, with caller-owned scratch. With @p collectContending
+ * false, the contendingInsts payload is skipped (the bound and
+ * bottleneckPorts are computed identically either way) — the staged
+ * pipeline's cheap path; explain() re-runs with true on demand.
+ */
+PortsResult ports(const bb::BasicBlock &blk, PortsScratch &scratch,
+                  bool collectContending = true);
 
 /**
  * Exact port-contention bound: max over every subset S of ports of

@@ -546,16 +546,37 @@ maxCycleRatio(int n_nodes, const std::vector<RatioEdge> &edges)
     return result;
 }
 
-PrecedenceResult
-precedence(const bb::BasicBlock &blk)
-{
-    return precedence(blk, tlsScratch());
-}
+namespace {
 
-PrecedenceResult
-precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
+/**
+ * Facts about the dependence graph collected while building it, enough
+ * to decide whether the max-cycle-ratio engines can be skipped.
+ */
+struct DepGraphInfo
+{
+    int nNodes = 0;
+
+    /**
+     * No loop-carried edge crosses instructions (and no stack-op
+     * instruction carries more than one self-dependence): every cycle
+     * is confined to one instruction's write nodes and maxSelfRatio is
+     * the exact bound. See precedenceBound() in the header.
+     */
+    bool selfCarriedOnly = true;
+
+    /** Max weight/count over node-level self-loop edges (count is 1). */
+    double maxSelfRatio = 0.0;
+};
+
+/**
+ * Build the dependence graph of @p blk into s.edges / s.nodeInst /
+ * s.nodeValue (shared by precedence() and precedenceBound()).
+ */
+DepGraphInfo
+buildDepGraph(const bb::BasicBlock &blk, PrecedenceScratch &s)
 {
     const uarch::MicroArchConfig &cfg = uarch::config(blk.arch);
+    DepGraphInfo g;
 
     // One node per (instruction, written value): nodeInst/nodeValue.
     s.nodeInst.clear();
@@ -613,6 +634,7 @@ precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
             const int firstWriteNode = nodeCursor;
             const int nWrites = irec->nWritesInl;
             if (!irec->depBreaking && nWrites > 0) {
+                int selfCarried = 0;
                 for (std::uint8_t k = 0; k < irec->nDepInl; ++k) {
                     const analysis::DepRead &dr = irec->depInl[k];
                     int producer = lastWriter[dr.value];
@@ -623,11 +645,20 @@ precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
                     }
                     if (producer < 0)
                         continue; // loop-invariant input
+                    if (iterCount) {
+                        if (s.nodeInst[producer] != static_cast<int>(i))
+                            g.selfCarriedOnly = false;
+                        else if (irec->stackOp && ++selfCarried > 1)
+                            g.selfCarriedOnly = false;
+                    }
                     for (int w = 0; w < nWrites; ++w) {
                         double edgeLat = dr.latency;
                         if (irec->stackOp &&
                             s.nodeValue[firstWriteNode + w] == 4)
                             edgeLat = 0.0;
+                        if (iterCount && producer == firstWriteNode + w &&
+                            edgeLat > g.maxSelfRatio)
+                            g.maxSelfRatio = edgeLat;
                         s.edges.push(producer, firstWriteNode + w,
                                      edgeLat, iterCount);
                     }
@@ -649,6 +680,7 @@ precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
             // (including the address-register load latency) and the
             // stack-op flag were derived once at intern time.
             const analysis::InstRecord &rec = *ai.rec;
+            int selfCarried = 0;
             for (const analysis::DepRead &dr : rec.depReads) {
                 int producer = lastWriter[dr.value];
                 int iterCount = 0;
@@ -658,6 +690,12 @@ precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
                 }
                 if (producer < 0)
                     continue; // loop-invariant input
+                if (iterCount) {
+                    if (s.nodeInst[producer] != static_cast<int>(i))
+                        g.selfCarriedOnly = false;
+                    else if (rec.stackOp && ++selfCarried > 1)
+                        g.selfCarriedOnly = false;
+                }
                 for (int w = 0; w < nWrites; ++w) {
                     double edgeLat = dr.latency;
                     // The stack engine updates rsp outside the execution
@@ -666,6 +704,9 @@ precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
                     if (rec.stackOp &&
                         s.nodeValue[firstWriteNode + w] == 4)
                         edgeLat = 0.0;
+                    if (iterCount && producer == firstWriteNode + w &&
+                        edgeLat > g.maxSelfRatio)
+                        g.maxSelfRatio = edgeLat;
                     s.edges.push(producer, firstWriteNode + w, edgeLat,
                                  iterCount);
                 }
@@ -686,6 +727,7 @@ precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
                 ai.dec->inst.mnem == isa::Mnemonic::CALL ||
                 ai.dec->inst.mnem == isa::Mnemonic::RET;
 
+            int selfCarried = 0;
             for (int r : sets.reads) {
                 int producer = lastWriter[r];
                 int iterCount = 0;
@@ -695,6 +737,12 @@ precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
                 }
                 if (producer < 0)
                     continue; // loop-invariant input
+                if (iterCount) {
+                    if (s.nodeInst[producer] != static_cast<int>(i))
+                        g.selfCarriedOnly = false;
+                    else if (stackOp && ++selfCarried > 1)
+                        g.selfCarriedOnly = false;
+                }
                 double lat = static_cast<double>(ai.info->latency);
                 if (isAddrReg(r))
                     lat += cfg.loadLatency;
@@ -705,6 +753,9 @@ precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
                     // immediately.
                     if (stackOp && s.nodeValue[firstWriteNode + w] == 4)
                         edgeLat = 0.0;
+                    if (iterCount && producer == firstWriteNode + w &&
+                        edgeLat > g.maxSelfRatio)
+                        g.maxSelfRatio = edgeLat;
                     s.edges.push(producer, firstWriteNode + w, edgeLat,
                                  iterCount);
                 }
@@ -717,9 +768,24 @@ precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
         nodeCursor += nWrites;
     }
 
+    g.nNodes = static_cast<int>(s.nodeInst.size());
+    return g;
+}
+
+} // namespace
+
+PrecedenceResult
+precedence(const bb::BasicBlock &blk)
+{
+    return precedence(blk, tlsScratch());
+}
+
+PrecedenceResult
+precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
+{
+    const DepGraphInfo g = buildDepGraph(blk, s);
     PrecedenceResult result;
-    result.throughput = maxCycleRatioImpl(
-        static_cast<int>(s.nodeInst.size()), s.edges, s);
+    result.throughput = maxCycleRatioImpl(g.nNodes, s.edges, s);
     for (int n : s.bestCycle) {
         int inst = s.nodeInst[n];
         if (result.criticalChain.empty() ||
@@ -727,6 +793,24 @@ precedence(const bb::BasicBlock &blk, PrecedenceScratch &s)
             result.criticalChain.push_back(inst);
     }
     return result;
+}
+
+double
+precedenceBound(const bb::BasicBlock &blk, PrecedenceScratch &s,
+                bool *shortCircuited)
+{
+    const DepGraphInfo g = buildDepGraph(blk, s);
+    if (g.selfCarriedOnly) {
+        // Every cycle is an instruction self-dependence; the max
+        // self-loop ratio is the exact bound and matches the engines
+        // bit for bit (see the header contract).
+        if (shortCircuited)
+            *shortCircuited = true;
+        return g.maxSelfRatio;
+    }
+    if (shortCircuited)
+        *shortCircuited = false;
+    return maxCycleRatioImpl(g.nNodes, s.edges, s);
 }
 
 } // namespace facile::model

@@ -179,6 +179,30 @@ PrecedenceResult precedence(const bb::BasicBlock &blk,
                             PrecedenceScratch &scratch);
 
 /**
+ * The bound alone, without the criticalChain payload — the staged
+ * pipeline's cheap path.
+ *
+ * When the dependence graph carries no cross-instruction loop-carried
+ * edge (every loop-carried dependence is an instruction depending on
+ * its own previous iteration), every dependence cycle is confined to a
+ * single instruction's write nodes and the maximum self-loop ratio is
+ * the exact bound; the max-cycle-ratio engines are skipped entirely
+ * and @p shortCircuited (if non-null) is set. The returned double is
+ * bit-identical to the full engine's in that case: loop-carried edges
+ * have iteration count 1 and integer-valued latency weights, so the
+ * engines' converged per-cycle ratio is exactly the winning self-loop
+ * weight (the tolerance windows of the Howard / Bellman-Ford engines
+ * only matter for ratio gaps below 1e-9, which integer-valued weights
+ * with small cycle lengths cannot produce). Blocks where a stack-op
+ * instruction carries more than one self-dependence fall back to the
+ * full engine (the rsp special case makes a cross-value cycle's ratio
+ * potentially exceed every self-loop; no such instruction exists in
+ * the ISA model, but the guard keeps the short-circuit conservative).
+ */
+double precedenceBound(const bb::BasicBlock &blk, PrecedenceScratch &scratch,
+                       bool *shortCircuited = nullptr);
+
+/**
  * Maximum cycle ratio sum(weight)/sum(count) over all cycles of a
  * directed graph; 0 if the graph is acyclic. Exposed for testing.
  *

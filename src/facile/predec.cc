@@ -8,16 +8,6 @@ namespace facile::model {
 
 namespace {
 
-/**
- * Per-thread buffers for predec(); capacity persists across calls so
- * steady-state predecode analysis allocates nothing.
- */
-struct PredecScratch
-{
-    std::vector<int> L, O, LCP;
-    std::vector<std::int64_t> cycleNLCP;
-};
-
 PredecScratch &
 tlsScratch()
 {
@@ -29,6 +19,12 @@ tlsScratch()
 
 double
 predec(const bb::BasicBlock &blk, bool unrolled)
+{
+    return predec(blk, unrolled, tlsScratch());
+}
+
+double
+predec(const bb::BasicBlock &blk, bool unrolled, PredecScratch &s)
 {
     const std::int64_t l = blk.lengthBytes();
     if (l == 0 || blk.insts.empty())
@@ -44,7 +40,6 @@ predec(const bb::BasicBlock &blk, bool unrolled)
     //   O(b):   instructions whose nominal opcode starts in block b but
     //           whose last byte is in a later block
     //   LCP(b): LCP instructions whose nominal opcode starts in block b
-    PredecScratch &s = tlsScratch();
     std::vector<int> &L = s.L, &O = s.O, &LCP = s.LCP;
     L.assign(n, 0);
     O.assign(n, 0);

@@ -12,9 +12,23 @@
 #ifndef FACILE_FACILE_PREDEC_H
 #define FACILE_FACILE_PREDEC_H
 
+#include <cstdint>
+#include <vector>
+
 #include "bb/basic_block.h"
 
 namespace facile::model {
+
+/**
+ * Reusable workspace for predec(); capacity persists across calls so
+ * steady-state predecode analysis allocates nothing. One scratch may
+ * not be shared between threads; treat the fields as opaque.
+ */
+struct PredecScratch
+{
+    std::vector<int> L, O, LCP;
+    std::vector<std::int64_t> cycleNLCP;
+};
 
 /**
  * Steady-state predecoder throughput in cycles per iteration.
@@ -26,6 +40,10 @@ namespace facile::model {
  *        fixed 16-byte-aligned address)
  */
 double predec(const bb::BasicBlock &blk, bool unrolled);
+
+/** As above, with caller-owned scratch (zero steady-state allocation). */
+double predec(const bb::BasicBlock &blk, bool unrolled,
+              PredecScratch &scratch);
 
 /**
  * Simple predecoder model: one 16-byte block per cycle, i.e. l/16

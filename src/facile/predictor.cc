@@ -4,8 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "facile/dec.h"
-#include "facile/predec.h"
+#include "facile/component.h"
 #include "facile/simple_components.h"
 #include "uarch/config.h"
 
@@ -111,6 +110,20 @@ Prediction::idealized(Component c) const
     return best;
 }
 
+const std::array<Component, kNumComponents> &
+bottleneckPriority()
+{
+    // Front-end-first priority for ties (paper section 6.4 / Figure 6):
+    // the µop-delivery components DSB and LSD rank after the legacy
+    // decode pipe and before the back end.
+    static const std::array<Component, kNumComponents> priority = {
+        Component::Predec, Component::Dec,   Component::DSB,
+        Component::LSD,    Component::Issue, Component::Ports,
+        Component::Precedence,
+    };
+    return priority;
+}
+
 namespace {
 
 /** Record a component bound and keep the running maximum. */
@@ -125,14 +138,8 @@ record(Prediction &p, Component c, double value)
 void
 finalize(Prediction &p)
 {
-    // Front-end-first priority for ties (paper section 6.4 / Figure 6).
-    static const Component priority[] = {
-        Component::Predec, Component::Dec,        Component::DSB,
-        Component::LSD,    Component::Issue,      Component::Ports,
-        Component::Precedence,
-    };
     bool primarySet = false;
-    for (Component c : priority) {
+    for (Component c : bottleneckPriority()) {
         double v = p.componentValue[static_cast<int>(c)];
         if (std::isnan(v))
             continue;
@@ -146,78 +153,108 @@ finalize(Prediction &p)
     }
 }
 
-/** Evaluate Ports and Precedence (shared by TPU and TPL). */
-void
-backEndBounds(Prediction &p, const bb::BasicBlock &blk,
-              const ModelConfig &config)
+/**
+ * The staged driver: walk the resolved registry view in stages —
+ * cheap arithmetic bounds first (Issue and the TPL µop-delivery
+ * bound), then the front-end decode simulations where the notion
+ * selects them, then Ports, then the precedence pass (which itself
+ * short-circuits self-carried-only graphs). Evaluation order does not
+ * affect any Prediction field: throughput is a running max and the
+ * bottleneck classification is derived from componentValue under the
+ * fixed bottleneckPriority() order.
+ */
+Prediction
+predictStaged(const bb::BasicBlock &blk, bool loop,
+              const ModelConfig &config, PredictScratch &scratch,
+              Payload payload)
 {
-    if (config.useIssue)
-        record(p, Component::Issue, issue(blk));
-    if (config.usePorts) {
-        PortsResult pr = ports(blk);
-        record(p, Component::Ports, pr.throughput);
-        p.contendedPorts = pr.bottleneckPorts;
-        p.contendingInsts = std::move(pr.contendingInsts);
+    const RegistryView &view = Registry::forArch(blk.arch).view(config);
+    const PredictContext ctx{blk, uarch::config(blk.arch), loop, payload,
+                             scratch};
+
+    Prediction p;
+    auto eval = [&](const ComponentPredictor *c) {
+        if (!c)
+            return;
+        const double v = payload == Payload::Full
+                             ? c->boundWithExplain(ctx, p)
+                             : c->bound(ctx);
+        record(p, c->id(), v);
+    };
+
+    // Stage 1: pure-arithmetic bounds.
+    eval(view.issue);
+
+    // Front end. TPU is always fed by the legacy decode pipe; a TPL
+    // loop is fed by it only under the JCC erratum (paper equation 3),
+    // by the LSD when present and the loop fits the IDQ, and by the
+    // DSB otherwise.
+    if (!loop) {
+        for (int i = 0; i < view.nFront; ++i)
+            eval(view.front[i]);
+    } else if (view.jccPossible && blk.touchesJccErratumBoundary()) {
+        for (int i = 0; i < view.nFront; ++i)
+            eval(view.front[i]);
+    } else if (view.lsd && lsdEligible(blk)) {
+        eval(view.lsd);
+    } else {
+        eval(view.dsb);
     }
-    if (config.usePrecedence) {
-        PrecedenceResult pr = precedence(blk);
-        record(p, Component::Precedence, pr.throughput);
-        p.criticalChain = std::move(pr.criticalChain);
-    }
+
+    // Stage 2: port contention. Stage 3: precedence (most expensive,
+    // short-circuited inside for self-carried-only dependence graphs).
+    eval(view.ports);
+    eval(view.precedence);
+
+    finalize(p);
+    detail::countPredict(payload);
+    return p;
 }
 
 } // namespace
 
 Prediction
+predict(const bb::BasicBlock &blk, bool loop, const ModelConfig &config,
+        PredictScratch &scratch, Payload payload)
+{
+    return predictStaged(blk, loop, config, scratch, payload);
+}
+
+Prediction
 predictUnrolled(const bb::BasicBlock &blk, const ModelConfig &config)
 {
-    Prediction p;
-    if (config.usePredec)
-        record(p, Component::Predec,
-               config.simplePredec ? simplePredec(blk) : predec(blk, true));
-    if (config.useDec)
-        record(p, Component::Dec,
-               config.simpleDec ? simpleDec(blk) : dec(blk));
-    backEndBounds(p, blk, config);
-    finalize(p);
-    return p;
+    return predictStaged(blk, false, config, tlsPredictScratch(),
+                         Payload::Full);
 }
 
 Prediction
 predictLoop(const bb::BasicBlock &blk, const ModelConfig &config)
 {
-    const uarch::MicroArchConfig &cfg = uarch::config(blk.arch);
-    Prediction p;
-
-    // Front end (paper equation 3): with the JCC erratum triggered,
-    // neither the DSB nor the LSD are usable and the loop is fed by the
-    // legacy decode path; otherwise the LSD serves loops that fit the
-    // IDQ, and the DSB everything else.
-    const bool jccAffected =
-        cfg.jccErratum && blk.touchesJccErratumBoundary();
-    if (jccAffected) {
-        if (config.usePredec)
-            record(p, Component::Predec,
-                   config.simplePredec ? simplePredec(blk)
-                                       : predec(blk, false));
-        if (config.useDec)
-            record(p, Component::Dec,
-                   config.simpleDec ? simpleDec(blk) : dec(blk));
-    } else if (cfg.lsdEnabled && config.useLsd && lsdEligible(blk)) {
-        record(p, Component::LSD, lsd(blk));
-    } else if (config.useDsb) {
-        record(p, Component::DSB, dsb(blk));
-    }
-
-    backEndBounds(p, blk, config);
-    finalize(p);
-    return p;
+    return predictStaged(blk, true, config, tlsPredictScratch(),
+                         Payload::Full);
 }
 
 Prediction
 predict(const bb::BasicBlock &blk, bool loop, const ModelConfig &config)
 {
-    return loop ? predictLoop(blk, config) : predictUnrolled(blk, config);
+    return predictStaged(blk, loop, config, tlsPredictScratch(),
+                         Payload::Full);
+}
+
+void
+explain(const bb::BasicBlock &blk, const ModelConfig &config,
+        PredictScratch &scratch, Prediction &p)
+{
+    const RegistryView &view = Registry::forArch(blk.arch).view(config);
+    // The payload components are notion-independent (both notions run
+    // the same back end), so the loop flag is irrelevant here.
+    const PredictContext ctx{blk, uarch::config(blk.arch), false,
+                             Payload::Full, scratch};
+    if (view.ports)
+        view.ports->explain(ctx, p);
+    if (view.precedence)
+        view.precedence->explain(ctx, p);
+    detail::countExplain();
 }
 
 } // namespace facile::model

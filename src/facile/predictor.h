@@ -4,6 +4,16 @@
  * (paper sections 4.1 and 4.2), bottleneck identification, ablation
  * switches (Table 3), and the counterfactual "idealize one component"
  * analysis (Table 4).
+ *
+ * Since the componentization refactor the model is evaluated through a
+ * per-microarchitecture component registry (facile/component.h): each
+ * bound is a ComponentPredictor, ablation configs resolve to a
+ * precomputed RegistryView, and evaluation is staged (cheap arithmetic
+ * bounds first, the max-cycle-ratio precedence pass last, short-
+ * circuited when the dependence graph only carries self-dependences)
+ * and lazy (the interpretability payload is built only on request).
+ * The entry points below are thin drivers over that pipeline;
+ * Prediction::throughput is bit-identical across all of them.
  */
 #ifndef FACILE_FACILE_PREDICTOR_H
 #define FACILE_FACILE_PREDICTOR_H
@@ -41,6 +51,31 @@ inline constexpr int kNumComponents =
  */
 std::string_view componentName(Component c);
 
+/**
+ * How much of a Prediction to build.
+ *
+ * Bound mode fills throughput, componentValue, bottlenecks and
+ * primaryBottleneck — everything the serving and evaluation paths
+ * consume — and leaves the interpretability payload (criticalChain,
+ * contendedPorts, contendingInsts) empty; explain() can fill it in
+ * later, producing exactly the bytes a Payload::Full call would have.
+ */
+enum class Payload : std::uint8_t {
+    None, ///< bound + bottleneck classification only (the cheap path)
+    Full, ///< additionally build the interpretability payload
+};
+
+/**
+ * Per-thread scratch bundle for the whole component pipeline (defined
+ * in facile/component.h). One instance per thread; ownership is
+ * explicit — the engine keeps one per pool worker, serial callers
+ * either keep their own or use tlsPredictScratch().
+ */
+struct PredictScratch;
+
+/** The calling thread's scratch (for context-less convenience calls). */
+PredictScratch &tlsPredictScratch();
+
 /** Ablation switches (Table 3 variants). All-default is full Facile. */
 struct ModelConfig
 {
@@ -68,14 +103,14 @@ struct ModelConfig
 
     /**
      * Pack the nine switches into a stable bit pattern, used by the
-     * engine's cache keys and the server wire protocol. packBits and
-     * fromBits are exact inverses.
+     * engine's cache keys, the server wire protocol, and the registry's
+     * view table. packBits and fromBits are exact inverses.
      */
     std::uint16_t packBits() const;
     static ModelConfig fromBits(std::uint16_t bits);
 };
 
-/** A throughput prediction with full interpretability payload. */
+/** A throughput prediction with optional interpretability payload. */
 struct Prediction
 {
     /** Predicted throughput in cycles per iteration. */
@@ -89,14 +124,24 @@ struct Prediction
 
     /**
      * The single bottleneck under the paper's front-end-first tie-break
-     * (Predec > Dec > Issue > Ports > Precedence; Figure 6).
+     * (Figure 6). The full priority order over all seven components is
+     * Predec > Dec > DSB > LSD > Issue > Ports > Precedence — the two
+     * µop-delivery components DSB and LSD sit between the legacy decode
+     * pipe and the back end, i.e. still front-end-before-back-end; see
+     * bottleneckPriority().
      */
     Component primaryBottleneck = Component::Ports;
 
-    /** Interpretability: critical dependence chain (instruction indices). */
+    /**
+     * Interpretability: critical dependence chain (instruction indices).
+     * Filled under Payload::Full or by explain(); empty otherwise.
+     */
     std::vector<int> criticalChain;
 
-    /** Interpretability: contended ports and contending instructions. */
+    /**
+     * Interpretability: contended ports and contending instructions.
+     * Filled under Payload::Full or by explain(); empty otherwise.
+     */
     uarch::PortMask contendedPorts = 0;
     std::vector<int> contendingInsts;
 
@@ -109,7 +154,17 @@ struct Prediction
     Prediction();
 };
 
-/** Predict TPU: throughput under unrolling (paper equation 1). */
+/**
+ * The tie-break priority used to pick primaryBottleneck, front end
+ * first: Predec, Dec, DSB, LSD, Issue, Ports, Precedence.
+ * Prediction::bottlenecks is listed in this order.
+ */
+const std::array<Component, kNumComponents> &bottleneckPriority();
+
+/**
+ * Predict TPU: throughput under unrolling (paper equation 1). Builds
+ * the full interpretability payload (the paper-facing default).
+ */
 Prediction predictUnrolled(const bb::BasicBlock &blk,
                            const ModelConfig &config = {});
 
@@ -117,14 +172,35 @@ Prediction predictUnrolled(const bb::BasicBlock &blk,
  * Predict TPL: throughput when executed as a loop (paper equations 2/3).
  * The front end is served by the predecoder+decoder when the block
  * triggers the JCC erratum, by the LSD when enabled and the loop fits
- * the IDQ, and by the DSB otherwise.
+ * the IDQ, and by the DSB otherwise. Builds the full payload.
  */
 Prediction predictLoop(const bb::BasicBlock &blk,
                        const ModelConfig &config = {});
 
-/** Dispatch on the throughput notion. */
+/** Dispatch on the throughput notion. Builds the full payload. */
 Prediction predict(const bb::BasicBlock &blk, bool loop,
                    const ModelConfig &config = {});
+
+/**
+ * The explicit-context entry point used by the serving paths: predict
+ * with caller-owned scratch, building only as much of the Prediction
+ * as @p payload asks for. Payload::None is the engine/server default —
+ * throughput, componentValue and the bottleneck classification are
+ * bit-identical to the payload-building overloads above.
+ */
+Prediction predict(const bb::BasicBlock &blk, bool loop,
+                   const ModelConfig &config, PredictScratch &scratch,
+                   Payload payload = Payload::None);
+
+/**
+ * Fill the interpretability payload of @p p in place, as if it had
+ * been predicted with Payload::Full: criticalChain, contendedPorts and
+ * contendingInsts become byte-identical to an eager full prediction of
+ * the same (block, notion, config). @p p must come from a predict call
+ * on the same block and config.
+ */
+void explain(const bb::BasicBlock &blk, const ModelConfig &config,
+             PredictScratch &scratch, Prediction &p);
 
 } // namespace facile::model
 

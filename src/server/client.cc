@@ -135,14 +135,15 @@ Client::readResponse(const std::uint8_t *&payload)
 
 model::Prediction
 Client::predict(const std::vector<std::uint8_t> &bytes, uarch::UArch arch,
-                bool loop, const model::ModelConfig &config)
+                bool loop, const model::ModelConfig &config,
+                model::Payload payload_)
 {
     if (bytes.size() > kMaxBlockBytes)
         throw std::runtime_error("block larger than kMaxBlockBytes");
     const std::uint64_t id = nextId_++;
     std::vector<std::uint8_t> frame;
     frame.reserve(kRequestHeaderSize + bytes.size());
-    appendPredictRequest(frame, id, {bytes, arch, loop, config});
+    appendPredictRequest(frame, id, {bytes, arch, loop, config, payload_});
     writeAll(frame.data(), frame.size());
 
     const std::uint8_t *payload = nullptr;

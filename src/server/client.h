@@ -38,12 +38,16 @@ class Client
 
     /**
      * Predict one block; one round trip. Bit-identical to serial
-     * model::predict(bb::analyze(bytes, arch), loop, config). Throws
+     * model::predict(bb::analyze(bytes, arch), loop, config, scratch,
+     * payload). The default asks for the cheap bound-only prediction;
+     * pass model::Payload::Full to have the server build the
+     * interpretability payload (wire flag bit 1). Throws
      * std::runtime_error on connection loss or a BadRequest status.
      */
-    model::Prediction predict(const std::vector<std::uint8_t> &bytes,
-                              uarch::UArch arch, bool loop,
-                              const model::ModelConfig &config = {});
+    model::Prediction
+    predict(const std::vector<std::uint8_t> &bytes, uarch::UArch arch,
+            bool loop, const model::ModelConfig &config = {},
+            model::Payload payload = model::Payload::None);
 
     /**
      * Predict a batch, pipelined: all request frames are written

@@ -31,7 +31,9 @@ appendPredictRequest(std::vector<std::uint8_t> &buf, std::uint64_t id,
     putU64(p, id);
     *p++ = static_cast<std::uint8_t>(Op::Predict);
     *p++ = static_cast<std::uint8_t>(req.arch);
-    *p++ = req.loop ? 1 : 0;
+    *p++ = static_cast<std::uint8_t>(
+        (req.loop ? kFlagLoop : 0) |
+        (req.payload == model::Payload::Full ? kFlagExplain : 0));
     *p++ = 0; // reserved
     putU16(p, req.config.packBits());
     putU16(p, static_cast<std::uint16_t>(req.bytes.size()));

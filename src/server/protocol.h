@@ -15,7 +15,12 @@
  *   offset 0   u64  id       client-chosen; echoed in the response
  *   offset 8   u8   op       1=PREDICT  2=STATS  3=PING
  *   offset 9   u8   arch     uarch::UArch value (PREDICT only)
- *   offset 10  u8   flags    bit 0: loop (TPL vs TPU)
+ *   offset 10  u8   flags    bit 0: loop (TPL vs TPU); bit 1: explain
+ *                            (build the interpretability payload —
+ *                            criticalChain / contendedPorts /
+ *                            contendingInsts; without it the server
+ *                            serves the cheap bound-only path and the
+ *                            payload counts in the response are 0)
  *   offset 11  u8   reserved must be 0
  *   offset 12  u16  config   model::ModelConfig::packBits()
  *   offset 14  u16  len      payload length; PREDICT: the raw block
@@ -74,6 +79,10 @@ enum class Status : std::uint8_t {
     Ok = 0,
     BadRequest = 1,
 };
+
+/** Request flag bits (the u8 at offset 10). */
+inline constexpr std::uint8_t kFlagLoop = 1u << 0;
+inline constexpr std::uint8_t kFlagExplain = 1u << 1;
 
 inline constexpr std::size_t kRequestHeaderSize = 16;
 inline constexpr std::size_t kResponseHeaderSize = 12;

@@ -306,7 +306,10 @@ struct PredictionServer::Impl
             p.id = h.id;
             p.req.bytes.assign(payload, payload + h.len);
             p.req.arch = static_cast<uarch::UArch>(h.arch);
-            p.req.loop = (h.flags & 1) != 0;
+            p.req.loop = (h.flags & kFlagLoop) != 0;
+            p.req.payload = (h.flags & kFlagExplain)
+                                ? model::Payload::Full
+                                : model::Payload::None;
             p.req.config = model::ModelConfig::fromBits(h.config);
             admitted.push_back(std::move(p));
             return;

@@ -171,10 +171,28 @@ table()
 const MicroArchConfig &
 config(UArch arch)
 {
-    for (const auto &c : table())
-        if (c.arch == arch)
-            return c;
-    throw std::invalid_argument("unknown microarchitecture");
+    // Indexed lookup (the table is newest-first, Table 1 order; the
+    // pointer array below is built once, indexed by the enum value).
+    // config() sits on the prediction hot path — several component
+    // bounds consult it per block — so no per-call scan.
+    static const auto byArch = [] {
+        std::array<const MicroArchConfig *, 9> m{};
+        for (const auto &c : table()) {
+            const auto i = static_cast<std::size_t>(c.arch);
+            if (i >= m.size())
+                throw std::logic_error(
+                    "uarch table outgrew the lookup array");
+            m[i] = &c;
+        }
+        for (const auto *p : m)
+            if (!p)
+                throw std::logic_error("uarch table incomplete");
+        return m;
+    }();
+    const auto idx = static_cast<std::size_t>(arch);
+    if (idx >= byArch.size())
+        throw std::invalid_argument("unknown microarchitecture");
+    return *byArch[idx];
 }
 
 const std::vector<UArch> &

@@ -16,6 +16,7 @@
 
 #include "bhive/generator.h"
 #include "engine/engine.h"
+#include "facile/component.h"
 #include "facile/predictor.h"
 
 namespace facile::engine {
@@ -39,6 +40,10 @@ makeBatch(bool withConfigs = false)
         batch.push_back({b.bytesU, uarch::UArch::SKL, false, {}});
         batch.push_back({b.bytesL, uarch::UArch::SKL, true, {}});
         batch.push_back({b.bytesL, uarch::UArch::RKL, true, {}});
+        // Full-payload requests exercise the eager explain path and its
+        // separate prediction-cache entries.
+        batch.push_back({b.bytesL, uarch::UArch::SKL, true, {},
+                         model::Payload::Full});
         if (withConfigs)
             batch.push_back({b.bytesU, uarch::UArch::SKL, false,
                              ModelConfig::without(
@@ -73,7 +78,11 @@ bitIdentical(const Prediction &a, const Prediction &b)
 Prediction
 serialPredict(const Request &r)
 {
-    return model::predict(bb::analyze(r.bytes, r.arch), r.loop, r.config);
+    // Match the request's payload depth: engine requests default to the
+    // cheap bound-only path, so the serial oracle must too.
+    model::PredictScratch scratch;
+    return model::predict(bb::analyze(r.bytes, r.arch), r.loop, r.config,
+                          scratch, r.payload);
 }
 
 TEST(Engine, BatchMatchesSerialOneWorker)

@@ -19,6 +19,7 @@
 #include "bhive/generator.h"
 #include "engine/engine.h"
 #include "eval/harness.h"
+#include "facile/component.h"
 #include "facile/predictor.h"
 
 namespace facile {
@@ -168,10 +169,14 @@ TEST(Intern, ConcurrentEngineHammer)
         }
 
     std::vector<model::Prediction> reference(batch.size());
-    for (std::size_t i = 0; i < batch.size(); ++i)
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        // Engine requests default to the cheap bound-only path; the
+        // fresh-analysis oracle must match that payload depth.
+        model::PredictScratch scratch;
         reference[i] = model::predict(
             bb::analyze(batch[i].bytes, batch[i].arch, bb::InternMode::Off),
-            batch[i].loop, batch[i].config);
+            batch[i].loop, batch[i].config, scratch, batch[i].payload);
+    }
 
     engine::PredictionEngine::Options opts;
     opts.numThreads = 4;

@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include "bhive/generator.h"
+#include "facile/component.h"
 #include "server/client.h"
 #include "server/server.h"
 
@@ -63,7 +64,11 @@ bitIdentical(const Prediction &a, const Prediction &b)
 Prediction
 serialPredict(const engine::Request &r)
 {
-    return model::predict(bb::analyze(r.bytes, r.arch), r.loop, r.config);
+    // Match the request's payload depth (the wire default is the cheap
+    // bound-only path; kFlagExplain requests the full payload).
+    model::PredictScratch scratch;
+    return model::predict(bb::analyze(r.bytes, r.arch), r.loop, r.config,
+                          scratch, r.payload);
 }
 
 /** Every (benchmark, arch, notion) combination — all nine uarches. */
@@ -75,6 +80,9 @@ allArchBatch()
         for (uarch::UArch arch : uarch::allUArchs()) {
             reqs.push_back({b.bytesU, arch, false, {}});
             reqs.push_back({b.bytesL, arch, true, {}});
+            // Exercise the wire explain flag (full payload on demand).
+            reqs.push_back({b.bytesL, arch, true, {},
+                            model::Payload::Full});
         }
     return reqs;
 }
