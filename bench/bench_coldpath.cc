@@ -26,17 +26,112 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <string>
 #include <thread>
 
 #include "analysis/intern.h"
+#include "analysis/snapshot.h"
 #include "facile/component.h"
 #include "support/stats.h"
 
 using namespace facile;
 
-int
-main()
+namespace {
+
+/** Build the TPL/SKL request batch every mode of this bench uses. */
+std::vector<engine::Request>
+suiteBatch()
 {
+    const auto &suite = bench::evalSuite();
+    std::vector<engine::Request> batch;
+    batch.reserve(suite.size());
+    for (const auto &b : suite)
+        batch.push_back({b.bytesL, uarch::UArch::SKL, true, {}});
+    return batch;
+}
+
+/** Order- and bit-sensitive digest of a prediction sequence. */
+std::uint64_t
+predictionDigest(const std::vector<model::Prediction> &preds)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const model::Prediction &p : preds) {
+        h = analysis::fnv1a64(
+            reinterpret_cast<const std::uint8_t *>(&p.throughput), 8, h);
+        h = analysis::fnv1a64(
+            reinterpret_cast<const std::uint8_t *>(p.componentValue.data()),
+            sizeof(double) * p.componentValue.size(), h);
+        const std::uint8_t b =
+            static_cast<std::uint8_t>(p.primaryBottleneck);
+        h = analysis::fnv1a64(&b, 1, h);
+    }
+    return h;
+}
+
+/**
+ * Child mode (--startup-probe SNAPSHOT|-): the fresh-process half of
+ * the warm-start measurement. Optionally loads the snapshot, then
+ * serves the whole suite once through a caching 1-thread engine — the
+ * restarted-server scenario — and prints machine-readable timings plus
+ * a bit-exact digest of every prediction.
+ */
+int
+startupProbe(const char *snapshotPath)
+{
+    const std::vector<engine::Request> batch = suiteBatch();
+    engine::PredictionEngine::Options opts;
+    opts.numThreads = 1;
+    engine::PredictionEngine eng(opts);
+
+    double loadMs = 0.0;
+    if (std::strcmp(snapshotPath, "-") != 0) {
+        const auto t0 = std::chrono::steady_clock::now();
+        analysis::loadSnapshot(snapshotPath, {&eng});
+        const auto t1 = std::chrono::steady_clock::now();
+        loadMs =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<model::Prediction> out = eng.predictBatch(batch);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double passMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    std::printf("STARTUP %.6f %.6f %016llx\n", loadMs, passMs,
+                static_cast<unsigned long long>(predictionDigest(out)));
+    return 0;
+}
+
+/** Run one --startup-probe child and parse its STARTUP line. */
+bool
+runStartupProbe(const char *argv0, const std::string &snapshotArg,
+                double &loadMs, double &passMs, std::uint64_t &digest)
+{
+    const std::string cmd = std::string("'") + argv0 +
+                            "' --startup-probe '" + snapshotArg + "'";
+    std::FILE *p = ::popen(cmd.c_str(), "r");
+    if (!p)
+        return false;
+    char line[256];
+    bool ok = false;
+    while (std::fgets(line, sizeof line, p)) {
+        unsigned long long d = 0;
+        if (std::sscanf(line, "STARTUP %lf %lf %llx", &loadMs, &passMs,
+                        &d) == 3) {
+            digest = d;
+            ok = true;
+        }
+    }
+    return ::pclose(p) == 0 && ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc >= 3 && std::strcmp(argv[1], "--startup-probe") == 0)
+        return startupProbe(argv[2]);
+
     const auto &suite = bench::evalSuite();
     const uarch::UArch arch = uarch::UArch::SKL;
     const bool loop = true;
@@ -234,6 +329,66 @@ main()
         report.metric("blocks_per_sec", bps);
     }
 
+    // Warm-start round: quantify what a persistent snapshot
+    // (src/analysis/snapshot.h) buys a *fresh process*. The parent
+    // saves its warm state (intern arenas + a 1-thread engine's
+    // prediction cache over the suite); two children then each serve
+    // the full suite once through a caching engine — one from zero,
+    // one from the snapshot — and report wall time plus a bit-exact
+    // prediction digest. Matching digests are the cross-process
+    // bit-identity gate.
+    double saveMs = 0.0, warmSpeedup = 0.0;
+    double coldPassMs = 0.0, warmLoadMs = 0.0, warmPassMs = 0.0;
+    double snapshotBytes = 0.0;
+    bool warmIdentical = false, warmMeasured = false;
+    {
+        engine::PredictionEngine::Options sopts;
+        sopts.numThreads = 1;
+        engine::PredictionEngine snapEng(sopts);
+        snapEng.predictBatch(batch); // populate the prediction cache
+        const std::string path =
+            "facile_warmstart_" + std::to_string(::getpid()) + ".snap";
+        try {
+            const auto t0 = std::chrono::steady_clock::now();
+            const analysis::SnapshotStats ss =
+                analysis::saveSnapshot(path, {&snapEng});
+            const auto t1 = std::chrono::steady_clock::now();
+            saveMs = std::chrono::duration<double, std::milli>(t1 - t0)
+                         .count();
+            snapshotBytes = static_cast<double>(ss.bytes);
+
+            double coldLoadMs = 0.0;
+            std::uint64_t coldDigest = 0, warmDigest = 1;
+            warmMeasured =
+                runStartupProbe(argv[0], "-", coldLoadMs, coldPassMs,
+                                coldDigest) &&
+                runStartupProbe(argv[0], path, warmLoadMs, warmPassMs,
+                                warmDigest);
+            if (warmMeasured) {
+                warmIdentical = coldDigest == warmDigest;
+                warmSpeedup = coldPassMs / (warmLoadMs + warmPassMs);
+                std::printf(
+                    "warm start (fresh process, %zu-block suite): cold "
+                    "%.2f ms vs snapshot load %.2f ms + warm pass "
+                    "%.2f ms = %.2fx startup speedup\n",
+                    batch.size(), coldPassMs, warmLoadMs, warmPassMs,
+                    warmSpeedup);
+                std::printf("warm-start bit identity (cold vs warm "
+                            "child digests): %s\n",
+                            warmIdentical ? "yes" : "NO");
+                if (!warmIdentical)
+                    identical = false;
+            } else {
+                std::printf("note: warm-start probe children failed to "
+                            "run; skipping the warm-start round\n");
+            }
+        } catch (const analysis::SnapshotError &e) {
+            std::printf("note: %s; skipping the warm-start round\n",
+                        e.what());
+        }
+        std::remove(path.c_str());
+    }
+
     const analysis::InternStats st = analysis::InstInterner::statsAllArchs();
     const double hitRate = st.hitRate();
     bench::printRule();
@@ -281,6 +436,15 @@ main()
                   static_cast<double>(boundPredictsDelta));
     report.scalar("full_predicts",
                   static_cast<double>(fullPredictsDelta));
+    if (warmMeasured) {
+        report.scalar("snapshot_save_ms", saveMs);
+        report.scalar("snapshot_bytes", snapshotBytes);
+        report.scalar("startup_cold_ms", coldPassMs);
+        report.scalar("startup_warm_load_ms", warmLoadMs);
+        report.scalar("startup_warm_pass_ms", warmPassMs);
+        report.scalar("warm_start_speedup", warmSpeedup);
+        report.boolean("warm_bit_identical", warmIdentical);
+    }
     report.boolean("bit_identical", identical);
     report.boolean("speedup_target_met", speedup >= 1.5);
     report.write();

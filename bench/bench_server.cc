@@ -22,6 +22,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <thread>
 
 #include "facile/component.h"
@@ -36,10 +37,72 @@ namespace {
 
 using bench::samePrediction;
 
-std::string
-socketPath()
+/**
+ * UDS path candidates, most-preferred first. Sandboxed CI runners may
+ * forbid /tmp binds (or mount it noexec/nobind), so the bench retries
+ * across $TMPDIR and the working directory instead of aborting the
+ * job on the first EACCES/EPERM.
+ */
+std::vector<std::string>
+socketPathCandidates(const char *suffix)
 {
-    return "/tmp/facile_bench_" + std::to_string(::getpid()) + ".sock";
+    const std::string name =
+        "facile_bench_" + std::to_string(::getpid()) + suffix + ".sock";
+    std::vector<std::string> candidates;
+    candidates.push_back("/tmp/" + name);
+    if (const char *tmpdir = std::getenv("TMPDIR"))
+        if (*tmpdir)
+            candidates.push_back(std::string(tmpdir) + "/" + name);
+    candidates.push_back(name); // working directory
+    return candidates;
+}
+
+/**
+ * Start @p srv on the first bindable UDS candidate; falls back to an
+ * ephemeral loopback TCP port when every path fails (same protocol,
+ * same bit-identity guarantees — only the transport differs). Returns
+ * false only when nothing could be bound at all.
+ */
+bool
+startWithFallback(std::unique_ptr<server::PredictionServer> &srv,
+                  server::ServerOptions opts, const char *suffix)
+{
+    for (const std::string &path : socketPathCandidates(suffix)) {
+        opts.unixPath = path;
+        opts.tcpPort = -1;
+        srv = std::make_unique<server::PredictionServer>(opts);
+        try {
+            srv->start();
+            return true;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "note: cannot serve on %s (%s); "
+                                 "retrying\n",
+                         path.c_str(), e.what());
+        }
+    }
+    opts.unixPath.clear();
+    opts.tcpPort = 0; // ephemeral loopback
+    srv = std::make_unique<server::PredictionServer>(opts);
+    try {
+        srv->start();
+        std::fprintf(stderr, "note: UDS unavailable; using loopback "
+                             "TCP port %d\n",
+                     srv->tcpPort());
+        return true;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "note: cannot bind any listener (%s)\n",
+                     e.what());
+        return false;
+    }
+}
+
+/** Connect to whichever transport startWithFallback ended up on. */
+server::Client
+connectTo(const server::PredictionServer &srv)
+{
+    if (!srv.unixPath().empty())
+        return server::Client::connectUnix(srv.unixPath());
+    return server::Client::connectTcp("127.0.0.1", srv.tcpPort());
 }
 
 } // namespace
@@ -102,15 +165,23 @@ main()
     engOpts.numThreads = 4;
     engine::PredictionEngine serverEngine(engOpts);
     server::ServerOptions sopts;
-    sopts.unixPath = socketPath();
     sopts.engine = &serverEngine;
-    server::PredictionServer srv(sopts);
-    srv.start();
+    std::unique_ptr<server::PredictionServer> srvPtr;
+    if (!startWithFallback(srvPtr, sopts, "")) {
+        // Nothing bindable in this sandbox: report and bow out without
+        // failing the job (there is no wire to check bit-identity on).
+        std::printf("SKIPPED: no bindable listener in this "
+                    "environment\n");
+        report.boolean("skipped_no_listener", true);
+        report.write();
+        return 0;
+    }
+    server::PredictionServer &srv = *srvPtr;
 
     double serverBps = 0.0;
     {
         // Warm-up pass: fills the engine caches and faults in the path.
-        auto warm = server::Client::connectUnix(sopts.unixPath);
+        auto warm = connectTo(srv);
         auto out = warm.predictMany(batch);
         for (std::size_t i = 0; i < batch.size(); ++i)
             if (!samePrediction(out[i], serial[i])) {
@@ -127,8 +198,7 @@ main()
             for (int c = 0; c < kClients; ++c)
                 clients.emplace_back([&] {
                     try {
-                        auto cl =
-                            server::Client::connectUnix(sopts.unixPath);
+                        auto cl = connectTo(srv);
                         std::vector<model::Prediction> res;
                         for (int p = 0; p < kPasses; ++p) {
                             cl.predictManyInto(batch, res);
@@ -157,7 +227,7 @@ main()
     // ---- latency phase -----------------------------------------------------
     double p50 = 0.0, p99 = 0.0;
     {
-        auto cl = server::Client::connectUnix(sopts.unixPath);
+        auto cl = connectTo(srv);
         constexpr int kProbes = 2000;
         std::vector<double> us;
         us.reserve(kProbes);
@@ -230,25 +300,25 @@ main()
         tight.maxEntriesPerShard = 32;
         engine::PredictionEngine tightEngine(tight);
         server::ServerOptions topts;
-        topts.unixPath = socketPath() + ".tight";
         topts.engine = &tightEngine;
-        server::PredictionServer tightSrv(topts);
-        tightSrv.start();
-        auto cl = server::Client::connectUnix(topts.unixPath);
-        for (int p = 0; p < 4; ++p)
-            cl.predictMany(batch); // reach steady state
-        server::ServerStats before = cl.stats();
-        cl.predictMany(batch);
-        server::ServerStats after = cl.stats();
-        const double hitRate =
-            static_cast<double>(after.predictionCacheHits -
-                                before.predictionCacheHits) /
-            nBlocks;
-        std::printf("capacity-bound engine (512-entry generations, "
-                    "%zu-block set): steady-state hit rate %.0f%%\n",
-                    batch.size(), 100.0 * hitRate);
-        report.scalar("capacity_bound_hit_rate", hitRate);
-        tightSrv.stop();
+        std::unique_ptr<server::PredictionServer> tightSrv;
+        if (startWithFallback(tightSrv, topts, "_tight")) {
+            auto cl = connectTo(*tightSrv);
+            for (int p = 0; p < 4; ++p)
+                cl.predictMany(batch); // reach steady state
+            server::ServerStats before = cl.stats();
+            cl.predictMany(batch);
+            server::ServerStats after = cl.stats();
+            const double hitRate =
+                static_cast<double>(after.predictionCacheHits -
+                                    before.predictionCacheHits) /
+                nBlocks;
+            std::printf("capacity-bound engine (512-entry generations, "
+                        "%zu-block set): steady-state hit rate %.0f%%\n",
+                        batch.size(), 100.0 * hitRate);
+            report.scalar("capacity_bound_hit_rate", hitRate);
+            tightSrv->stop();
+        }
     }
 
     bench::printRule();

@@ -6,10 +6,19 @@
  * Usage:
  *   facile_server [--tcp PORT] [--unix PATH] [--threads N]
  *                 [--window-us N] [--max-batch N]
+ *                 [--snapshot-load FILE] [--snapshot-save FILE]
  *
  * With no listener flags it serves on --unix /tmp/facile.sock.
  * SIGINT/SIGTERM shut down cleanly and print the serving counters.
+ *
+ * Warm-start snapshots (src/analysis/snapshot.h): --snapshot-load
+ * restores the instruction intern arenas and the engine's prediction
+ * cache before the first request, so a restarted server serves warm
+ * immediately. --snapshot-save configures the destination; a save is
+ * triggered by SIGUSR1, by the SNAPSHOT admin frame
+ * (server::Client::snapshot()), and once more on clean shutdown.
  */
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -17,6 +26,7 @@
 #include <semaphore.h>
 #include <string>
 
+#include "analysis/snapshot.h"
 #include "server/server.h"
 
 using namespace facile;
@@ -26,9 +36,23 @@ namespace {
 /** async-signal-safe shutdown latch. */
 sem_t g_stopSem;
 
+/** Set by SIGUSR1: the main loop saves a snapshot and keeps serving. */
+std::atomic<bool> g_snapshotRequested{false};
+
+/** Set by SIGINT/SIGTERM: the main loop shuts down. */
+std::atomic<bool> g_stopRequested{false};
+
 void
 onSignal(int)
 {
+    g_stopRequested.store(true);
+    sem_post(&g_stopSem);
+}
+
+void
+onSigUsr1(int)
+{
+    g_snapshotRequested.store(true);
     sem_post(&g_stopSem);
 }
 
@@ -37,7 +61,8 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--tcp PORT] [--unix PATH] [--threads N] "
-                 "[--window-us N] [--max-batch N]\n",
+                 "[--window-us N] [--max-batch N]\n"
+                 "       [--snapshot-load FILE] [--snapshot-save FILE]\n",
                  argv0);
     return 2;
 }
@@ -48,6 +73,7 @@ int
 main(int argc, char **argv)
 {
     server::ServerOptions opts;
+    std::string snapshotLoad;
     int threads = 0;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -79,6 +105,16 @@ main(int argc, char **argv)
             if (!v)
                 return usage(argv[0]);
             opts.maxBatch = static_cast<std::size_t>(std::atoll(v));
+        } else if (arg == "--snapshot-load") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            snapshotLoad = v;
+        } else if (arg == "--snapshot-save") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            opts.snapshotPath = v;
         } else {
             return usage(argv[0]);
         }
@@ -90,6 +126,21 @@ main(int argc, char **argv)
     eopts.numThreads = threads;
     engine::PredictionEngine eng(eopts);
     opts.engine = &eng;
+
+    if (!snapshotLoad.empty()) {
+        try {
+            const analysis::SnapshotStats st =
+                analysis::loadSnapshot(snapshotLoad, {&eng});
+            std::printf("warm start from %s: %zu instruction records "
+                        "(%zu new), %zu fused pairs, %zu cached "
+                        "predictions\n",
+                        snapshotLoad.c_str(), st.records, st.newRecords,
+                        st.fusedPairs, st.predictions);
+        } catch (const analysis::SnapshotError &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            return 1;
+        }
+    }
 
     server::PredictionServer srv(opts);
     try {
@@ -111,10 +162,38 @@ main(int argc, char **argv)
     sem_init(&g_stopSem, 0, 0);
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
-    while (sem_wait(&g_stopSem) != 0 && errno == EINTR) {
+    // Installed even without --snapshot-save: the default SIGUSR1
+    // disposition is process termination, and a stray ops-script
+    // signal must not kill the server. saveSnapshot() reports the
+    // missing path.
+    std::signal(SIGUSR1, onSigUsr1);
+    for (;;) {
+        if (sem_wait(&g_stopSem) != 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (g_snapshotRequested.exchange(false)) {
+            if (opts.snapshotPath.empty())
+                std::printf("SIGUSR1 ignored: no --snapshot-save path "
+                            "configured\n");
+            else
+                std::printf("SIGUSR1: snapshot to %s %s\n",
+                            opts.snapshotPath.c_str(),
+                            srv.saveSnapshot() ? "saved" : "FAILED");
+            std::fflush(stdout);
+        }
+        // Only an explicit stop request ends the loop: back-to-back
+        // SIGUSR1s leave extra semaphore posts behind, and those
+        // spurious wake-ups must not read as a shutdown.
+        if (g_stopRequested.load())
+            break;
     }
 
     server::ServerStats s = srv.stats();
+    if (!opts.snapshotPath.empty())
+        std::printf("final snapshot to %s %s\n", opts.snapshotPath.c_str(),
+                    srv.saveSnapshot() ? "saved" : "FAILED");
     srv.stop();
     std::printf("\nshut down after %.1f s: %llu requests, "
                 "%llu predictions in %llu batches (max %llu), "

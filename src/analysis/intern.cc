@@ -530,6 +530,65 @@ InstInterner::internFused(const InstRecord *first, const InstRecord *second)
     return out;
 }
 
+void
+InstInterner::exportRecords(
+    const std::function<void(const std::uint8_t *bytes, std::size_t len,
+                             const InstRecord &rec)> &visit) const
+{
+    for (std::size_t s = 0; s < kInternShards; ++s) {
+        Impl::Shard &shard = impl_->shards[s];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        // Arena order is insertion order (deterministic per traffic);
+        // recover each record's key from the map.
+        std::unordered_map<const InstRecord *, const InstKey *> keyOf;
+        keyOf.reserve(shard.map.size());
+        for (const auto &[key, rec] : shard.map)
+            keyOf.emplace(rec, &key);
+        for (const InstRecord &rec : shard.arena) {
+            auto it = keyOf.find(&rec);
+            if (it == keyOf.end())
+                continue; // unreachable: every arena record is mapped
+            std::uint8_t buf[16];
+            std::memcpy(buf, &it->second->lo, 8);
+            std::memcpy(buf + 8, &it->second->hi, 8);
+            visit(buf, buf[15], rec);
+        }
+    }
+}
+
+void
+InstInterner::exportFusedPairs(
+    const std::function<void(const InstRecord *first,
+                             const InstRecord *second)> &visit) const
+{
+    Impl::FusedShard &fs = impl_->fused;
+    std::lock_guard<std::mutex> lock(fs.mu);
+    for (const auto &[key, recs] : fs.map) {
+        (void)recs;
+        visit(key.first, key.second);
+    }
+}
+
+const InstRecord *
+InstInterner::importRecord(const std::uint8_t *bytes, std::size_t len,
+                           InstRecord &&rec, bool *inserted)
+{
+    const InstKey key = makeKey(bytes, len);
+    Impl::Shard &shard = impl_->shards[InstKeyHash{}(key) % kInternShards];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+        if (inserted)
+            *inserted = false;
+        return it->second; // warm process: the live record wins
+    }
+    shard.arena.push_back(std::move(rec));
+    shard.map.emplace(key, &shard.arena.back());
+    if (inserted)
+        *inserted = true;
+    return &shard.arena.back();
+}
+
 InternStats
 InstInterner::stats() const
 {

@@ -42,6 +42,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "isa/decoder.h"
 #include "isa/semantics.h"
@@ -190,6 +191,46 @@ class InstInterner
 
     /** Aggregated counters over all nine per-arch interners. */
     static InternStats statsAllArchs();
+
+    // ---- snapshot support (src/analysis/snapshot.h) -----------------------
+    //
+    // The warm-start snapshot serializes the canonical arenas so a new
+    // process can skip the decode + uops::lookup cold path entirely.
+    // Export walks the existing state; import appends — the arenas stay
+    // append-only, so every published `const InstRecord *` remains
+    // valid and immutable throughout.
+
+    /**
+     * Visit every canonical record with its exact encoded instruction
+     * bytes (the map key). Deterministic shard-major, insertion-order
+     * walk; shard locks are held for the duration of each shard's
+     * visits, so visitors must not re-enter this interner.
+     */
+    void exportRecords(
+        const std::function<void(const std::uint8_t *bytes,
+                                 std::size_t len, const InstRecord &rec)>
+            &visit) const;
+
+    /**
+     * Visit every interned macro-fused pair as its canonical
+     * base-record pointers (the derived variants are re-derived on
+     * import via internFused, bit-identically).
+     */
+    void exportFusedPairs(
+        const std::function<void(const InstRecord *first,
+                                 const InstRecord *second)> &visit) const;
+
+    /**
+     * Publish @p rec under the exact encoded bytes (@p bytes, @p len)
+     * without decoding or analyzing anything. If the key is already
+     * interned the existing record wins (and @p rec is dropped), so a
+     * snapshot loaded into a warm process never invalidates published
+     * pointers. Returns the canonical record; @p inserted (optional)
+     * reports whether @p rec was appended.
+     */
+    const InstRecord *importRecord(const std::uint8_t *bytes,
+                                   std::size_t len, InstRecord &&rec,
+                                   bool *inserted = nullptr);
 
     InstInterner(const InstInterner &) = delete;
     InstInterner &operator=(const InstInterner &) = delete;

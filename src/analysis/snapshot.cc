@@ -1,0 +1,719 @@
+#include "analysis/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "engine/engine.h"
+// The prediction-cache section reuses the wire codec (one Prediction
+// body layout in the repo, not two drifting copies).
+#include "server/protocol.h"
+
+namespace facile::analysis {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'A', 'C', 'S', 'N', 'A', 'P', '\n'};
+constexpr std::size_t kHeaderSize = 32;
+
+enum class SectionType : std::uint32_t {
+    Records = 1,
+    FusedPairs = 2,
+    Predictions = 3,
+};
+
+// ---- append helpers (little-endian; the host is asserted little-
+// endian by the server protocol, and the snapshot shares that
+// assumption via memcpy codecs) ---------------------------------------------
+
+void
+putU8(std::vector<std::uint8_t> &out, std::uint8_t v)
+{
+    out.push_back(v);
+}
+
+void
+putU16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    const std::size_t n = out.size();
+    out.resize(n + 2);
+    std::memcpy(out.data() + n, &v, 2);
+}
+
+void
+putU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    const std::size_t n = out.size();
+    out.resize(n + 4);
+    std::memcpy(out.data() + n, &v, 4);
+}
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    const std::size_t n = out.size();
+    out.resize(n + 8);
+    std::memcpy(out.data() + n, &v, 8);
+}
+
+void
+putI32(std::vector<std::uint8_t> &out, std::int32_t v)
+{
+    putU32(out, static_cast<std::uint32_t>(v));
+}
+
+void
+putI64(std::vector<std::uint8_t> &out, std::int64_t v)
+{
+    putU64(out, static_cast<std::uint64_t>(v));
+}
+
+void
+putF64(std::vector<std::uint8_t> &out, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    putU64(out, bits);
+}
+
+/** Bounds-checked sequential reader; every overrun is a SnapshotError. */
+struct Reader
+{
+    const std::uint8_t *data;
+    std::size_t size;
+    std::size_t pos = 0;
+
+    void
+    need(std::size_t n) const
+    {
+        if (size - pos < n)
+            throw SnapshotError("truncated data");
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return data[pos++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        need(2);
+        std::uint16_t v;
+        std::memcpy(&v, data + pos, 2);
+        pos += 2;
+        return v;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v;
+        std::memcpy(&v, data + pos, 4);
+        pos += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v;
+        std::memcpy(&v, data + pos, 8);
+        pos += 8;
+        return v;
+    }
+
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, 8);
+        return v;
+    }
+
+    const std::uint8_t *
+    bytes(std::size_t n)
+    {
+        need(n);
+        const std::uint8_t *p = data + pos;
+        pos += n;
+        return p;
+    }
+};
+
+// ---- isa/uops sub-codecs ---------------------------------------------------
+
+void
+encodeReg(std::vector<std::uint8_t> &out, const isa::Reg &r)
+{
+    putU8(out, static_cast<std::uint8_t>(r.cls));
+    putU8(out, r.idx);
+}
+
+isa::Reg
+decodeReg(Reader &rd)
+{
+    isa::Reg r;
+    const std::uint8_t cls = rd.u8();
+    if (cls > static_cast<std::uint8_t>(isa::RegClass::Ymm))
+        throw SnapshotError("bad register class");
+    r.cls = static_cast<isa::RegClass>(cls);
+    r.idx = rd.u8();
+    return r;
+}
+
+void
+encodeOperand(std::vector<std::uint8_t> &out, const isa::Operand &op)
+{
+    putU8(out, static_cast<std::uint8_t>(op.kind));
+    switch (op.kind) {
+      case isa::Operand::Kind::Reg:
+        encodeReg(out, op.reg);
+        break;
+      case isa::Operand::Kind::Mem:
+        encodeReg(out, op.mem.base);
+        encodeReg(out, op.mem.index);
+        putU8(out, op.mem.scale);
+        putI32(out, op.mem.disp);
+        putU8(out, op.mem.width);
+        break;
+      case isa::Operand::Kind::Imm:
+        putI64(out, op.imm);
+        putU8(out, op.immWidth);
+        break;
+      case isa::Operand::Kind::None:
+        break;
+    }
+}
+
+isa::Operand
+decodeOperand(Reader &rd)
+{
+    isa::Operand op;
+    const std::uint8_t kind = rd.u8();
+    if (kind > static_cast<std::uint8_t>(isa::Operand::Kind::Imm))
+        throw SnapshotError("bad operand kind");
+    op.kind = static_cast<isa::Operand::Kind>(kind);
+    switch (op.kind) {
+      case isa::Operand::Kind::Reg:
+        op.reg = decodeReg(rd);
+        break;
+      case isa::Operand::Kind::Mem:
+        op.mem.base = decodeReg(rd);
+        op.mem.index = decodeReg(rd);
+        op.mem.scale = rd.u8();
+        op.mem.disp = rd.i32();
+        op.mem.width = rd.u8();
+        break;
+      case isa::Operand::Kind::Imm:
+        op.imm = rd.i64();
+        op.immWidth = rd.u8();
+        break;
+      case isa::Operand::Kind::None:
+        break;
+    }
+    return op;
+}
+
+// ---- Prediction codec (prediction-cache section) ---------------------------
+//
+// Snapshot entries carry exactly the wire protocol's PREDICT response
+// payload: appendPredictResponse minus its frame header on the way
+// out, decodePredictInto (which validates lengths and component
+// ranges) on the way in. Raw IEEE-754 bit patterns either way.
+
+void
+encodePrediction(std::vector<std::uint8_t> &out,
+                 const model::Prediction &p)
+{
+    std::vector<std::uint8_t> frame;
+    server::appendPredictResponse(frame, 0, p);
+    out.insert(out.end(),
+               frame.begin() + server::kResponseHeaderSize, frame.end());
+}
+
+model::Prediction
+decodePrediction(const std::uint8_t *data, std::size_t len)
+{
+    model::Prediction p;
+    if (!server::decodePredictInto(data, len, p))
+        throw SnapshotError("bad prediction entry");
+    return p;
+}
+
+// ---- file I/O --------------------------------------------------------------
+
+std::vector<std::uint8_t>
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw SnapshotError("cannot open " + path);
+    std::fseek(f, 0, SEEK_END);
+    const long sz = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    std::vector<std::uint8_t> buf(sz > 0 ? static_cast<std::size_t>(sz)
+                                         : 0);
+    if (!buf.empty() && std::fread(buf.data(), 1, buf.size(), f) !=
+                            buf.size()) {
+        std::fclose(f);
+        throw SnapshotError("short read on " + path);
+    }
+    std::fclose(f);
+    return buf;
+}
+
+void
+writeFile(const std::string &path, const std::uint8_t *data,
+          std::size_t len)
+{
+    // Write-then-rename so a crash mid-save (OOM kill, power loss)
+    // never replaces the previous good snapshot with a truncated one
+    // — the server saves to the same operator-configured path on
+    // every SIGUSR1 and shutdown.
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        throw SnapshotError("cannot create " + tmp);
+    const bool ok = std::fwrite(data, 1, len, f) == len;
+    if (std::fclose(f) != 0 || !ok) {
+        std::remove(tmp.c_str());
+        throw SnapshotError("short write on " + tmp);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw SnapshotError("cannot rename " + tmp + " to " + path);
+    }
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const std::uint8_t *data, std::size_t len, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+InstRecordSnapshotCodec::encode(std::vector<std::uint8_t> &out,
+                                const InstRecord &rec)
+{
+    // DecodedInst.
+    putU16(out, static_cast<std::uint16_t>(rec.dec.inst.mnem));
+    putU8(out, static_cast<std::uint8_t>(rec.dec.inst.cc));
+    putU8(out, rec.dec.inst.nopLen);
+    putU8(out, static_cast<std::uint8_t>(rec.dec.inst.ops.size()));
+    for (const isa::Operand &op : rec.dec.inst.ops)
+        encodeOperand(out, op);
+    putU8(out, rec.dec.length);
+    putU8(out, rec.dec.opcodeOffset);
+    putU8(out, rec.dec.lcp ? 1 : 0);
+
+    // InstrInfo.
+    putI32(out, rec.info.fusedUops);
+    putI32(out, rec.info.issueUops);
+    putI32(out, rec.info.latency);
+    putI32(out, rec.info.nAvailableSimpleDecoders);
+    putU8(out, rec.info.needsComplexDecoder ? 1 : 0);
+    putU8(out, rec.info.macroFusible ? 1 : 0);
+    putU8(out, rec.info.eliminated ? 1 : 0);
+    putU16(out, static_cast<std::uint16_t>(rec.info.portUops.size()));
+    for (const uops::Uop &u : rec.info.portUops) {
+        putU16(out, u.ports);
+        putU8(out, static_cast<std::uint8_t>(u.kind));
+    }
+
+    // RwSets (value ids fit a byte: 0..33).
+    putU8(out, static_cast<std::uint8_t>(rec.rw.reads.size()));
+    for (int v : rec.rw.reads)
+        putU8(out, static_cast<std::uint8_t>(v));
+    putU8(out, static_cast<std::uint8_t>(rec.rw.writes.size()));
+    for (int v : rec.rw.writes)
+        putU8(out, static_cast<std::uint8_t>(v));
+    putU8(out, rec.rw.depBreaking ? 1 : 0);
+
+    // Dependence templates and port masks.
+    putU16(out, static_cast<std::uint16_t>(rec.depReads.size()));
+    for (const DepRead &d : rec.depReads) {
+        putI32(out, d.value);
+        putF64(out, d.latency);
+    }
+    putU16(out, static_cast<std::uint16_t>(rec.portMasks.size()));
+    for (uarch::PortMask m : rec.portMasks)
+        putU16(out, m);
+
+    // Scalars and inline dependence data (only the valid prefixes —
+    // slots past the counts are uninitialized by construction).
+    putU8(out, rec.stackOp ? 1 : 0);
+    putU8(out, rec.depBreaking ? 1 : 0);
+    putU8(out, rec.nWritesInl);
+    if (rec.nWritesInl != InstRecord::kSpilled)
+        for (std::uint8_t i = 0; i < rec.nWritesInl; ++i)
+            putU8(out, rec.writesInl[i]);
+    putU8(out, rec.nDepInl);
+    if (rec.nDepInl != InstRecord::kSpilled)
+        for (std::uint8_t i = 0; i < rec.nDepInl; ++i) {
+            putI32(out, rec.depInl[i].value);
+            putF64(out, rec.depInl[i].latency);
+        }
+
+    // Macro-fusion pair class.
+    putU8(out, static_cast<std::uint8_t>(rec.fuseClass));
+    putU8(out, rec.isJcc ? 1 : 0);
+    putU8(out, rec.jccReadsCf ? 1 : 0);
+    putU8(out, rec.jccTestsSOP ? 1 : 0);
+}
+
+InstRecord
+InstRecordSnapshotCodec::decode(const std::uint8_t *data, std::size_t size,
+                                std::size_t &pos)
+{
+    Reader rd{data, size, pos};
+    InstRecord rec;
+
+    // DecodedInst.
+    const std::uint16_t mnem = rd.u16();
+    if (mnem >= static_cast<std::uint16_t>(isa::Mnemonic::kNumMnemonics))
+        throw SnapshotError("bad mnemonic");
+    rec.dec.inst.mnem = static_cast<isa::Mnemonic>(mnem);
+    const std::uint8_t cc = rd.u8();
+    if (cc > static_cast<std::uint8_t>(isa::Cond::NLE) &&
+        cc != static_cast<std::uint8_t>(isa::Cond::None))
+        throw SnapshotError("bad condition code");
+    rec.dec.inst.cc = static_cast<isa::Cond>(cc);
+    rec.dec.inst.nopLen = rd.u8();
+    const std::size_t nOps = rd.u8();
+    rec.dec.inst.ops.reserve(nOps);
+    for (std::size_t i = 0; i < nOps; ++i)
+        rec.dec.inst.ops.push_back(decodeOperand(rd));
+    rec.dec.length = rd.u8();
+    rec.dec.opcodeOffset = rd.u8();
+    rec.dec.lcp = rd.u8() != 0;
+
+    // InstrInfo.
+    rec.info.fusedUops = rd.i32();
+    rec.info.issueUops = rd.i32();
+    rec.info.latency = rd.i32();
+    rec.info.nAvailableSimpleDecoders = rd.i32();
+    rec.info.needsComplexDecoder = rd.u8() != 0;
+    rec.info.macroFusible = rd.u8() != 0;
+    rec.info.eliminated = rd.u8() != 0;
+    const std::size_t nUops = rd.u16();
+    rec.info.portUops.reserve(nUops);
+    for (std::size_t i = 0; i < nUops; ++i) {
+        uops::Uop u;
+        u.ports = rd.u16();
+        const std::uint8_t kind = rd.u8();
+        if (kind > static_cast<std::uint8_t>(uops::UopKind::StoreData))
+            throw SnapshotError("bad uop kind");
+        u.kind = static_cast<uops::UopKind>(kind);
+        rec.info.portUops.push_back(u);
+    }
+
+    // RwSets.
+    const std::size_t nReads = rd.u8();
+    rec.rw.reads.reserve(nReads);
+    for (std::size_t i = 0; i < nReads; ++i)
+        rec.rw.reads.push_back(rd.u8());
+    const std::size_t nWrites = rd.u8();
+    rec.rw.writes.reserve(nWrites);
+    for (std::size_t i = 0; i < nWrites; ++i)
+        rec.rw.writes.push_back(rd.u8());
+    rec.rw.depBreaking = rd.u8() != 0;
+
+    // Dependence templates and port masks.
+    const std::size_t nDeps = rd.u16();
+    rec.depReads.reserve(nDeps);
+    for (std::size_t i = 0; i < nDeps; ++i) {
+        DepRead d;
+        d.value = rd.i32();
+        d.latency = rd.f64();
+        rec.depReads.push_back(d);
+    }
+    const std::size_t nMasks = rd.u16();
+    rec.portMasks.reserve(nMasks);
+    for (std::size_t i = 0; i < nMasks; ++i)
+        rec.portMasks.push_back(rd.u16());
+
+    // Scalars and inline dependence data.
+    rec.stackOp = rd.u8() != 0;
+    rec.depBreaking = rd.u8() != 0;
+    rec.nWritesInl = rd.u8();
+    if (rec.nWritesInl != InstRecord::kSpilled) {
+        if (rec.nWritesInl > InstRecord::kInlineDeps)
+            throw SnapshotError("bad inline write count");
+        for (std::uint8_t i = 0; i < rec.nWritesInl; ++i)
+            rec.writesInl[i] = rd.u8();
+    }
+    rec.nDepInl = rd.u8();
+    if (rec.nDepInl != InstRecord::kSpilled) {
+        if (rec.nDepInl > InstRecord::kInlineDeps)
+            throw SnapshotError("bad inline dep count");
+        for (std::uint8_t i = 0; i < rec.nDepInl; ++i) {
+            rec.depInl[i].value = rd.i32();
+            rec.depInl[i].latency = rd.f64();
+        }
+    }
+
+    // Macro-fusion pair class.
+    const std::uint8_t fuse = rd.u8();
+    if (fuse > static_cast<std::uint8_t>(FuseClass::NoCarryNoSOP))
+        throw SnapshotError("bad fuse class");
+    rec.fuseClass = static_cast<FuseClass>(fuse);
+    rec.isJcc = rd.u8() != 0;
+    rec.jccReadsCf = rd.u8() != 0;
+    rec.jccTestsSOP = rd.u8() != 0;
+
+    pos = rd.pos;
+    return rec;
+}
+
+SnapshotStats
+saveSnapshot(const std::string &path, const SnapshotOptions &opts)
+{
+    SnapshotStats st;
+    std::vector<std::uint8_t> payload;
+    std::uint32_t sections = 0;
+
+    for (uarch::UArch arch : uarch::allUArchs()) {
+        const InstInterner &in = InstInterner::forArch(arch);
+
+        // Records first; remember each record's index for the pairs.
+        std::vector<std::uint8_t> recSec;
+        std::unordered_map<const InstRecord *, std::uint32_t> indexOf;
+        std::uint32_t count = 0;
+        in.exportRecords([&](const std::uint8_t *bytes, std::size_t len,
+                             const InstRecord &rec) {
+            indexOf.emplace(&rec, count++);
+            putU8(recSec, static_cast<std::uint8_t>(len));
+            recSec.insert(recSec.end(), bytes, bytes + len);
+            InstRecordSnapshotCodec::encode(recSec, rec);
+        });
+        if (count == 0)
+            continue; // this arch saw no traffic
+        st.records += count;
+
+        std::vector<std::uint8_t> pairSec;
+        std::uint32_t pairs = 0;
+        in.exportFusedPairs([&](const InstRecord *first,
+                                const InstRecord *second) {
+            auto fi = indexOf.find(first);
+            auto si = indexOf.find(second);
+            if (fi == indexOf.end() || si == indexOf.end())
+                return; // unreachable: bases are canonical records
+            putU32(pairSec, fi->second);
+            putU32(pairSec, si->second);
+            ++pairs;
+        });
+        st.fusedPairs += pairs;
+
+        putU32(payload, static_cast<std::uint32_t>(SectionType::Records));
+        putU32(payload, static_cast<std::uint32_t>(arch));
+        putU64(payload, recSec.size() + 4);
+        putU32(payload, count);
+        payload.insert(payload.end(), recSec.begin(), recSec.end());
+        ++sections;
+
+        putU32(payload,
+               static_cast<std::uint32_t>(SectionType::FusedPairs));
+        putU32(payload, static_cast<std::uint32_t>(arch));
+        putU64(payload, pairSec.size() + 4);
+        putU32(payload, pairs);
+        payload.insert(payload.end(), pairSec.begin(), pairSec.end());
+        ++sections;
+    }
+
+    if (opts.engine) {
+        std::vector<std::uint8_t> predSec;
+        std::uint32_t count = 0;
+        opts.engine->exportPredictionCache(
+            [&](const std::string &key, const model::Prediction &p) {
+                putU32(predSec, static_cast<std::uint32_t>(key.size()));
+                const auto *kp =
+                    reinterpret_cast<const std::uint8_t *>(key.data());
+                if (!key.empty())
+                    predSec.insert(predSec.end(), kp, kp + key.size());
+                std::vector<std::uint8_t> enc;
+                encodePrediction(enc, p);
+                putU32(predSec, static_cast<std::uint32_t>(enc.size()));
+                predSec.insert(predSec.end(), enc.begin(), enc.end());
+                ++count;
+            });
+        st.predictions = count;
+        putU32(payload,
+               static_cast<std::uint32_t>(SectionType::Predictions));
+        putU32(payload, 0);
+        putU64(payload, predSec.size() + 4);
+        putU32(payload, count);
+        payload.insert(payload.end(), predSec.begin(), predSec.end());
+        ++sections;
+    }
+
+    std::vector<std::uint8_t> file;
+    file.reserve(kHeaderSize + payload.size());
+    const auto *magic = reinterpret_cast<const std::uint8_t *>(kMagic);
+    file.insert(file.end(), magic, magic + sizeof kMagic);
+    putU32(file, kSnapshotVersion);
+    putU32(file, sections);
+    putU64(file, payload.size());
+    putU64(file, fnv1a64(payload.data(), payload.size()));
+    file.insert(file.end(), payload.begin(), payload.end());
+    writeFile(path, file.data(), file.size());
+    st.bytes = file.size();
+    return st;
+}
+
+SnapshotStats
+loadSnapshot(const std::string &path, const SnapshotOptions &opts)
+{
+    const std::vector<std::uint8_t> file = readFile(path);
+    if (file.size() < kHeaderSize)
+        throw SnapshotError("truncated header in " + path);
+    if (std::memcmp(file.data(), kMagic, sizeof kMagic) != 0)
+        throw SnapshotError("bad magic in " + path);
+
+    Reader hd{file.data(), file.size(), sizeof kMagic};
+    const std::uint32_t version = hd.u32();
+    if (version != kSnapshotVersion)
+        throw SnapshotError("unsupported version " +
+                            std::to_string(version) + " in " + path);
+    const std::uint32_t sections = hd.u32();
+    const std::uint64_t payloadLen = hd.u64();
+    const std::uint64_t checksum = hd.u64();
+    if (file.size() - kHeaderSize != payloadLen)
+        throw SnapshotError("payload length mismatch in " + path);
+    if (fnv1a64(file.data() + kHeaderSize, payloadLen) != checksum)
+        throw SnapshotError("checksum mismatch in " + path);
+
+    SnapshotStats st;
+    st.bytes = file.size();
+    Reader rd{file.data() + kHeaderSize, static_cast<std::size_t>(payloadLen),
+              0};
+
+    // Phase 1 — parse and validate EVERYTHING into staging before a
+    // single record is published: the checksum only proves the bytes
+    // match what was written, so logical validation failures (bad
+    // enum, bad pair index, section-length mismatch) must also leave
+    // the process untouched, as snapshot.h promises.
+    struct StagedArch
+    {
+        std::vector<std::pair<std::vector<std::uint8_t>, InstRecord>>
+            records; ///< (exact encoded bytes, decoded record)
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    };
+    std::unordered_map<std::uint32_t, StagedArch> staged;
+    std::vector<std::pair<std::string, model::Prediction>> stagedPreds;
+
+    for (std::uint32_t s = 0; s < sections; ++s) {
+        const std::uint32_t type = rd.u32();
+        const std::uint32_t archWord = rd.u32();
+        const std::uint64_t len = rd.u64();
+        rd.need(len);
+        const std::size_t sectionEnd = rd.pos + len;
+
+        switch (static_cast<SectionType>(type)) {
+          case SectionType::Records: {
+            if (archWord >= uarch::allUArchs().size())
+                throw SnapshotError("bad arch in " + path);
+            const std::uint32_t count = rd.u32();
+            auto &arch = staged[archWord];
+            arch.records.reserve(count);
+            for (std::uint32_t i = 0; i < count; ++i) {
+                const std::uint8_t keyLen = rd.u8();
+                if (keyLen == 0 || keyLen > 15)
+                    throw SnapshotError("bad key length in " + path);
+                const std::uint8_t *key = rd.bytes(keyLen);
+                std::size_t pos = rd.pos;
+                InstRecord rec = InstRecordSnapshotCodec::decode(
+                    rd.data, sectionEnd, pos);
+                rd.pos = pos;
+                arch.records.emplace_back(
+                    std::vector<std::uint8_t>(key, key + keyLen),
+                    std::move(rec));
+            }
+            st.records += count;
+            break;
+          }
+          case SectionType::FusedPairs: {
+            if (archWord >= uarch::allUArchs().size())
+                throw SnapshotError("bad arch in " + path);
+            const auto it = staged.find(archWord);
+            const std::uint32_t count = rd.u32();
+            for (std::uint32_t i = 0; i < count; ++i) {
+                const std::uint32_t fi = rd.u32();
+                const std::uint32_t si = rd.u32();
+                if (it == staged.end() ||
+                    fi >= it->second.records.size() ||
+                    si >= it->second.records.size())
+                    throw SnapshotError("bad fused pair index in " +
+                                        path);
+                it->second.pairs.emplace_back(fi, si);
+            }
+            st.fusedPairs += count;
+            break;
+          }
+          case SectionType::Predictions: {
+            const std::uint32_t count = rd.u32();
+            for (std::uint32_t i = 0; i < count; ++i) {
+                const std::uint32_t keyLen = rd.u32();
+                const std::uint8_t *key = rd.bytes(keyLen);
+                const std::uint32_t predLen = rd.u32();
+                model::Prediction p =
+                    decodePrediction(rd.bytes(predLen), predLen);
+                if (opts.engine)
+                    stagedPreds.emplace_back(
+                        std::string(reinterpret_cast<const char *>(key),
+                                    keyLen),
+                        std::move(p));
+            }
+            st.predictions += count;
+            break;
+          }
+          default:
+            throw SnapshotError("unknown section type " +
+                                std::to_string(type) + " in " + path);
+        }
+        if (rd.pos != sectionEnd)
+            throw SnapshotError("section length mismatch in " + path);
+    }
+    if (rd.pos != payloadLen)
+        throw SnapshotError("trailing garbage in " + path);
+
+    // Phase 2 — commit. Nothing below can fail validation; imports go
+    // through the same shard maps internAt fills (existing keys win).
+    for (auto &[archWord, arch] : staged) {
+        InstInterner &in =
+            InstInterner::forArch(static_cast<uarch::UArch>(archWord));
+        std::vector<const InstRecord *> byIndex;
+        byIndex.reserve(arch.records.size());
+        for (auto &[key, rec] : arch.records) {
+            bool inserted = false;
+            byIndex.push_back(in.importRecord(key.data(), key.size(),
+                                              std::move(rec),
+                                              &inserted));
+            st.newRecords += inserted ? 1 : 0;
+        }
+        for (const auto &[fi, si] : arch.pairs)
+            in.internFused(byIndex[fi], byIndex[si]);
+    }
+    for (auto &[key, pred] : stagedPreds)
+        opts.engine->importPredictionCacheEntry(std::move(key),
+                                                std::move(pred));
+    return st;
+}
+
+} // namespace facile::analysis

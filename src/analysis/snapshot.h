@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Warm-start snapshots: persist the per-arch instruction intern arenas
+ * (src/analysis/intern.h) — and optionally an engine's prediction
+ * cache — to a versioned, checksummed binary file, so a new process
+ * starts with the instruction universe already analyzed instead of
+ * paying the decode + uops::lookup + read/write-set cold path per
+ * first sighting.
+ *
+ * File format (little-endian throughout):
+ *
+ *   offset 0   char[8]  magic     "FACSNAP\n"
+ *   offset 8   u32      version   kSnapshotVersion
+ *   offset 12  u32      sections  number of sections
+ *   offset 16  u64      payload   total section bytes after the header
+ *   offset 24  u64      checksum  FNV-1a 64 over the payload bytes
+ *   offset 32  sections, back to back:
+ *       u32 type   1 = intern records   2 = fused pairs
+ *                  3 = prediction cache
+ *       u32 arch   uarch::UArch value (types 1/2); 0 for type 3
+ *       u64 len    section payload bytes
+ *       len bytes  section payload
+ *
+ * Section payloads:
+ *   records:     u32 count, then per record: u8 keyLen, the exact
+ *                encoded instruction bytes, and the serialized
+ *                InstRecord (full analysis results — nothing is
+ *                recomputed on load).
+ *   fused pairs: u32 count, then u32 (firstIdx, secondIdx) pairs
+ *                indexing the same arch's record section in file
+ *                order. The derived records are re-derived on load via
+ *                InstInterner::internFused, which matches the original
+ *                derivation bit-for-bit.
+ *   predictions: u32 count, then per entry: u32 keyLen + opaque engine
+ *                cache key, u32 predLen + serialized Prediction (raw
+ *                IEEE-754 bit patterns, so restored predictions are
+ *                bit-identical).
+ *
+ * Loading is append-only: records land in the same arenas internAt
+ * fills, an already-interned key keeps its live record, and published
+ * `const InstRecord *` values stay valid and immutable. A snapshot is
+ * therefore safe to load into a warm process (it is a no-op for keys
+ * already seen) as well as a cold one.
+ *
+ * Corruption handling: a bad magic, unsupported version, truncated
+ * file, out-of-bounds section, or checksum mismatch throws
+ * SnapshotError; nothing is imported from a file that fails
+ * validation (the checksum is verified before any section is parsed).
+ */
+#ifndef FACILE_ANALYSIS_SNAPSHOT_H
+#define FACILE_ANALYSIS_SNAPSHOT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/intern.h"
+
+namespace facile::engine {
+class PredictionEngine;
+}
+
+namespace facile::analysis {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/** Thrown on malformed, truncated, or corrupted snapshot files. */
+class SnapshotError : public std::runtime_error
+{
+  public:
+    explicit SnapshotError(const std::string &what)
+        : std::runtime_error("snapshot: " + what)
+    {}
+};
+
+/** What was written or read. */
+struct SnapshotStats
+{
+    std::size_t records = 0;     ///< canonical InstRecords
+    std::size_t fusedPairs = 0;  ///< macro-fused pair variants
+    std::size_t predictions = 0; ///< engine prediction-cache entries
+    std::size_t newRecords = 0;  ///< load: records actually appended
+    std::size_t bytes = 0;       ///< file size
+};
+
+struct SnapshotOptions
+{
+    /**
+     * When set, save() also serializes this engine's prediction cache
+     * and load() restores entries into it. The intern arenas are
+     * process-wide and always included.
+     */
+    engine::PredictionEngine *engine = nullptr;
+};
+
+/** Serialize the intern arenas (all nine arches) to @p path. */
+SnapshotStats saveSnapshot(const std::string &path,
+                           const SnapshotOptions &opts = {});
+
+/**
+ * Validate and load @p path, appending to the process-wide arenas.
+ * @throws SnapshotError on any validation failure (nothing imported).
+ */
+SnapshotStats loadSnapshot(const std::string &path,
+                           const SnapshotOptions &opts = {});
+
+// ---- building blocks (exposed for tests) ----------------------------------
+
+/** FNV-1a 64-bit over @p len bytes. */
+std::uint64_t fnv1a64(const std::uint8_t *data, std::size_t len,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+struct InstRecordSnapshotCodec
+{
+    /** Append the serialized form of @p rec to @p out. */
+    static void encode(std::vector<std::uint8_t> &out,
+                       const InstRecord &rec);
+
+    /**
+     * Decode one record from @p data at @p pos (bounds-checked against
+     * @p size), advancing @p pos. @throws SnapshotError on truncation
+     * or out-of-range enum values.
+     */
+    static InstRecord decode(const std::uint8_t *data, std::size_t size,
+                             std::size_t &pos);
+};
+
+} // namespace facile::analysis
+
+#endif // FACILE_ANALYSIS_SNAPSHOT_H

@@ -1,0 +1,177 @@
+#include "corpus/corpus.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace facile::corpus {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'A', 'C', 'C', 'O', 'R', 'P', '\n'};
+constexpr std::size_t kHeaderSize = 24;
+constexpr long kCountOffset = 16;
+
+constexpr std::uint8_t kFlagMeasured = 1u << 0;
+constexpr std::uint8_t kFlagLoop = 1u << 1;
+
+} // namespace
+
+Writer::Writer(const std::string &path) : path_(path)
+{
+    f_ = std::fopen(path.c_str(), "wb");
+    if (!f_)
+        throw CorpusError("cannot create " + path);
+    std::uint8_t header[kHeaderSize] = {};
+    std::memcpy(header, kMagic, sizeof kMagic);
+    std::uint32_t version = kCorpusVersion;
+    std::memcpy(header + 8, &version, 4);
+    std::uint64_t count = kUnknownCount;
+    std::memcpy(header + kCountOffset, &count, 8);
+    if (std::fwrite(header, 1, sizeof header, f_) != sizeof header) {
+        std::fclose(f_);
+        f_ = nullptr;
+        throw CorpusError("short write on " + path);
+    }
+}
+
+Writer::~Writer()
+{
+    try {
+        close();
+    } catch (const CorpusError &) {
+        // Destructors must not throw; the file stays marked
+        // kUnknownCount, which readers handle.
+    }
+}
+
+void
+Writer::append(const Entry &e)
+{
+    if (!f_)
+        throw CorpusError("writer closed: " + path_);
+    if (e.bytes.size() > kMaxCorpusBlockBytes)
+        throw CorpusError("block too large (" +
+                          std::to_string(e.bytes.size()) + " bytes)");
+    std::uint8_t head[4];
+    head[0] = static_cast<std::uint8_t>(e.arch);
+    head[1] = static_cast<std::uint8_t>((e.hasMeasured ? kFlagMeasured : 0) |
+                                        (e.loop ? kFlagLoop : 0));
+    const std::uint16_t len = static_cast<std::uint16_t>(e.bytes.size());
+    std::memcpy(head + 2, &len, 2);
+    bool ok = std::fwrite(head, 1, sizeof head, f_) == sizeof head;
+    if (ok && len)
+        ok = std::fwrite(e.bytes.data(), 1, len, f_) == len;
+    if (ok && e.hasMeasured)
+        ok = std::fwrite(&e.measured, 1, 8, f_) == 8;
+    if (!ok)
+        throw CorpusError("short write on " + path_);
+    ++count_;
+}
+
+void
+Writer::close()
+{
+    if (!f_)
+        return;
+    std::FILE *f = f_;
+    f_ = nullptr;
+    bool ok = std::fseek(f, kCountOffset, SEEK_SET) == 0 &&
+              std::fwrite(&count_, 1, 8, f) == 8;
+    ok = (std::fclose(f) == 0) && ok;
+    if (!ok)
+        throw CorpusError("cannot finalize " + path_);
+}
+
+Reader::Reader(const std::string &path) : path_(path)
+{
+    f_ = std::fopen(path.c_str(), "rb");
+    if (!f_)
+        throw CorpusError("cannot open " + path);
+    std::uint8_t header[kHeaderSize];
+    if (std::fread(header, 1, sizeof header, f_) != sizeof header) {
+        std::fclose(f_);
+        f_ = nullptr;
+        throw CorpusError("truncated header in " + path);
+    }
+    if (std::memcmp(header, kMagic, sizeof kMagic) != 0) {
+        std::fclose(f_);
+        f_ = nullptr;
+        throw CorpusError("bad magic in " + path);
+    }
+    std::uint32_t version;
+    std::memcpy(&version, header + 8, 4);
+    if (version != kCorpusVersion) {
+        std::fclose(f_);
+        f_ = nullptr;
+        throw CorpusError("unsupported version " +
+                          std::to_string(version) + " in " + path);
+    }
+    std::memcpy(&declared_, header + kCountOffset, 8);
+}
+
+Reader::~Reader()
+{
+    if (f_)
+        std::fclose(f_);
+}
+
+bool
+Reader::next(Entry &out)
+{
+    if (!f_)
+        return false;
+    std::uint8_t head[4];
+    const std::size_t got = std::fread(head, 1, sizeof head, f_);
+    if (got == 0 && std::feof(f_)) {
+        if (declared_ != kUnknownCount && read_ != declared_)
+            throw CorpusError("record count mismatch in " + path_ +
+                              " (header says " +
+                              std::to_string(declared_) + ", found " +
+                              std::to_string(read_) + ")");
+        return false; // clean EOF
+    }
+    if (got != sizeof head)
+        throw CorpusError("truncated record header in " + path_);
+    if (head[0] >= uarch::allUArchs().size())
+        throw CorpusError("bad arch in " + path_);
+    out.arch = static_cast<uarch::UArch>(head[0]);
+    out.hasMeasured = (head[1] & kFlagMeasured) != 0;
+    out.loop = (head[1] & kFlagLoop) != 0;
+    if ((head[1] & ~(kFlagMeasured | kFlagLoop)) != 0)
+        throw CorpusError("unknown record flags in " + path_);
+    std::uint16_t len;
+    std::memcpy(&len, head + 2, 2);
+    if (len > kMaxCorpusBlockBytes)
+        throw CorpusError("oversized block in " + path_);
+    out.bytes.resize(len);
+    if (len && std::fread(out.bytes.data(), 1, len, f_) != len)
+        throw CorpusError("truncated block bytes in " + path_);
+    if (out.hasMeasured) {
+        if (std::fread(&out.measured, 1, 8, f_) != 8)
+            throw CorpusError("truncated measured value in " + path_);
+    } else {
+        out.measured = 0.0;
+    }
+    ++read_;
+    return true;
+}
+
+std::vector<Entry>
+readAll(const std::string &path)
+{
+    Reader r(path);
+    std::vector<Entry> entries;
+    // The header count is unauthenticated (there is no corpus
+    // checksum), so cap the reserve: a corrupted count field must
+    // surface as a CorpusError from next(), not as bad_alloc here.
+    constexpr std::uint64_t kMaxReserve = 1u << 20;
+    if (r.declaredCount() != kUnknownCount)
+        entries.reserve(static_cast<std::size_t>(
+            std::min(r.declaredCount(), kMaxReserve)));
+    Entry e;
+    while (r.next(e))
+        entries.push_back(e);
+    return entries;
+}
+
+} // namespace facile::corpus

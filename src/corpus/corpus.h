@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Compact binary corpus format for offline batch evaluation: a stream
+ * of (arch, block bytes, optional measured cycles) records, written
+ * and read sequentially so corpora larger than memory stream through
+ * the facile_batch pipeline.
+ *
+ * File format (little-endian):
+ *
+ *   offset 0   char[8]  magic    "FACCORP\n"
+ *   offset 8   u32      version  kCorpusVersion
+ *   offset 12  u32      reserved 0
+ *   offset 16  u64      count    records in the file; kUnknownCount
+ *                                while a writer is still appending
+ *                                (patched on Writer::close)
+ *   offset 24  records, back to back:
+ *       u8  arch      uarch::UArch value
+ *       u8  flags     bit 0: record carries a measured value
+ *                     bit 1: loop notion (TPL; unset = TPU)
+ *       u16 len       block bytes (<= kMaxCorpusBlockBytes)
+ *       len bytes     raw machine code
+ *       f64 measured  cycles per iteration; present iff flag bit 0
+ *
+ * The reader validates the header and every record boundary; a
+ * truncated or malformed file throws CorpusError at the offending
+ * record, never yields a partial Entry.
+ */
+#ifndef FACILE_CORPUS_CORPUS_H
+#define FACILE_CORPUS_CORPUS_H
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "uarch/config.h"
+
+namespace facile::corpus {
+
+inline constexpr std::uint32_t kCorpusVersion = 1;
+inline constexpr std::uint64_t kUnknownCount = ~0ULL;
+
+/** Upper bound on block bytes per record (matches the server limit). */
+inline constexpr std::size_t kMaxCorpusBlockBytes = 4096;
+
+/** Thrown on malformed or truncated corpus files. */
+class CorpusError : public std::runtime_error
+{
+  public:
+    explicit CorpusError(const std::string &what)
+        : std::runtime_error("corpus: " + what)
+    {}
+};
+
+/** One corpus record. */
+struct Entry
+{
+    uarch::UArch arch = uarch::UArch::SKL;
+    bool loop = false;
+    bool hasMeasured = false;
+    double measured = 0.0; ///< cycles per iteration (ground truth)
+    std::vector<std::uint8_t> bytes;
+};
+
+/** Sequential corpus writer; append() streams, close() patches count. */
+class Writer
+{
+  public:
+    /** Create/truncate @p path and write the header. @throws CorpusError. */
+    explicit Writer(const std::string &path);
+
+    /** Closes (and patches the header count) if still open. */
+    ~Writer();
+
+    Writer(const Writer &) = delete;
+    Writer &operator=(const Writer &) = delete;
+
+    /** Append one record. @throws CorpusError on oversized blocks / IO. */
+    void append(const Entry &e);
+
+    std::uint64_t count() const { return count_; }
+
+    /** Flush, patch the header record count, and close the file. */
+    void close();
+
+  private:
+    std::FILE *f_ = nullptr;
+    std::string path_;
+    std::uint64_t count_ = 0;
+};
+
+/** Streaming corpus reader. */
+class Reader
+{
+  public:
+    /** Open @p path and validate the header. @throws CorpusError. */
+    explicit Reader(const std::string &path);
+
+    ~Reader();
+
+    Reader(const Reader &) = delete;
+    Reader &operator=(const Reader &) = delete;
+
+    /**
+     * Header record count; kUnknownCount if the writer never closed
+     * (the stream is still fully readable — next() hits clean EOF).
+     */
+    std::uint64_t declaredCount() const { return declared_; }
+
+    /**
+     * Read the next record into @p out (vector capacity reused).
+     * Returns false on clean EOF. @throws CorpusError on a malformed
+     * or truncated record.
+     */
+    bool next(Entry &out);
+
+  private:
+    std::FILE *f_ = nullptr;
+    std::string path_;
+    std::uint64_t declared_ = 0;
+    std::uint64_t read_ = 0;
+};
+
+/** Read an entire corpus into memory. */
+std::vector<Entry> readAll(const std::string &path);
+
+} // namespace facile::corpus
+
+#endif // FACILE_CORPUS_CORPUS_H

@@ -355,6 +355,38 @@ PredictionEngine::clearCaches()
     }
 }
 
+std::size_t
+PredictionEngine::exportPredictionCache(
+    const std::function<void(const std::string &key,
+                             const model::Prediction &)> &visit) const
+{
+    std::size_t n = 0;
+    for (std::size_t s = 0; s < kShards; ++s) {
+        Impl::PredictionShard &shard = impl_->predictionShards[s];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        for (const auto &[key, pred] : shard.newGen) {
+            visit(key, pred);
+            ++n;
+        }
+        for (const auto &[key, pred] : shard.oldGen) {
+            visit(key, pred);
+            ++n;
+        }
+    }
+    return n;
+}
+
+void
+PredictionEngine::importPredictionCacheEntry(std::string key,
+                                             model::Prediction pred)
+{
+    Impl::PredictionShard &shard = impl_->predictionShards[shardOf(key)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (!shard.find(key, impl_->opts.maxEntriesPerShard))
+        shard.insert(std::move(key), std::move(pred),
+                     impl_->opts.maxEntriesPerShard);
+}
+
 PredictionEngine &
 PredictionEngine::shared()
 {

@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bb/basic_block.h"
@@ -166,6 +167,27 @@ class PredictionEngine
                       const std::function<void(int, std::size_t)> &body);
 
     void clearCaches();
+
+    // ---- snapshot support (src/analysis/snapshot.h) -----------------------
+
+    /**
+     * Visit every prediction-cache entry as (opaque key, prediction).
+     * The key encodes (notion, payload depth, config, arch, block
+     * bytes) deterministically, so entries exported by one process hit
+     * in another. Shard locks are held during each shard's visits;
+     * visitors must be brief and must not re-enter the engine. Returns
+     * the number of entries visited.
+     */
+    std::size_t exportPredictionCache(
+        const std::function<void(const std::string &key,
+                                 const model::Prediction &)> &visit) const;
+
+    /**
+     * Insert one exported entry back into the prediction cache (normal
+     * two-generation capacity rules apply; an existing key wins).
+     */
+    void importPredictionCacheEntry(std::string key,
+                                    model::Prediction pred);
 
     /** Process-wide shared engine (hardware-concurrency threads). */
     static PredictionEngine &shared();

@@ -236,6 +236,20 @@ Client::stats()
     return *s;
 }
 
+bool
+Client::snapshot()
+{
+    const std::uint64_t id = nextId_++;
+    std::vector<std::uint8_t> frame;
+    appendControlRequest(frame, id, Op::Snapshot);
+    writeAll(frame.data(), frame.size());
+    const std::uint8_t *payload = nullptr;
+    ResponseHeader h = readResponse(payload);
+    if (h.id != id)
+        throw std::runtime_error("SNAPSHOT response id mismatch");
+    return h.status == static_cast<std::uint8_t>(Status::Ok);
+}
+
 void
 Client::ping()
 {

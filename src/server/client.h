@@ -72,6 +72,13 @@ class Client
     /** Health check; throws if the server does not answer. */
     void ping();
 
+    /**
+     * Ask the server to persist a warm-start snapshot to its
+     * operator-configured path (the SNAPSHOT admin frame). Returns
+     * false when the server has no path configured or the save failed.
+     */
+    bool snapshot();
+
     /** Requests in flight per window of predictMany(). */
     static constexpr std::size_t kPipelineWindow = 4096;
 

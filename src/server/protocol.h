@@ -13,7 +13,12 @@
  * Request frame (16-byte header + len payload bytes):
  *
  *   offset 0   u64  id       client-chosen; echoed in the response
- *   offset 8   u8   op       1=PREDICT  2=STATS  3=PING
+ *   offset 8   u8   op       1=PREDICT  2=STATS  3=PING  4=SNAPSHOT
+ *                            (admin: persist a warm-start snapshot —
+ *                            intern arenas + prediction cache — to the
+ *                            operator-configured snapshotPath; answers
+ *                            BAD_REQUEST when no path is configured or
+ *                            the save fails)
  *   offset 9   u8   arch     uarch::UArch value (PREDICT only)
  *   offset 10  u8   flags    bit 0: loop (TPL vs TPU); bit 1: explain
  *                            (build the interpretability payload —
@@ -73,6 +78,7 @@ enum class Op : std::uint8_t {
     Predict = 1,
     Stats = 2,
     Ping = 3,
+    Snapshot = 4,
 };
 
 enum class Status : std::uint8_t {

@@ -12,12 +12,14 @@
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "analysis/snapshot.h"
 #include "server/net_util.h"
 #include "uarch/config.h"
 
@@ -92,6 +94,8 @@ struct PredictionServer::Impl
     std::atomic<std::uint64_t> requestCount{0}; ///< per-frame hot path
     mutable std::mutex statsMu;
     ServerStats counters; ///< batch-grained; derived fields on read
+
+    std::mutex snapshotMu; ///< serializes concurrent snapshot saves
 
     explicit Impl(ServerOptions o)
         : opts(std::move(o)),
@@ -294,6 +298,15 @@ struct PredictionServer::Impl
           case Op::Stats:
             appendStatsResponse(reply, h.id, snapshotStats());
             return;
+          case Op::Snapshot:
+            // Admin frame: path is operator-configured, never wire-
+            // supplied. The save runs on this reader thread — it
+            // serializes under snapshotMu and other connections keep
+            // serving through the collector meanwhile.
+            appendStatusResponse(reply, h.id, Op::Snapshot,
+                                 saveSnapshotNow() ? Status::Ok
+                                                   : Status::BadRequest);
+            return;
           case Op::Predict: {
             if (h.arch >= uarch::allUArchs().size() ||
                 h.len > kMaxBlockBytes) {
@@ -450,6 +463,23 @@ struct PredictionServer::Impl
             for (auto &b : bufs)
                 if (!b.buf.empty())
                     b.conn->write(b.buf); // closed peers drop silently
+    }
+
+    // ---- warm-start snapshot ----------------------------------------------
+
+    bool
+    saveSnapshotNow()
+    {
+        if (opts.snapshotPath.empty())
+            return false;
+        std::lock_guard<std::mutex> lock(snapshotMu);
+        try {
+            analysis::saveSnapshot(opts.snapshotPath, {engine});
+            return true;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "snapshot save failed: %s\n", e.what());
+            return false;
+        }
     }
 
     // ---- stats ------------------------------------------------------------
@@ -611,6 +641,12 @@ ServerStats
 PredictionServer::stats() const
 {
     return impl_->snapshotStats();
+}
+
+bool
+PredictionServer::saveSnapshot()
+{
+    return impl_->saveSnapshotNow();
 }
 
 } // namespace facile::server

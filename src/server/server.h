@@ -70,6 +70,16 @@ struct ServerOptions
 
     /** Engine to serve from; nullptr uses PredictionEngine::shared(). */
     engine::PredictionEngine *engine = nullptr;
+
+    /**
+     * Warm-start snapshot destination (src/analysis/snapshot.h). When
+     * non-empty, saveSnapshot() — reachable via the SNAPSHOT admin
+     * frame or the operator's signal handler — persists the intern
+     * arenas and the serving engine's prediction cache there. Empty
+     * disables the op (SNAPSHOT answers BAD_REQUEST): the path is
+     * always operator-chosen, never taken from the wire.
+     */
+    std::string snapshotPath;
 };
 
 class PredictionServer
@@ -101,6 +111,14 @@ class PredictionServer
 
     /** Snapshot of the serving counters (same data as the STATS op). */
     ServerStats stats() const;
+
+    /**
+     * Persist a warm-start snapshot to ServerOptions::snapshotPath
+     * (serialized against concurrent saves). Returns false — never
+     * throws — when no path is configured or the save fails; the
+     * failure detail is logged to stderr.
+     */
+    bool saveSnapshot();
 
   private:
     struct Impl;

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests for the binary corpus format (src/corpus/corpus.h): writer →
+ * reader round trips fuzzed over randomized corpora, header count
+ * semantics (including never-closed writers), and rejection of every
+ * class of malformed input — truncation at arbitrary points, bad
+ * magic, unsupported versions, oversized blocks, unknown flags, and
+ * record-count mismatches.
+ */
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.h"
+#include "support/rng.h"
+
+namespace facile {
+namespace {
+
+std::string
+tmpPath(const char *tag)
+{
+    return "test_corpus_" + std::string(tag) + "_" +
+           std::to_string(::getpid()) + ".bin";
+}
+
+corpus::Entry
+randomEntry(Rng &rng)
+{
+    corpus::Entry e;
+    e.arch = static_cast<uarch::UArch>(
+        rng.below(static_cast<std::uint32_t>(uarch::allUArchs().size())));
+    e.loop = rng.below(2) != 0;
+    e.hasMeasured = rng.below(2) != 0;
+    if (e.hasMeasured) {
+        // Exercise exact bit preservation, including weird values.
+        const std::uint32_t pick = rng.below(8);
+        if (pick == 0)
+            e.measured = 0.0;
+        else if (pick == 1)
+            e.measured = -0.0;
+        else
+            e.measured =
+                static_cast<double>(rng.next64()) / 3.7e12;
+    }
+    e.bytes.resize(rng.below(65));
+    for (auto &b : e.bytes)
+        b = static_cast<std::uint8_t>(rng.below(256));
+    return e;
+}
+
+bool
+sameEntry(const corpus::Entry &a, const corpus::Entry &b)
+{
+    return a.arch == b.arch && a.loop == b.loop &&
+           a.hasMeasured == b.hasMeasured && a.bytes == b.bytes &&
+           std::memcmp(&a.measured, &b.measured, sizeof(double)) == 0;
+}
+
+std::vector<std::uint8_t>
+slurp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    std::vector<std::uint8_t> buf(
+        static_cast<std::size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    EXPECT_EQ(std::fread(buf.data(), 1, buf.size(), f), buf.size());
+    std::fclose(f);
+    return buf;
+}
+
+void
+spit(const std::string &path, const std::vector<std::uint8_t> &buf)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(buf.data(), 1, buf.size(), f), buf.size());
+    std::fclose(f);
+}
+
+TEST(Corpus, WriterReaderFuzzRoundTrip)
+{
+    Rng rng(0xc0fe5u);
+    const std::string path = tmpPath("fuzz");
+    for (int round = 0; round < 50; ++round) {
+        std::vector<corpus::Entry> wrote;
+        const std::uint32_t n = rng.below(40);
+        {
+            corpus::Writer w(path);
+            for (std::uint32_t i = 0; i < n; ++i) {
+                wrote.push_back(randomEntry(rng));
+                w.append(wrote.back());
+            }
+            EXPECT_EQ(w.count(), n);
+            w.close();
+        }
+        corpus::Reader r(path);
+        EXPECT_EQ(r.declaredCount(), n);
+        corpus::Entry e;
+        std::size_t i = 0;
+        while (r.next(e)) {
+            ASSERT_LT(i, wrote.size());
+            EXPECT_TRUE(sameEntry(e, wrote[i])) << "round " << round
+                                                << " entry " << i;
+            ++i;
+        }
+        EXPECT_EQ(i, wrote.size());
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Corpus, UnclosedWriterStreamsWithUnknownCount)
+{
+    const std::string path = tmpPath("unclosed");
+    Rng rng(7);
+    std::vector<corpus::Entry> wrote;
+    {
+        corpus::Writer w(path);
+        for (int i = 0; i < 5; ++i) {
+            wrote.push_back(randomEntry(rng));
+            w.append(wrote.back());
+        }
+        w.close();
+    }
+    // Simulate a writer that never reached close(): count still the
+    // kUnknownCount sentinel. The stream must read fully regardless.
+    std::vector<std::uint8_t> file = slurp(path);
+    const std::uint64_t unknown = corpus::kUnknownCount;
+    std::memcpy(file.data() + 16, &unknown, 8);
+    spit(path, file);
+
+    corpus::Reader r(path);
+    EXPECT_EQ(r.declaredCount(), corpus::kUnknownCount);
+    corpus::Entry e;
+    std::size_t i = 0;
+    while (r.next(e))
+        EXPECT_TRUE(sameEntry(e, wrote[i++]));
+    EXPECT_EQ(i, wrote.size());
+    std::remove(path.c_str());
+}
+
+TEST(Corpus, RejectsMalformedFiles)
+{
+    const std::string path = tmpPath("bad");
+    Rng rng(11);
+    {
+        corpus::Writer w(path);
+        for (int i = 0; i < 4; ++i)
+            w.append(randomEntry(rng));
+        w.close();
+    }
+    const std::vector<std::uint8_t> good = slurp(path);
+
+    // Bad magic.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[3] ^= 0x40;
+        spit(path, bad);
+        EXPECT_THROW(corpus::Reader r(path), corpus::CorpusError);
+    }
+    // Unsupported version.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[8] = 99;
+        spit(path, bad);
+        EXPECT_THROW(corpus::Reader r(path), corpus::CorpusError);
+    }
+    // Header truncation.
+    {
+        std::vector<std::uint8_t> bad(good.begin(), good.begin() + 10);
+        spit(path, bad);
+        EXPECT_THROW(corpus::Reader r(path), corpus::CorpusError);
+    }
+    // Count mismatch (header promises one more record than exists).
+    {
+        std::vector<std::uint8_t> bad = good;
+        std::uint64_t count;
+        std::memcpy(&count, bad.data() + 16, 8);
+        ++count;
+        std::memcpy(bad.data() + 16, &count, 8);
+        spit(path, bad);
+        corpus::Reader r(path);
+        corpus::Entry e;
+        EXPECT_THROW(
+            {
+                while (r.next(e)) {
+                }
+            },
+            corpus::CorpusError);
+    }
+    // Truncation at every byte inside the record stream must throw
+    // from next() (count no longer matches, or a record is cut short)
+    // — never yield a partial entry.
+    for (std::size_t cut = 25; cut < good.size(); cut += 3) {
+        std::vector<std::uint8_t> bad(good.begin(),
+                                      good.begin() +
+                                          static_cast<std::ptrdiff_t>(cut));
+        spit(path, bad);
+        corpus::Reader r(path);
+        corpus::Entry e;
+        EXPECT_THROW(
+            {
+                while (r.next(e)) {
+                }
+            },
+            corpus::CorpusError)
+            << "cut at " << cut;
+    }
+    // Bad arch byte in the first record.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[24] = 0xee;
+        spit(path, bad);
+        corpus::Reader r(path);
+        corpus::Entry e;
+        EXPECT_THROW(r.next(e), corpus::CorpusError);
+    }
+    // Unknown flag bits.
+    {
+        std::vector<std::uint8_t> bad = good;
+        bad[25] |= 0x80;
+        spit(path, bad);
+        corpus::Reader r(path);
+        corpus::Entry e;
+        EXPECT_THROW(r.next(e), corpus::CorpusError);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Corpus, WriterRejectsOversizedBlocks)
+{
+    const std::string path = tmpPath("oversize");
+    corpus::Writer w(path);
+    corpus::Entry e;
+    e.bytes.resize(corpus::kMaxCorpusBlockBytes + 1);
+    EXPECT_THROW(w.append(e), corpus::CorpusError);
+    e.bytes.resize(corpus::kMaxCorpusBlockBytes);
+    EXPECT_NO_THROW(w.append(e));
+    w.close();
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace facile

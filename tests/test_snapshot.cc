@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Tests for the warm-start snapshot (src/analysis/snapshot.h).
+ *
+ * The core contracts: (1) the InstRecord codec round-trips every field
+ * bit-for-bit; (2) save → load in the same process is an append-only
+ * no-op (existing records win; predictions stay bit-identical); (3) a
+ * *fresh process* started from a snapshot produces bit-identical
+ * predictions to a cold process over the full suite on all nine
+ * arches (child-process probes); (4) corrupted, truncated, or
+ * version-mismatched files are rejected without importing anything;
+ * (5) a restored engine prediction cache serves hits immediately.
+ */
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/intern.h"
+#include "analysis/snapshot.h"
+#include "bb/basic_block.h"
+#include "bhive/generator.h"
+#include "engine/engine.h"
+#include "eval/harness.h"
+#include "facile/predictor.h"
+
+namespace facile {
+namespace {
+
+using eval::samePrediction;
+
+/** A randomized suite distinct from the default evaluation seed. */
+const std::vector<bhive::Benchmark> &
+snapshotSuite()
+{
+    static const std::vector<bhive::Benchmark> suite =
+        bhive::generateSuite(0x5eedfac5a9ULL, 5);
+    return suite;
+}
+
+/** Analyze the suite on every arch so the interners have content. */
+void
+populateInterners()
+{
+    static const bool done = [] {
+        for (uarch::UArch arch : uarch::allUArchs())
+            for (const auto &b : snapshotSuite()) {
+                bb::analyze(b.bytesU, arch);
+                bb::analyze(b.bytesL, arch);
+            }
+        return true;
+    }();
+    (void)done;
+}
+
+std::string
+tmpPath(const char *tag)
+{
+    return "test_snapshot_" + std::string(tag) + "_" +
+           std::to_string(::getpid()) + ".bin";
+}
+
+/** Bit-sensitive digest over TPL+TPU predictions of the whole suite. */
+std::uint64_t
+suiteDigest()
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    model::PredictScratch &scratch = model::tlsPredictScratch();
+    for (uarch::UArch arch : uarch::allUArchs())
+        for (const auto &b : snapshotSuite())
+            for (bool loop : {false, true}) {
+                const model::Prediction p = model::predict(
+                    bb::analyze(loop ? b.bytesL : b.bytesU, arch), loop,
+                    {}, scratch);
+                h = analysis::fnv1a64(
+                    reinterpret_cast<const std::uint8_t *>(&p.throughput),
+                    8, h);
+                h = analysis::fnv1a64(
+                    reinterpret_cast<const std::uint8_t *>(
+                        p.componentValue.data()),
+                    sizeof(double) * p.componentValue.size(), h);
+            }
+    return h;
+}
+
+bool
+sameRecord(const analysis::InstRecord &a, const analysis::InstRecord &b)
+{
+    if (a.dec.inst.mnem != b.dec.inst.mnem ||
+        a.dec.inst.cc != b.dec.inst.cc ||
+        a.dec.inst.nopLen != b.dec.inst.nopLen ||
+        a.dec.inst.ops != b.dec.inst.ops ||
+        a.dec.length != b.dec.length ||
+        a.dec.opcodeOffset != b.dec.opcodeOffset ||
+        a.dec.lcp != b.dec.lcp)
+        return false;
+    if (a.info.fusedUops != b.info.fusedUops ||
+        a.info.issueUops != b.info.issueUops ||
+        a.info.latency != b.info.latency ||
+        a.info.needsComplexDecoder != b.info.needsComplexDecoder ||
+        a.info.nAvailableSimpleDecoders !=
+            b.info.nAvailableSimpleDecoders ||
+        a.info.macroFusible != b.info.macroFusible ||
+        a.info.eliminated != b.info.eliminated ||
+        a.info.portUops.size() != b.info.portUops.size())
+        return false;
+    for (std::size_t i = 0; i < a.info.portUops.size(); ++i)
+        if (a.info.portUops[i].ports != b.info.portUops[i].ports ||
+            a.info.portUops[i].kind != b.info.portUops[i].kind)
+            return false;
+    if (a.rw.reads != b.rw.reads || a.rw.writes != b.rw.writes ||
+        a.rw.depBreaking != b.rw.depBreaking)
+        return false;
+    if (a.depReads.size() != b.depReads.size())
+        return false;
+    for (std::size_t i = 0; i < a.depReads.size(); ++i)
+        if (a.depReads[i].value != b.depReads[i].value ||
+            std::memcmp(&a.depReads[i].latency, &b.depReads[i].latency,
+                        sizeof(double)) != 0)
+            return false;
+    if (a.portMasks != b.portMasks || a.stackOp != b.stackOp ||
+        a.depBreaking != b.depBreaking ||
+        a.nWritesInl != b.nWritesInl || a.nDepInl != b.nDepInl)
+        return false;
+    if (a.nWritesInl != analysis::InstRecord::kSpilled)
+        for (std::uint8_t i = 0; i < a.nWritesInl; ++i)
+            if (a.writesInl[i] != b.writesInl[i])
+                return false;
+    if (a.nDepInl != analysis::InstRecord::kSpilled)
+        for (std::uint8_t i = 0; i < a.nDepInl; ++i)
+            if (a.depInl[i].value != b.depInl[i].value ||
+                std::memcmp(&a.depInl[i].latency, &b.depInl[i].latency,
+                            sizeof(double)) != 0)
+                return false;
+    return a.fuseClass == b.fuseClass && a.isJcc == b.isJcc &&
+           a.jccReadsCf == b.jccReadsCf &&
+           a.jccTestsSOP == b.jccTestsSOP;
+}
+
+TEST(SnapshotCodec, RecordRoundTripAllArches)
+{
+    populateInterners();
+    std::size_t checked = 0;
+    for (uarch::UArch arch : uarch::allUArchs()) {
+        const analysis::InstInterner &in =
+            analysis::InstInterner::forArch(arch);
+        in.exportRecords([&](const std::uint8_t *, std::size_t,
+                             const analysis::InstRecord &rec) {
+            std::vector<std::uint8_t> buf;
+            analysis::InstRecordSnapshotCodec::encode(buf, rec);
+            std::size_t pos = 0;
+            const analysis::InstRecord back =
+                analysis::InstRecordSnapshotCodec::decode(
+                    buf.data(), buf.size(), pos);
+            EXPECT_EQ(pos, buf.size());
+            EXPECT_TRUE(sameRecord(rec, back));
+            ++checked;
+        });
+    }
+    // Each arch saw a few hundred distinct instructions.
+    EXPECT_GT(checked, 1000u);
+}
+
+TEST(SnapshotCodec, DecodeRejectsTruncation)
+{
+    populateInterners();
+    const analysis::InstInterner &in =
+        analysis::InstInterner::forArch(uarch::UArch::SKL);
+    std::vector<std::uint8_t> buf;
+    bool first = true;
+    in.exportRecords([&](const std::uint8_t *, std::size_t,
+                         const analysis::InstRecord &rec) {
+        if (!first)
+            return;
+        first = false;
+        analysis::InstRecordSnapshotCodec::encode(buf, rec);
+    });
+    ASSERT_FALSE(buf.empty());
+    // Every proper prefix must throw, never crash or return garbage.
+    for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+        std::size_t pos = 0;
+        EXPECT_THROW(analysis::InstRecordSnapshotCodec::decode(
+                         buf.data(), cut, pos),
+                     analysis::SnapshotError)
+            << "prefix length " << cut;
+    }
+}
+
+TEST(Snapshot, SaveLoadSameProcessIsAppendOnlyNoOp)
+{
+    populateInterners();
+    const std::uint64_t before = suiteDigest();
+    const std::string path = tmpPath("noop");
+
+    const analysis::SnapshotStats saved = analysis::saveSnapshot(path);
+    EXPECT_GT(saved.records, 1000u);
+    EXPECT_GT(saved.fusedPairs, 0u);
+    EXPECT_GT(saved.bytes, 0u);
+
+    const analysis::SnapshotStats loaded = analysis::loadSnapshot(path);
+    EXPECT_EQ(loaded.records, saved.records);
+    EXPECT_EQ(loaded.fusedPairs, saved.fusedPairs);
+    // Same process: every key is already interned; nothing may append.
+    EXPECT_EQ(loaded.newRecords, 0u);
+
+    // Predictions after the load are bit-identical to before.
+    EXPECT_EQ(before, suiteDigest());
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, EnginePredictionCacheRoundTrip)
+{
+    populateInterners();
+    std::vector<engine::Request> batch;
+    for (const auto &b : snapshotSuite())
+        batch.push_back({b.bytesL, uarch::UArch::SKL, true, {}});
+
+    engine::PredictionEngine::Options opts;
+    opts.numThreads = 2;
+    engine::PredictionEngine source(opts);
+    const std::vector<model::Prediction> expected =
+        source.predictBatch(batch);
+
+    const std::string path = tmpPath("engine");
+    const analysis::SnapshotStats saved =
+        analysis::saveSnapshot(path, {&source});
+    EXPECT_GE(saved.predictions, batch.size());
+
+    engine::PredictionEngine restored(opts);
+    const analysis::SnapshotStats loaded =
+        analysis::loadSnapshot(path, {&restored});
+    EXPECT_EQ(loaded.predictions, saved.predictions);
+
+    engine::BatchStats bs;
+    const std::vector<model::Prediction> out =
+        restored.predictBatch(batch, &bs);
+    EXPECT_EQ(bs.predictionCacheHits, batch.size());
+    EXPECT_EQ(bs.analyzed, 0u);
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        EXPECT_TRUE(samePrediction(out[i], expected[i])) << i;
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, RejectsCorruptionTruncationAndVersionMismatch)
+{
+    populateInterners();
+    const std::string path = tmpPath("corrupt");
+    analysis::saveSnapshot(path);
+
+    std::vector<std::uint8_t> file;
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 0, SEEK_END);
+        file.resize(static_cast<std::size_t>(std::ftell(f)));
+        std::fseek(f, 0, SEEK_SET);
+        ASSERT_EQ(std::fread(file.data(), 1, file.size(), f),
+                  file.size());
+        std::fclose(f);
+    }
+    ASSERT_GT(file.size(), 64u);
+
+    auto writeVariant = [&](const std::vector<std::uint8_t> &bytes) {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        if (!bytes.empty())
+            ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
+                      bytes.size());
+        std::fclose(f);
+    };
+
+    // Truncations: header, mid-payload, one byte short.
+    for (std::size_t cut :
+         {std::size_t{0}, std::size_t{7}, std::size_t{31},
+          std::size_t{40}, file.size() / 2, file.size() - 1}) {
+        std::vector<std::uint8_t> t(file.begin(),
+                                    file.begin() +
+                                        static_cast<std::ptrdiff_t>(cut));
+        writeVariant(t);
+        EXPECT_THROW(analysis::loadSnapshot(path),
+                     analysis::SnapshotError)
+            << "truncated to " << cut;
+    }
+
+    // Bad magic.
+    {
+        std::vector<std::uint8_t> bad = file;
+        bad[0] ^= 0xff;
+        writeVariant(bad);
+        EXPECT_THROW(analysis::loadSnapshot(path),
+                     analysis::SnapshotError);
+    }
+
+    // Unsupported version.
+    {
+        std::vector<std::uint8_t> bad = file;
+        bad[8] = static_cast<std::uint8_t>(analysis::kSnapshotVersion + 1);
+        writeVariant(bad);
+        EXPECT_THROW(analysis::loadSnapshot(path),
+                     analysis::SnapshotError);
+    }
+
+    // Payload corruption must fail the checksum — try several offsets.
+    for (std::size_t off = 32; off < file.size();
+         off += file.size() / 7) {
+        std::vector<std::uint8_t> bad = file;
+        bad[off] ^= 0x5a;
+        writeVariant(bad);
+        EXPECT_THROW(analysis::loadSnapshot(path),
+                     analysis::SnapshotError)
+            << "flip at " << off;
+    }
+
+    // Corrupted checksum field itself.
+    {
+        std::vector<std::uint8_t> bad = file;
+        bad[24] ^= 0x01;
+        writeVariant(bad);
+        EXPECT_THROW(analysis::loadSnapshot(path),
+                     analysis::SnapshotError);
+    }
+
+    // The pristine bytes still load (the harness above is not lossy).
+    writeVariant(file);
+    EXPECT_NO_THROW(analysis::loadSnapshot(path));
+    std::remove(path.c_str());
+}
+
+/**
+ * Child half of the fresh-process property: when the probe env vars
+ * are set (by FreshProcessBitIdentity, in a *child* process whose
+ * interners are empty), optionally load the snapshot, predict the
+ * whole suite, and write the digest for the parent. In a normal test
+ * run the env vars are unset and this is a skip.
+ */
+TEST(SnapshotProbe, Emit)
+{
+    const char *out = std::getenv("FACILE_SNAPSHOT_PROBE_OUT");
+    if (!out)
+        GTEST_SKIP() << "probe mode only (spawned by "
+                        "FreshProcessBitIdentity)";
+    if (const char *snap = std::getenv("FACILE_SNAPSHOT_PROBE_SNAP")) {
+        const analysis::SnapshotStats st = analysis::loadSnapshot(snap);
+        // A fresh process appends every record — nothing pre-existing.
+        ASSERT_EQ(st.newRecords, st.records);
+        ASSERT_GT(st.records, 0u);
+    }
+    const std::uint64_t digest = suiteDigest();
+    std::FILE *f = std::fopen(out, "w");
+    ASSERT_NE(f, nullptr);
+    std::fprintf(f, "%016llx\n",
+                 static_cast<unsigned long long>(digest));
+    std::fclose(f);
+}
+
+/**
+ * The headline property: a fresh process warm-started from a snapshot
+ * produces bit-identical predictions (all nine arches, both notions)
+ * to a fresh cold process. Runs this test binary twice as a child via
+ * /proc/self/exe — each child is a genuinely cold process.
+ */
+TEST(Snapshot, FreshProcessBitIdentity)
+{
+    populateInterners();
+    const std::string snap = tmpPath("fresh");
+    analysis::saveSnapshot(snap);
+
+    // /proc/self/exe must be resolved here: inside std::system's shell
+    // child it would name the shell, not this binary.
+    char self[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", self, sizeof self - 1);
+    ASSERT_GT(n, 0);
+    self[n] = '\0';
+
+    auto probe = [&](bool warm, std::uint64_t &digest) {
+        const std::string out =
+            tmpPath(warm ? "digest_warm" : "digest_cold");
+        std::string cmd = "FACILE_SNAPSHOT_PROBE_OUT='" + out + "' ";
+        if (warm)
+            cmd += "FACILE_SNAPSHOT_PROBE_SNAP='" + snap + "' ";
+        cmd += "'" + std::string(self) +
+               "' --gtest_filter=SnapshotProbe.Emit >/dev/null 2>&1";
+        if (std::system(cmd.c_str()) != 0)
+            return false;
+        std::FILE *f = std::fopen(out.c_str(), "r");
+        if (!f)
+            return false;
+        unsigned long long d = 0;
+        const bool ok = std::fscanf(f, "%llx", &d) == 1;
+        std::fclose(f);
+        std::remove(out.c_str());
+        digest = d;
+        return ok;
+    };
+
+    std::uint64_t cold = 0, warm = 1;
+    ASSERT_TRUE(probe(false, cold));
+    ASSERT_TRUE(probe(true, warm));
+    EXPECT_EQ(cold, warm);
+    // And both match this (differently warmed) process.
+    EXPECT_EQ(cold, suiteDigest());
+    std::remove(snap.c_str());
+}
+
+} // namespace
+} // namespace facile
