@@ -7,6 +7,7 @@
  *
  * Usage:
  *   facile_batch CORPUS [--threads N] [--csv FILE] [--explain]
+ *                [--server unix:PATH | --server HOST:PORT]
  *                [--snapshot-load FILE] [--snapshot-save FILE]
  *   facile_batch --make-corpus FILE [--arch ABBR] [--per-category N]
  *                [--seed S] [--unroll] [--no-measured]
@@ -18,6 +19,14 @@
  * (src/analysis/snapshot.h) instead of paying the instruction-
  * interning cold path; --snapshot-save persists the arenas (and the
  * engine's prediction cache) after the run.
+ *
+ * With --server the predictions come from a running facile_server via
+ * the pipelined client (bit-identical to the local engine), so a
+ * corpus can be scored against a long-lived warm server instead of a
+ * cold in-process engine. Server rejections surface as typed
+ * server::ProtocolError — OVERLOADED (the server shed load) is
+ * reported distinctly from transport failures. Incompatible with the
+ * local-engine flags (--threads, --snapshot-*).
  *
  * Make mode generates a corpus from the BHive-substitute suite with
  * simulator-measured ground truth (the expensive part; --no-measured
@@ -31,10 +40,13 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "analysis/snapshot.h"
 #include "corpus/corpus.h"
 #include "engine/engine.h"
 #include "eval/harness.h"
+#include "server/client.h"
 
 using namespace facile;
 
@@ -46,10 +58,12 @@ usage(const char *argv0)
     std::fprintf(
         stderr,
         "usage: %s CORPUS [--threads N] [--csv FILE] [--explain]\n"
+        "       %*s        [--server unix:PATH | --server HOST:PORT]\n"
         "       %*s        [--snapshot-load FILE] [--snapshot-save FILE]\n"
         "       %s --make-corpus FILE [--arch ABBR] [--per-category N]\n"
         "       %*s        [--seed S] [--unroll] [--no-measured]\n",
-        argv0, static_cast<int>(std::strlen(argv0)), "", argv0,
+        argv0, static_cast<int>(std::strlen(argv0)), "",
+        static_cast<int>(std::strlen(argv0)), "", argv0,
         static_cast<int>(std::strlen(argv0)), "");
     return 2;
 }
@@ -73,6 +87,7 @@ int
 main(int argc, char **argv)
 {
     std::string corpusPath, makePath, csvPath, snapLoad, snapSave;
+    std::string serverSpec;
     uarch::UArch arch = uarch::UArch::SKL;
     int threads = 0;
     int perCategory = 10;
@@ -116,6 +131,10 @@ main(int argc, char **argv)
             if (!(v = next()))
                 return usage(argv[0]);
             csvPath = v;
+        } else if (arg == "--server") {
+            if (!(v = next()))
+                return usage(argv[0]);
+            serverSpec = v;
         } else if (arg == "--snapshot-load") {
             if (!(v = next()))
                 return usage(argv[0]);
@@ -180,14 +199,49 @@ main(int argc, char **argv)
     if (corpusPath.empty())
         return usage(argv[0]);
 
-    engine::PredictionEngine::Options eopts;
-    eopts.numThreads = threads;
-    engine::PredictionEngine eng(eopts);
+    if (!serverSpec.empty() &&
+        (threads != 0 || !snapLoad.empty() || !snapSave.empty())) {
+        std::fprintf(stderr,
+                     "--server is incompatible with --threads and "
+                     "--snapshot-* (those configure the local engine; "
+                     "warm and size the server instead)\n");
+        return 2;
+    }
+
+    // Remote mode: predictions come from a running facile_server over
+    // the pipelined client — bit-identical to the local engine.
+    std::optional<server::Client> cli;
+    if (!serverSpec.empty()) {
+        try {
+            if (serverSpec.rfind("unix:", 0) == 0) {
+                cli.emplace(
+                    server::Client::connectUnix(serverSpec.substr(5)));
+            } else {
+                const auto colon = serverSpec.rfind(':');
+                if (colon == std::string::npos)
+                    return usage(argv[0]);
+                cli.emplace(server::Client::connectTcp(
+                    serverSpec.substr(0, colon),
+                    std::atoi(serverSpec.c_str() + colon + 1)));
+            }
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "cannot connect to %s: %s\n",
+                         serverSpec.c_str(), e.what());
+            return 1;
+        }
+    }
+
+    std::optional<engine::PredictionEngine> eng;
+    if (!cli) {
+        engine::PredictionEngine::Options eopts;
+        eopts.numThreads = threads;
+        eng.emplace(eopts);
+    }
 
     if (!snapLoad.empty()) {
         try {
             const analysis::SnapshotStats st =
-                analysis::loadSnapshot(snapLoad, {&eng});
+                analysis::loadSnapshot(snapLoad, {&*eng});
             std::fprintf(stderr,
                          "[snapshot] loaded %s: %zu records (%zu new), "
                          "%zu fused pairs, %zu cached predictions\n",
@@ -223,6 +277,7 @@ main(int argc, char **argv)
         corpus::Reader reader(corpusPath);
         std::vector<corpus::Entry> entries;
         std::vector<engine::Request> batch;
+        std::vector<model::Prediction> preds;
         for (;;) {
             entries.clear();
             corpus::Entry e;
@@ -243,8 +298,10 @@ main(int argc, char **argv)
                 batch.push_back(std::move(r));
             }
             const auto t0 = std::chrono::steady_clock::now();
-            const std::vector<model::Prediction> preds =
-                eng.predictBatch(batch, &bs);
+            if (cli)
+                cli->predictManyInto(batch, preds);
+            else
+                preds = eng->predictBatch(batch, &bs);
             const auto t1 = std::chrono::steady_clock::now();
             ms += std::chrono::duration<double, std::milli>(t1 - t0)
                       .count();
@@ -269,10 +326,26 @@ main(int argc, char **argv)
             }
             total += entries.size();
         }
+    } catch (const server::ProtocolError &e) {
+        if (csv)
+            std::fclose(csv);
+        std::fprintf(stderr, "%s%s\n", e.what(),
+                     e.status() == server::Status::Overloaded
+                         ? " (server shed load; retry, or raise its "
+                           "--max-pending / --max-inflight)"
+                         : "");
+        return 1;
     } catch (const corpus::CorpusError &e) {
         if (csv)
             std::fclose(csv);
         std::fprintf(stderr, "%s\n", e.what());
+        return 1;
+    } catch (const std::exception &e) {
+        // Transport faults from --server mode (connection loss, short
+        // writes) land here, distinct from the typed rejections above.
+        if (csv)
+            std::fclose(csv);
+        std::fprintf(stderr, "transport: %s\n", e.what());
         return 1;
     }
     if (csv) {
@@ -284,15 +357,23 @@ main(int argc, char **argv)
         return 1;
     }
 
-    std::printf("%s: %zu blocks in %.1f ms (%.0f blocks/s, %d "
-                "threads)\n",
-                corpusPath.c_str(), total, ms,
-                1000.0 * static_cast<double>(total) / ms,
-                eng.numThreads());
-    std::printf("engine: %zu analyzed, %zu analysis-cache hits, %zu "
-                "prediction-cache hits\n",
-                bs.analyzed, bs.analysisCacheHits,
-                bs.predictionCacheHits);
+    if (cli) {
+        std::printf("%s: %zu blocks in %.1f ms (%.0f blocks/s via "
+                    "server %s)\n",
+                    corpusPath.c_str(), total, ms,
+                    1000.0 * static_cast<double>(total) / ms,
+                    serverSpec.c_str());
+    } else {
+        std::printf("%s: %zu blocks in %.1f ms (%.0f blocks/s, %d "
+                    "threads)\n",
+                    corpusPath.c_str(), total, ms,
+                    1000.0 * static_cast<double>(total) / ms,
+                    eng->numThreads());
+        std::printf("engine: %zu analyzed, %zu analysis-cache hits, "
+                    "%zu prediction-cache hits\n",
+                    bs.analyzed, bs.analysisCacheHits,
+                    bs.predictionCacheHits);
+    }
     if (!groups.empty()) {
         std::printf("\n%-5s %-7s %8s %10s %10s %8s\n", "uArch",
                     "Notion", "Blocks", "MAPE", "Kendall", "Skipped");
@@ -311,7 +392,7 @@ main(int argc, char **argv)
     if (!snapSave.empty()) {
         try {
             const analysis::SnapshotStats st =
-                analysis::saveSnapshot(snapSave, {&eng});
+                analysis::saveSnapshot(snapSave, {&*eng});
             std::printf("[snapshot] saved %s: %zu records, %zu fused "
                         "pairs, %zu cached predictions (%zu bytes)\n",
                         snapSave.c_str(), st.records, st.fusedPairs,

@@ -129,6 +129,15 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(s.analyzed),
                 static_cast<unsigned long long>(s.connectionsAccepted),
                 static_cast<unsigned long long>(s.connectionsOpen));
+            std::printf(
+                "shed: %llu overloaded-queue, %llu overloaded-conn, "
+                "%llu read timeouts, %llu byte-quota closes, "
+                "%llu refused at accept\n",
+                static_cast<unsigned long long>(s.overloadedQueue),
+                static_cast<unsigned long long>(s.overloadedConn),
+                static_cast<unsigned long long>(s.readTimeouts),
+                static_cast<unsigned long long>(s.quotaClosed),
+                static_cast<unsigned long long>(s.connectionsShed));
             return 0;
         }
 
@@ -155,9 +164,20 @@ main(int argc, char **argv)
                     std::vector<model::Prediction> res;
                     for (int p = 0; p < passes; ++p)
                         cl.predictManyInto(batch, res);
+                } catch (const server::ProtocolError &e) {
+                    // Typed: distinguish the server shedding load
+                    // (retryable — this tool reports it as a sizing
+                    // hint instead) from a broken peer.
+                    std::fprintf(
+                        stderr, "client %d: %s%s\n", c, e.what(),
+                        e.status() == server::Status::Overloaded
+                            ? " (server shed load; lower --clients or "
+                              "raise the server's limits)"
+                            : "");
+                    ++workerErrors;
                 } catch (const std::exception &e) {
-                    std::fprintf(stderr, "client %d: %s\n", c,
-                                 e.what());
+                    std::fprintf(stderr, "client %d: transport: %s\n",
+                                 c, e.what());
                     ++workerErrors;
                 }
             });

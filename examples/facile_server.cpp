@@ -6,10 +6,20 @@
  * Usage:
  *   facile_server [--tcp PORT] [--unix PATH] [--threads N]
  *                 [--window-us N] [--max-batch N]
+ *                 [--read-timeout-ms N] [--max-connections N]
+ *                 [--max-pending N] [--max-inflight N]
  *                 [--snapshot-load FILE] [--snapshot-save FILE]
  *
  * With no listener flags it serves on --unix /tmp/facile.sock.
  * SIGINT/SIGTERM shut down cleanly and print the serving counters.
+ *
+ * The resource-limit flags override the ServerOptions defaults (see
+ * src/server/README.md, "Resource limits & abuse handling"): read
+ * deadline per connection (0 disables — not recommended on exposed
+ * listeners), connection cap, admission-queue bound, and per-
+ * connection in-flight quota. Shedding is explicit: over-quota
+ * requests are answered OVERLOADED, and every limit has a counter in
+ * the shutdown summary / STATS frame.
  *
  * Warm-start snapshots (src/analysis/snapshot.h): --snapshot-load
  * restores the instruction intern arenas and the engine's prediction
@@ -62,6 +72,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s [--tcp PORT] [--unix PATH] [--threads N] "
                  "[--window-us N] [--max-batch N]\n"
+                 "       [--read-timeout-ms N] [--max-connections N] "
+                 "[--max-pending N] [--max-inflight N]\n"
                  "       [--snapshot-load FILE] [--snapshot-save FILE]\n",
                  argv0);
     return 2;
@@ -105,6 +117,27 @@ main(int argc, char **argv)
             if (!v)
                 return usage(argv[0]);
             opts.maxBatch = static_cast<std::size_t>(std::atoll(v));
+        } else if (arg == "--read-timeout-ms") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            opts.readTimeoutMs = std::atoi(v);
+        } else if (arg == "--max-connections") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            opts.maxConnections = static_cast<std::size_t>(std::atoll(v));
+        } else if (arg == "--max-pending") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            opts.maxPending = static_cast<std::size_t>(std::atoll(v));
+        } else if (arg == "--max-inflight") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            opts.maxInFlightPerConn =
+                static_cast<std::size_t>(std::atoll(v));
         } else if (arg == "--snapshot-load") {
             const char *v = next();
             if (!v)
@@ -157,6 +190,10 @@ main(int argc, char **argv)
     std::printf("engine: %d worker thread(s), admission window %d us, "
                 "max batch %zu\n",
                 eng.numThreads(), opts.batchWindowUs, opts.maxBatch);
+    std::printf("limits: read deadline %d ms, %zu connections, "
+                "%zu pending, %zu in-flight per connection\n",
+                opts.readTimeoutMs, opts.maxConnections, opts.maxPending,
+                opts.maxInFlightPerConn);
     std::fflush(stdout);
 
     sem_init(&g_stopSem, 0, 0);
@@ -205,5 +242,19 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(s.maxBatch),
                 static_cast<unsigned long long>(s.predictionCacheHits),
                 static_cast<unsigned long long>(s.connectionsAccepted));
+    const std::uint64_t shed = s.overloadedQueue + s.overloadedConn +
+                               s.readTimeouts + s.quotaClosed +
+                               s.connectionsShed;
+    if (shed > 0)
+        std::printf("shed: %llu overloaded (queue %llu, conn quota "
+                    "%llu), %llu read timeouts, %llu byte-quota "
+                    "closes, %llu refused at accept\n",
+                    static_cast<unsigned long long>(s.overloadedQueue +
+                                                    s.overloadedConn),
+                    static_cast<unsigned long long>(s.overloadedQueue),
+                    static_cast<unsigned long long>(s.overloadedConn),
+                    static_cast<unsigned long long>(s.readTimeouts),
+                    static_cast<unsigned long long>(s.quotaClosed),
+                    static_cast<unsigned long long>(s.connectionsShed));
     return 0;
 }

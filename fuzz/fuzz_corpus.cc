@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fuzz harness for the corpus reader (src/corpus/corpus.h) — corpus
+ * files are often produced by external tooling, so the streaming
+ * parser must reject arbitrary bytes cleanly.
+ *
+ * Drives the in-memory Reader over the whole stream and asserts the
+ * reader's contract: every yielded Entry respects the block-size
+ * bound, and a clean EOF implies the header count matched (a mismatch
+ * must have thrown CorpusError instead).
+ */
+#include <cstddef>
+#include <cstdint>
+
+#include "corpus/corpus.h"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t *data, std::size_t size)
+{
+    using namespace facile::corpus;
+    try {
+        Reader r(data, size);
+        Entry e;
+        std::uint64_t n = 0;
+        while (r.next(e)) {
+            if (e.bytes.size() > kMaxCorpusBlockBytes)
+                __builtin_trap();
+            ++n;
+        }
+        if (r.declaredCount() != kUnknownCount &&
+            n != r.declaredCount())
+            __builtin_trap(); // clean EOF promises the count matched
+    } catch (const CorpusError &) {
+        // The documented rejection path.
+    }
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Replay driver for toolchains without libFuzzer (gcc): runs each file
+ * argument — or every regular file under each directory argument —
+ * through LLVMFuzzerTestOneInput once and exits. This is what makes
+ * the checked-in regression corpus replayable as an ordinary ctest
+ * entry on any compiler; actual coverage-guided fuzzing needs the
+ * clang build (see fuzz/README.md).
+ *
+ * libFuzzer-style "-flag" arguments are ignored so the same command
+ * lines work against both drivers.
+ */
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t *data,
+                                      std::size_t size);
+
+namespace {
+
+std::vector<std::uint8_t>
+slurp(const std::filesystem::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                     std::istreambuf_iterator<char>());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    namespace fs = std::filesystem;
+    std::vector<fs::path> files;
+    for (int i = 1; i < argc; ++i) {
+        if (argv[i][0] == '-')
+            continue;
+        const fs::path p(argv[i]);
+        if (fs::is_directory(p)) {
+            for (const auto &e : fs::recursive_directory_iterator(p))
+                if (e.is_regular_file())
+                    files.push_back(e.path());
+        } else {
+            files.push_back(p);
+        }
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path &f : files) {
+        const std::vector<std::uint8_t> bytes = slurp(f);
+        LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    }
+    std::printf("replayed %zu inputs\n", files.size());
+    return 0;
+}

@@ -31,6 +31,9 @@ into the fresh numbers in memory and asserts the comparison fails.
 
 Missing fresh files are skipped with a note (quick CI runs do not
 produce every bench); a missing baseline for a produced bench fails.
+--require NAME[,NAME...] turns the skip into a failure for the listed
+benches: a CI job that is supposed to produce BENCH_server.json must
+not silently pass because the bench crashed before writing it.
 """
 
 import argparse
@@ -132,7 +135,14 @@ def run_gate(args, fresh_docs, base_docs):
     for name in BENCHES:
         base, fresh = base_docs.get(name), fresh_docs.get(name)
         if fresh is None:
-            print(f"note: no fresh BENCH_{name}.json — skipped")
+            if name in args.require:
+                failures.append(
+                    f"{name}: required fresh BENCH_{name}.json is "
+                    f"missing (did the bench crash before writing "
+                    f"it?)"
+                )
+            else:
+                print(f"note: no fresh BENCH_{name}.json — skipped")
             continue
         if base is None:
             failures.append(
@@ -179,7 +189,18 @@ def main():
     ap.add_argument("--self-test", action="store_true",
                     help="verify the gate passes on the real numbers "
                          "and fails on an injected 50%% regression")
+    ap.add_argument("--require", default="",
+                    help="comma-separated bench names whose fresh "
+                         "BENCH_*.json must exist (missing = FAIL "
+                         "instead of skip)")
     args = ap.parse_args()
+    args.require = {n for n in args.require.split(",") if n}
+    unknown = args.require - set(BENCHES)
+    if unknown:
+        print(f"error: --require names unknown benches: "
+              f"{', '.join(sorted(unknown))} (known: "
+              f"{', '.join(BENCHES)})")
+        return 2
 
     knob = os.environ.get("FACILE_BENCH_GATE", "").lower()
     if knob == "off":
@@ -200,7 +221,10 @@ def main():
                   "regress; fix that first")
             return 1
         # Inject a 50% regression into every fresh non-reference row
-        # of one bench and require the gate to catch it.
+        # of EVERY bench and require the gate to catch it somewhere.
+        # All benches (not just the first) so the self-test still
+        # bites when one bench's rows are incomparable — e.g. a
+        # quick-mode coldpath run against a full-suite baseline.
         degraded = copy.deepcopy(fresh_docs)
         injected = False
         for name, doc in degraded.items():
@@ -209,8 +233,6 @@ def main():
                 if row.get("label") != ref and "blocks_per_sec" in row:
                     row["blocks_per_sec"] *= 0.5
                     injected = True
-            if injected:
-                break
         if not injected:
             print("self-test: FAILED — nothing to inject into")
             return 1

@@ -1,5 +1,6 @@
 #include "analysis/snapshot.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <unordered_map>
@@ -577,31 +578,40 @@ saveSnapshot(const std::string &path, const SnapshotOptions &opts)
     return st;
 }
 
-SnapshotStats
-loadSnapshot(const std::string &path, const SnapshotOptions &opts)
-{
-    const std::vector<std::uint8_t> file = readFile(path);
-    if (file.size() < kHeaderSize)
-        throw SnapshotError("truncated header in " + path);
-    if (std::memcmp(file.data(), kMagic, sizeof kMagic) != 0)
-        throw SnapshotError("bad magic in " + path);
+namespace {
 
-    Reader hd{file.data(), file.size(), sizeof kMagic};
+/**
+ * The shared load path: validate the header, stage every section
+ * (phase 1), and — only when @p commit is set — publish the staged
+ * state to the process-wide arenas (phase 2). @p name labels error
+ * messages (a path for file loads, "<memory>" for wire images).
+ */
+SnapshotStats
+loadImage(const std::uint8_t *data, std::size_t size,
+          const SnapshotOptions &opts, bool commit,
+          const std::string &name)
+{
+    if (size < kHeaderSize)
+        throw SnapshotError("truncated header in " + name);
+    if (std::memcmp(data, kMagic, sizeof kMagic) != 0)
+        throw SnapshotError("bad magic in " + name);
+
+    Reader hd{data, size, sizeof kMagic};
     const std::uint32_t version = hd.u32();
     if (version != kSnapshotVersion)
         throw SnapshotError("unsupported version " +
-                            std::to_string(version) + " in " + path);
+                            std::to_string(version) + " in " + name);
     const std::uint32_t sections = hd.u32();
     const std::uint64_t payloadLen = hd.u64();
     const std::uint64_t checksum = hd.u64();
-    if (file.size() - kHeaderSize != payloadLen)
-        throw SnapshotError("payload length mismatch in " + path);
-    if (fnv1a64(file.data() + kHeaderSize, payloadLen) != checksum)
-        throw SnapshotError("checksum mismatch in " + path);
+    if (size - kHeaderSize != payloadLen)
+        throw SnapshotError("payload length mismatch in " + name);
+    if (fnv1a64(data + kHeaderSize, payloadLen) != checksum)
+        throw SnapshotError("checksum mismatch in " + name);
 
     SnapshotStats st;
-    st.bytes = file.size();
-    Reader rd{file.data() + kHeaderSize, static_cast<std::size_t>(payloadLen),
+    st.bytes = size;
+    Reader rd{data + kHeaderSize, static_cast<std::size_t>(payloadLen),
               0};
 
     // Phase 1 — parse and validate EVERYTHING into staging before a
@@ -628,14 +638,18 @@ loadSnapshot(const std::string &path, const SnapshotOptions &opts)
         switch (static_cast<SectionType>(type)) {
           case SectionType::Records: {
             if (archWord >= uarch::allUArchs().size())
-                throw SnapshotError("bad arch in " + path);
+                throw SnapshotError("bad arch in " + name);
             const std::uint32_t count = rd.u32();
             auto &arch = staged[archWord];
-            arch.records.reserve(count);
+            // Clamp the hint: `count` comes from the file, and each
+            // record costs at least 8 section bytes, so a forged count
+            // cannot reserve more memory than the section could hold.
+            arch.records.reserve(std::min<std::size_t>(
+                count, (sectionEnd - rd.pos) / 8 + 1));
             for (std::uint32_t i = 0; i < count; ++i) {
                 const std::uint8_t keyLen = rd.u8();
                 if (keyLen == 0 || keyLen > 15)
-                    throw SnapshotError("bad key length in " + path);
+                    throw SnapshotError("bad key length in " + name);
                 const std::uint8_t *key = rd.bytes(keyLen);
                 std::size_t pos = rd.pos;
                 InstRecord rec = InstRecordSnapshotCodec::decode(
@@ -650,7 +664,7 @@ loadSnapshot(const std::string &path, const SnapshotOptions &opts)
           }
           case SectionType::FusedPairs: {
             if (archWord >= uarch::allUArchs().size())
-                throw SnapshotError("bad arch in " + path);
+                throw SnapshotError("bad arch in " + name);
             const auto it = staged.find(archWord);
             const std::uint32_t count = rd.u32();
             for (std::uint32_t i = 0; i < count; ++i) {
@@ -660,7 +674,7 @@ loadSnapshot(const std::string &path, const SnapshotOptions &opts)
                     fi >= it->second.records.size() ||
                     si >= it->second.records.size())
                     throw SnapshotError("bad fused pair index in " +
-                                        path);
+                                        name);
                 it->second.pairs.emplace_back(fi, si);
             }
             st.fusedPairs += count;
@@ -685,13 +699,16 @@ loadSnapshot(const std::string &path, const SnapshotOptions &opts)
           }
           default:
             throw SnapshotError("unknown section type " +
-                                std::to_string(type) + " in " + path);
+                                std::to_string(type) + " in " + name);
         }
         if (rd.pos != sectionEnd)
-            throw SnapshotError("section length mismatch in " + path);
+            throw SnapshotError("section length mismatch in " + name);
     }
     if (rd.pos != payloadLen)
-        throw SnapshotError("trailing garbage in " + path);
+        throw SnapshotError("trailing garbage in " + name);
+
+    if (!commit)
+        return st; // validation-only: nothing published, newRecords 0
 
     // Phase 2 — commit. Nothing below can fail validation; imports go
     // through the same shard maps internAt fills (existing keys win).
@@ -714,6 +731,29 @@ loadSnapshot(const std::string &path, const SnapshotOptions &opts)
         opts.engine->importPredictionCacheEntry(std::move(key),
                                                 std::move(pred));
     return st;
+}
+
+} // namespace
+
+SnapshotStats
+loadSnapshot(const std::string &path, const SnapshotOptions &opts)
+{
+    const std::vector<std::uint8_t> file = readFile(path);
+    return loadImage(file.data(), file.size(), opts, /*commit=*/true,
+                     path);
+}
+
+SnapshotStats
+loadSnapshotFromMemory(const std::uint8_t *data, std::size_t size,
+                       const SnapshotOptions &opts)
+{
+    return loadImage(data, size, opts, /*commit=*/true, "<memory>");
+}
+
+SnapshotStats
+validateSnapshot(const std::uint8_t *data, std::size_t size)
+{
+    return loadImage(data, size, {}, /*commit=*/false, "<memory>");
 }
 
 } // namespace facile::analysis

@@ -106,6 +106,27 @@ SnapshotStats saveSnapshot(const std::string &path,
 SnapshotStats loadSnapshot(const std::string &path,
                            const SnapshotOptions &opts = {});
 
+/**
+ * As loadSnapshot, but from an in-memory image — the entry point for
+ * snapshots that arrive over a wire rather than from disk
+ * (loadSnapshot(path) is a thin read-file wrapper around this).
+ */
+SnapshotStats loadSnapshotFromMemory(const std::uint8_t *data,
+                                     std::size_t size,
+                                     const SnapshotOptions &opts = {});
+
+/**
+ * Run the full parse-and-validate staging phase on an in-memory image
+ * and commit NOTHING: no records are interned, no predictions
+ * imported, whatever the outcome. Returns what a load would have
+ * reported (with newRecords = 0); throws SnapshotError exactly when
+ * loadSnapshotFromMemory would. This is the path the fuzz_snapshot
+ * harness drives — it exercises every byte of validation with zero
+ * process-state growth across iterations.
+ */
+SnapshotStats validateSnapshot(const std::uint8_t *data,
+                               std::size_t size);
+
 // ---- building blocks (exposed for tests) ----------------------------------
 
 /** FNV-1a 64-bit over @p len bytes. */

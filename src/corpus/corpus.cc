@@ -87,16 +87,34 @@ Reader::Reader(const std::string &path) : path_(path)
     f_ = std::fopen(path.c_str(), "rb");
     if (!f_)
         throw CorpusError("cannot open " + path);
+    readHeader();
+}
+
+Reader::Reader(const std::uint8_t *data, std::size_t size)
+    : path_("<memory>")
+{
+    // fmemopen never writes through the buffer in "rb" mode; the cast
+    // only satisfies its non-const signature.
+    f_ = ::fmemopen(const_cast<std::uint8_t *>(data), size, "rb");
+    if (!f_)
+        throw CorpusError("cannot open in-memory corpus (" +
+                          std::to_string(size) + " bytes)");
+    readHeader();
+}
+
+void
+Reader::readHeader()
+{
     std::uint8_t header[kHeaderSize];
     if (std::fread(header, 1, sizeof header, f_) != sizeof header) {
         std::fclose(f_);
         f_ = nullptr;
-        throw CorpusError("truncated header in " + path);
+        throw CorpusError("truncated header in " + path_);
     }
     if (std::memcmp(header, kMagic, sizeof kMagic) != 0) {
         std::fclose(f_);
         f_ = nullptr;
-        throw CorpusError("bad magic in " + path);
+        throw CorpusError("bad magic in " + path_);
     }
     std::uint32_t version;
     std::memcpy(&version, header + 8, 4);
@@ -104,7 +122,7 @@ Reader::Reader(const std::string &path) : path_(path)
         std::fclose(f_);
         f_ = nullptr;
         throw CorpusError("unsupported version " +
-                          std::to_string(version) + " in " + path);
+                          std::to_string(version) + " in " + path_);
     }
     std::memcpy(&declared_, header + kCountOffset, 8);
 }

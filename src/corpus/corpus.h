@@ -97,6 +97,14 @@ class Reader
     /** Open @p path and validate the header. @throws CorpusError. */
     explicit Reader(const std::string &path);
 
+    /**
+     * Read from an in-memory image instead of a file (no copy; the
+     * bytes must outlive the reader). Same header validation and
+     * per-record error contract as the file constructor — this is
+     * what the fuzz_corpus harness drives.
+     */
+    Reader(const std::uint8_t *data, std::size_t size);
+
     ~Reader();
 
     Reader(const Reader &) = delete;
@@ -116,6 +124,9 @@ class Reader
     bool next(Entry &out);
 
   private:
+    /** Read + validate the 24-byte header from f_ (both ctors). */
+    void readHeader();
+
     std::FILE *f_ = nullptr;
     std::string path_;
     std::uint64_t declared_ = 0;

@@ -17,6 +17,24 @@
 
 namespace facile::server {
 
+namespace {
+
+/** Map a non-OK response status to a typed ProtocolError. */
+void
+throwOnRejected(const ResponseHeader &h)
+{
+    if (h.status == static_cast<std::uint8_t>(Status::Ok))
+        return;
+    if (h.status == static_cast<std::uint8_t>(Status::Overloaded))
+        throw ProtocolError("server overloaded (back off and retry)",
+                            Status::Overloaded);
+    throw ProtocolError("server rejected request (status " +
+                            std::to_string(h.status) + ")",
+                        static_cast<Status>(h.status));
+}
+
+} // namespace
+
 Client
 Client::connectTcp(const std::string &host, int port)
 {
@@ -139,7 +157,7 @@ Client::predict(const std::vector<std::uint8_t> &bytes, uarch::UArch arch,
                 model::Payload payload_)
 {
     if (bytes.size() > kMaxBlockBytes)
-        throw std::runtime_error("block larger than kMaxBlockBytes");
+        throw ProtocolError("block larger than kMaxBlockBytes");
     const std::uint64_t id = nextId_++;
     std::vector<std::uint8_t> frame;
     frame.reserve(kRequestHeaderSize + bytes.size());
@@ -149,14 +167,12 @@ Client::predict(const std::vector<std::uint8_t> &bytes, uarch::UArch arch,
     const std::uint8_t *payload = nullptr;
     ResponseHeader h = readResponse(payload);
     if (h.id != id)
-        throw std::runtime_error("response id mismatch (pipelining "
-                                 "through predict()?)");
-    if (h.status != static_cast<std::uint8_t>(Status::Ok))
-        throw std::runtime_error("server rejected request (status " +
-                                 std::to_string(h.status) + ")");
+        throw ProtocolError("response id mismatch (pipelining "
+                            "through predict()?)");
+    throwOnRejected(h);
     auto pred = decodePredictPayload(payload, h.len);
     if (!pred)
-        throw std::runtime_error("malformed PREDICT response payload");
+        throw ProtocolError("malformed PREDICT response payload");
     return *pred;
 }
 
@@ -190,8 +206,7 @@ Client::predictManyInto(const std::vector<engine::Request> &reqs,
         frames.clear();
         for (std::size_t i = base; i < end; ++i) {
             if (reqs[i].bytes.size() > kMaxBlockBytes)
-                throw std::runtime_error(
-                    "block larger than kMaxBlockBytes");
+                throw ProtocolError("block larger than kMaxBlockBytes");
             appendPredictRequest(frames, baseId + (i - base), reqs[i]);
         }
         writeAll(frames.data(), frames.size());
@@ -200,17 +215,14 @@ Client::predictManyInto(const std::vector<engine::Request> &reqs,
         for (std::size_t got = 0; got < window;) {
             ResponseHeader h = readResponse(payload);
             if (h.id < baseId || h.id - baseId >= window)
-                throw std::runtime_error("unexpected response id");
+                throw ProtocolError("unexpected response id");
             const std::size_t idx =
                 static_cast<std::size_t>(h.id - baseId);
             if (received[idx])
-                throw std::runtime_error("duplicate response id");
-            if (h.status != static_cast<std::uint8_t>(Status::Ok))
-                throw std::runtime_error(
-                    "server rejected request (status " +
-                    std::to_string(h.status) + ")");
+                throw ProtocolError("duplicate response id");
+            throwOnRejected(h);
             if (!decodePredictInto(payload, h.len, out[base + idx]))
-                throw std::runtime_error(
+                throw ProtocolError(
                     "malformed PREDICT response payload");
             received[idx] = true;
             ++got;
@@ -227,12 +239,12 @@ Client::stats()
     writeAll(frame.data(), frame.size());
     const std::uint8_t *payload = nullptr;
     ResponseHeader h = readResponse(payload);
-    if (h.id != id ||
-        h.status != static_cast<std::uint8_t>(Status::Ok))
-        throw std::runtime_error("STATS request failed");
+    if (h.id != id)
+        throw ProtocolError("STATS response id mismatch");
+    throwOnRejected(h);
     auto s = decodeStatsPayload(payload, h.len);
     if (!s)
-        throw std::runtime_error("malformed STATS response payload");
+        throw ProtocolError("malformed STATS response payload");
     return *s;
 }
 
@@ -246,7 +258,7 @@ Client::snapshot()
     const std::uint8_t *payload = nullptr;
     ResponseHeader h = readResponse(payload);
     if (h.id != id)
-        throw std::runtime_error("SNAPSHOT response id mismatch");
+        throw ProtocolError("SNAPSHOT response id mismatch");
     return h.status == static_cast<std::uint8_t>(Status::Ok);
 }
 
@@ -259,9 +271,9 @@ Client::ping()
     writeAll(frame.data(), frame.size());
     const std::uint8_t *payload = nullptr;
     ResponseHeader h = readResponse(payload);
-    if (h.id != id ||
-        h.status != static_cast<std::uint8_t>(Status::Ok))
-        throw std::runtime_error("PING failed");
+    if (h.id != id)
+        throw ProtocolError("PING response id mismatch");
+    throwOnRejected(h);
 }
 
 } // namespace facile::server

@@ -41,8 +41,14 @@ class Client
      * model::predict(bb::analyze(bytes, arch), loop, config, scratch,
      * payload). The default asks for the cheap bound-only prediction;
      * pass model::Payload::Full to have the server build the
-     * interpretability payload (wire flag bit 1). Throws
-     * std::runtime_error on connection loss or a BadRequest status.
+     * interpretability payload (wire flag bit 1).
+     *
+     * Error contract (predictMany/stats/ping/snapshot follow it too):
+     * protocol faults — a rejected status (BadRequest, Overloaded),
+     * a malformed or mismatched response — throw ProtocolError, with
+     * the wire status attached for rejections so callers can treat
+     * Overloaded as retryable backpressure; transport faults
+     * (connection loss, short writes) throw plain std::runtime_error.
      */
     model::Prediction
     predict(const std::vector<std::uint8_t> &bytes, uarch::UArch arch,

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Incremental request-frame parser, factored out of the server's
+ * per-connection reader so the one piece of code that consumes raw
+ * untrusted bytes is connection-free: unit-testable byte-at-a-time and
+ * split-across-reads, and drivable by the fuzz_protocol libFuzzer
+ * harness without sockets or threads.
+ *
+ * The parser owns the receive buffer. feed() appends whatever the
+ * transport delivered; next() yields complete frames in order. Framing
+ * follows protocol.h exactly: a frame is kRequestHeaderSize bytes of
+ * header plus header.len payload bytes, regardless of whether the op
+ * or arch is meaningful — semantic validation is the caller's job, the
+ * parser only guarantees it never desyncs and never reads out of
+ * bounds.
+ *
+ * Resource bound: the only way a peer can make the parser buffer
+ * grow without yielding frames is a partial frame, so feed() enforces
+ * a cap on buffered-unparsed bytes (Options::maxBuffered). The largest
+ * legal frame is kRequestHeaderSize + 65535 (len is a u16); anything
+ * still buffered beyond the cap after draining is a protocol abuse and
+ * feed() reports it so the connection can be closed.
+ */
+#ifndef FACILE_SERVER_FRAME_PARSER_H
+#define FACILE_SERVER_FRAME_PARSER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace facile::server {
+
+/**
+ * One complete request frame. The payload view points into the
+ * parser's buffer and stays valid until the next feed() call.
+ */
+struct FrameView
+{
+    RequestHeader header;
+    const std::uint8_t *payload = nullptr; ///< header.len bytes
+};
+
+class FrameParser
+{
+  public:
+    struct Options
+    {
+        /**
+         * Cap on buffered-unparsed bytes. Must exceed the largest
+         * legal frame (kRequestHeaderSize + 65535) or well-formed
+         * traffic could be rejected; the default leaves generous room
+         * for a full frame plus a transport read chunk.
+         */
+        std::size_t maxBuffered = kDefaultMaxBuffered;
+    };
+
+    static constexpr std::size_t kDefaultMaxBuffered = 1u << 20; // 1 MiB
+
+    FrameParser() = default;
+    explicit FrameParser(Options opts) : opts_(opts) {}
+
+    /**
+     * Buffer @p n transport bytes. Returns false — without buffering —
+     * when the unparsed backlog would exceed Options::maxBuffered;
+     * the caller should treat that as abuse and close the connection
+     * (the parser itself stays consistent and reusable).
+     */
+    bool
+    feed(const std::uint8_t *data, std::size_t n)
+    {
+        // Compact before growing so payload views handed out by
+        // next() stay valid between a drain and the following feed.
+        if (parsed_ == buf_.size()) {
+            buf_.clear();
+            parsed_ = 0;
+        } else if (parsed_ > kCompactThreshold) {
+            buf_.erase(buf_.begin(),
+                       buf_.begin() + static_cast<std::ptrdiff_t>(parsed_));
+            parsed_ = 0;
+        }
+        if (buf_.size() - parsed_ + n > opts_.maxBuffered)
+            return false;
+        buf_.insert(buf_.end(), data, data + n);
+        return true;
+    }
+
+    /**
+     * Parse the next complete frame into @p out. Returns false when
+     * more bytes are needed (partial header or partial payload).
+     */
+    bool
+    next(FrameView &out)
+    {
+        if (buf_.size() - parsed_ < kRequestHeaderSize)
+            return false;
+        RequestHeader h = parseRequestHeader(buf_.data() + parsed_);
+        const std::size_t frame = kRequestHeaderSize + h.len;
+        if (buf_.size() - parsed_ < frame)
+            return false;
+        out.header = h;
+        out.payload = buf_.data() + parsed_ + kRequestHeaderSize;
+        parsed_ += frame;
+        return true;
+    }
+
+    /** Unparsed bytes currently buffered. */
+    std::size_t
+    buffered() const
+    {
+        return buf_.size() - parsed_;
+    }
+
+    /**
+     * True when the buffer holds the beginning of an incomplete frame.
+     * Only meaningful after next() has returned false (i.e. after the
+     * caller drained every complete frame) — that is exactly when the
+     * reader decides whether a read deadline applies.
+     */
+    bool
+    midFrame() const
+    {
+        return buffered() > 0;
+    }
+
+  private:
+    /** Reclaim the consumed prefix once it outgrows one read chunk. */
+    static constexpr std::size_t kCompactThreshold = 64 * 1024;
+
+    Options opts_;
+    std::vector<std::uint8_t> buf_;
+    std::size_t parsed_ = 0; ///< consumed prefix of buf_
+};
+
+} // namespace facile::server
+
+#endif // FACILE_SERVER_FRAME_PARSER_H

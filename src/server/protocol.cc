@@ -123,11 +123,11 @@ void
 appendStatsResponse(std::vector<std::uint8_t> &buf, std::uint64_t id,
                     const ServerStats &stats)
 {
-    std::uint8_t *p = growBuf(buf, kResponseHeaderSize + 10 * 8);
+    std::uint8_t *p = growBuf(buf, kResponseHeaderSize + kStatsFields * 8);
     putU64(p, id);
     *p++ = static_cast<std::uint8_t>(Status::Ok);
     *p++ = static_cast<std::uint8_t>(Op::Stats);
-    putU16(p, 10 * 8);
+    putU16(p, kStatsFields * 8);
     putU64(p, stats.requests);
     putU64(p, stats.predictions);
     putU64(p, stats.batches);
@@ -135,6 +135,11 @@ appendStatsResponse(std::vector<std::uint8_t> &buf, std::uint64_t id,
     putU64(p, stats.analysisCacheHits);
     putU64(p, stats.predictionCacheHits);
     putU64(p, stats.analyzed);
+    putU64(p, stats.overloadedQueue);
+    putU64(p, stats.overloadedConn);
+    putU64(p, stats.readTimeouts);
+    putU64(p, stats.quotaClosed);
+    putU64(p, stats.connectionsShed);
     putU64(p, stats.connectionsAccepted);
     putU64(p, stats.connectionsOpen);
     putU64(p, stats.uptimeMs);
@@ -191,7 +196,7 @@ decodePredictPayload(const std::uint8_t *p, std::size_t len)
 std::optional<ServerStats>
 decodeStatsPayload(const std::uint8_t *p, std::size_t len)
 {
-    if (len != 10 * 8)
+    if (len != kStatsFields * 8)
         return std::nullopt;
     ServerStats s;
     s.requests = getU64(p);
@@ -201,9 +206,14 @@ decodeStatsPayload(const std::uint8_t *p, std::size_t len)
     s.analysisCacheHits = getU64(p + 32);
     s.predictionCacheHits = getU64(p + 40);
     s.analyzed = getU64(p + 48);
-    s.connectionsAccepted = getU64(p + 56);
-    s.connectionsOpen = getU64(p + 64);
-    s.uptimeMs = getU64(p + 72);
+    s.overloadedQueue = getU64(p + 56);
+    s.overloadedConn = getU64(p + 64);
+    s.readTimeouts = getU64(p + 72);
+    s.quotaClosed = getU64(p + 80);
+    s.connectionsShed = getU64(p + 88);
+    s.connectionsAccepted = getU64(p + 96);
+    s.connectionsOpen = getU64(p + 104);
+    s.uptimeMs = getU64(p + 112);
     return s;
 }
 

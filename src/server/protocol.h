@@ -35,7 +35,10 @@
  *
  *   offset 0   u64  id       echo of the request id
  *   offset 8   u8   status   0=OK  1=BAD_REQUEST (unknown op, bad
- *                            arch, oversized block)
+ *                            arch, oversized block)  2=OVERLOADED
+ *                            (load shed: admission queue full or the
+ *                            connection's in-flight quota exceeded;
+ *                            the request was valid — back off, retry)
  *   offset 9   u8   op       echo of the request op
  *   offset 10  u16  len      payload length
  *
@@ -49,8 +52,8 @@
  *   i32  criticalChain[nCriticalChain]
  *   i32  contendingInsts[nContendingInsts]
  *
- * STATS response payload: ServerStats as 10 u64 fields in declaration
- * order. PING response payload: empty.
+ * STATS response payload: ServerStats as kStatsFields (15) u64 fields
+ * in declaration order. PING response payload: empty.
  *
  * A malformed-but-well-framed block (decode error) is NOT a protocol
  * error: it follows the engine's crash protocol and yields status OK
@@ -84,6 +87,37 @@ enum class Op : std::uint8_t {
 enum class Status : std::uint8_t {
     Ok = 0,
     BadRequest = 1,
+    /**
+     * Explicit backpressure: the server is shedding this request
+     * because a resource limit was hit (admission queue full, or the
+     * connection's in-flight quota exceeded). The connection stays
+     * usable — the client should back off and retry; nothing about
+     * the request itself was wrong.
+     */
+    Overloaded = 2,
+};
+
+/**
+ * Typed protocol fault (mirrors analysis::SnapshotError): the peer
+ * spoke the wire format wrong or rejected a request — as opposed to a
+ * transport fault (connection reset, short write), which surfaces as a
+ * plain std::runtime_error. status() carries the wire status for
+ * rejections (Status::Overloaded means "back off and retry"); locally
+ * detected faults (malformed payload, id mismatch) report Status::Ok
+ * there since no wire status was involved.
+ */
+class ProtocolError : public std::runtime_error
+{
+  public:
+    explicit ProtocolError(const std::string &what,
+                           Status status = Status::Ok)
+        : std::runtime_error("protocol: " + what), status_(status)
+    {}
+
+    Status status() const { return status_; }
+
+  private:
+    Status status_;
 };
 
 /** Request flag bits (the u8 at offset 10). */
@@ -126,10 +160,22 @@ struct ServerStats
     std::uint64_t analysisCacheHits = 0;
     std::uint64_t predictionCacheHits = 0;
     std::uint64_t analyzed = 0;
+
+    // Resource-limit counters (ServerOptions quotas; zero in healthy
+    // steady state — any growth here means load shedding happened).
+    std::uint64_t overloadedQueue = 0; ///< OVERLOADED: admission queue full
+    std::uint64_t overloadedConn = 0;  ///< OVERLOADED: in-flight quota hit
+    std::uint64_t readTimeouts = 0;    ///< conns closed by read deadline
+    std::uint64_t quotaClosed = 0;     ///< conns closed: buffered-byte quota
+    std::uint64_t connectionsShed = 0; ///< conns refused at accept (cap)
+
     std::uint64_t connectionsAccepted = 0;
     std::uint64_t connectionsOpen = 0;
     std::uint64_t uptimeMs = 0;
 };
+
+/** Number of u64 fields in the STATS response payload. */
+inline constexpr std::size_t kStatsFields = 15;
 
 // ---- little-endian append/read helpers ------------------------------------
 // Encoders write through a raw cursor into pre-grown buffer space: the

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "analysis/snapshot.h"
+#include "server/frame_parser.h"
 #include "server/net_util.h"
 #include "uarch/config.h"
 
@@ -43,6 +45,15 @@ struct PredictionServer::Impl
         std::atomic<bool> readerExited{false};
         std::mutex writeMu;
         std::thread reader;
+
+        /**
+         * PREDICT requests admitted but not yet answered, gating the
+         * per-connection in-flight quota. Incremented by the reader
+         * at admission, decremented by engine workers as responses
+         * are serialized — both sides relaxed; the quota is a bound,
+         * not a synchronization point.
+         */
+        std::atomic<std::size_t> inflight{0};
 
         /** Frame-atomic buffered write; false once the peer is gone. */
         bool
@@ -180,19 +191,36 @@ struct PredictionServer::Impl
             }
             auto conn = std::make_shared<Conn>();
             conn->fd.store(fd);
+            bool shed = false;
             {
-                std::lock_guard<std::mutex> lock(statsMu);
+                // Cap check, reader start, and publication share one
+                // connMu hold: the reader must start BEFORE the conn
+                // is visible to the other transport's accept thread
+                // (a concurrent reap's joinable() check would race a
+                // move-assignment of conn->reader), and the cap must
+                // be judged against the post-reap connection count.
+                std::lock_guard<std::mutex> lock(connMu);
+                reapClosedLocked();
+                if (opts.maxConnections > 0 &&
+                    conns.size() >= opts.maxConnections) {
+                    shed = true;
+                } else {
+                    conn->reader =
+                        std::thread([this, conn] { readerLoop(conn); });
+                    conns.push_back(conn);
+                }
+            }
+            std::lock_guard<std::mutex> lock(statsMu);
+            if (shed) {
+                // Accept-time shedding: no protocol exchange happened
+                // yet, so there is no id to answer OVERLOADED on —
+                // the close IS the backpressure signal.
+                ::close(fd);
+                conn->fd.store(-1);
+                ++counters.connectionsShed;
+            } else {
                 ++counters.connectionsAccepted;
             }
-            // Start the reader BEFORE publishing the conn: once it is
-            // in conns, the other transport's accept thread may reap
-            // it, and a concurrent move-assignment of conn->reader
-            // would race that reap's joinable() check.
-            conn->reader =
-                std::thread([this, conn] { readerLoop(conn); });
-            std::lock_guard<std::mutex> lock(connMu);
-            reapClosedLocked();
-            conns.push_back(conn);
         }
     }
 
@@ -223,66 +251,143 @@ struct PredictionServer::Impl
     void
     readerLoop(const std::shared_ptr<Conn> &conn)
     {
-        std::vector<std::uint8_t> inbuf;
-        std::size_t parsed = 0; // consumed prefix of inbuf
+        FrameParser parser({opts.maxBufferedPerConn});
         std::vector<std::uint8_t> chunk(64 * 1024);
         std::vector<Pending> admitted;
         std::vector<std::uint8_t> reply;
+
+        // Read-deadline state (slowloris defense). The clock resets
+        // only when a frame completes or the buffer drains clean; a
+        // peer dripping header bytes — or one that never sends a
+        // complete first frame after connecting — gets closed after
+        // readTimeoutMs no matter how often its bytes arrive.
+        // SO_RCVTIMEO bounds each recv() so a silent peer is noticed
+        // without a watchdog thread.
+        const bool deadline = opts.readTimeoutMs > 0;
+        if (deadline) {
+            timeval tv{};
+            tv.tv_sec = opts.readTimeoutMs / 1000;
+            tv.tv_usec =
+                static_cast<suseconds_t>(opts.readTimeoutMs % 1000) *
+                1000;
+            ::setsockopt(conn->fd.load(), SOL_SOCKET, SO_RCVTIMEO, &tv,
+                         sizeof tv);
+        }
+        bool seenFrame = false;
+        auto lastProgress = std::chrono::steady_clock::now();
 
         for (;;) {
             ssize_t n = ::recv(conn->fd.load(), chunk.data(),
                                chunk.size(), 0);
             if (n < 0 && errno == EINTR)
                 continue;
-            if (n <= 0)
+            const bool timedOut =
+                n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
+            if (n <= 0 && !timedOut)
                 break; // EOF, error, or shutdown() from stop()
-            inbuf.insert(inbuf.end(), chunk.begin(),
-                         chunk.begin() + n);
+            if (n > 0 && !parser.feed(chunk.data(),
+                                      static_cast<std::size_t>(n))) {
+                // Buffered-unparsed byte quota exceeded. Well-formed
+                // traffic cannot get here (frames drain as they
+                // complete), so treat it as abuse and drop the
+                // connection.
+                bump(&ServerStats::quotaClosed);
+                break;
+            }
 
             admitted.clear();
             reply.clear();
-            while (inbuf.size() - parsed >= kRequestHeaderSize) {
-                RequestHeader h =
-                    parseRequestHeader(inbuf.data() + parsed);
-                const std::size_t frame = kRequestHeaderSize + h.len;
-                if (inbuf.size() - parsed < frame)
-                    break; // wait for the rest of the payload
-                handleFrame(conn, h,
-                            inbuf.data() + parsed + kRequestHeaderSize,
-                            admitted, reply);
-                parsed += frame;
+            std::size_t frames = 0;
+            FrameView f;
+            while (parser.next(f)) {
+                handleFrame(conn, f.header, f.payload, admitted, reply);
+                ++frames;
             }
-            if (parsed == inbuf.size()) {
-                inbuf.clear();
-                parsed = 0;
-            } else if (parsed > (64 * 1024)) {
-                inbuf.erase(inbuf.begin(),
-                            inbuf.begin() +
-                                static_cast<std::ptrdiff_t>(parsed));
-                parsed = 0;
+
+            if (deadline) {
+                const auto now = std::chrono::steady_clock::now();
+                if (frames > 0)
+                    seenFrame = true;
+                if (seenFrame && (frames > 0 || !parser.midFrame())) {
+                    lastProgress = now;
+                } else if (now - lastProgress >=
+                           std::chrono::milliseconds(
+                               opts.readTimeoutMs)) {
+                    // Mid-frame stall, or a handshake that never
+                    // produced a first frame. Nothing is parsed but
+                    // unanswerable, so dropping the fd loses no
+                    // admitted work (frames==0 on this path).
+                    bump(&ServerStats::readTimeouts);
+                    break;
+                }
             }
 
             // Control responses first (cheap, keeps health checks
             // responsive), then hand the whole admitted chunk to the
-            // collector under one lock.
+            // collector under one lock — bounded by maxPending, with
+            // the overflow answered OVERLOADED right here instead of
+            // buffering without limit.
             if (!reply.empty())
                 conn->write(reply);
             if (!admitted.empty()) {
+                std::size_t accepted = admitted.size();
                 {
                     std::lock_guard<std::mutex> lock(queueMu);
-                    pending.insert(pending.end(),
-                                   std::make_move_iterator(
-                                       admitted.begin()),
-                                   std::make_move_iterator(
-                                       admitted.end()));
+                    if (opts.maxPending > 0) {
+                        const std::size_t space =
+                            opts.maxPending > pending.size()
+                                ? opts.maxPending - pending.size()
+                                : 0;
+                        accepted = std::min(accepted, space);
+                    }
+                    pending.insert(
+                        pending.end(),
+                        std::make_move_iterator(admitted.begin()),
+                        std::make_move_iterator(admitted.begin() +
+                                                static_cast<
+                                                    std::ptrdiff_t>(
+                                                    accepted)));
                 }
-                queueCv.notify_one();
+                if (accepted > 0)
+                    queueCv.notify_one();
+                if (accepted < admitted.size()) {
+                    reply.clear();
+                    for (std::size_t i = accepted; i < admitted.size();
+                         ++i) {
+                        appendStatusResponse(reply, admitted[i].id,
+                                             Op::Predict,
+                                             Status::Overloaded);
+                        conn->inflight.fetch_sub(
+                            1, std::memory_order_relaxed);
+                    }
+                    {
+                        std::lock_guard<std::mutex> lock(statsMu);
+                        counters.overloadedQueue +=
+                            admitted.size() - accepted;
+                    }
+                    conn->write(reply);
+                }
             }
             if (!conn->open.load())
                 break;
         }
         conn->open.store(false);
+        // The reaper (next accept) or stop() owns the close(); shutdown
+        // here so a shed peer sees EOF immediately — otherwise a
+        // deadline- or quota-dropped connection would linger half-open
+        // until another client happens to connect.
+        const int f = conn->fd.load();
+        if (f >= 0)
+            ::shutdown(f, SHUT_RDWR);
         conn->readerExited.store(true);
+    }
+
+    /** Increment one ServerStats counter under statsMu (cold paths). */
+    void
+    bump(std::uint64_t ServerStats::*field)
+    {
+        std::lock_guard<std::mutex> lock(statsMu);
+        ++(counters.*field);
     }
 
     void
@@ -314,6 +419,19 @@ struct PredictionServer::Impl
                                      Status::BadRequest);
                 return;
             }
+            if (opts.maxInFlightPerConn > 0 &&
+                conn->inflight.load(std::memory_order_relaxed) >=
+                    opts.maxInFlightPerConn) {
+                // Per-connection backpressure: this peer already has
+                // a full quota of unanswered predictions; shedding
+                // here keeps one greedy pipeline from monopolizing
+                // the admission queue.
+                bump(&ServerStats::overloadedConn);
+                appendStatusResponse(reply, h.id, Op::Predict,
+                                     Status::Overloaded);
+                return;
+            }
+            conn->inflight.fetch_add(1, std::memory_order_relaxed);
             Pending p;
             p.conn = conn;
             p.id = h.id;
@@ -435,6 +553,8 @@ struct PredictionServer::Impl
             [&](int worker, std::size_t k,
                 const model::Prediction &pred) {
                 Pending &p = batch[order[k]];
+                p.conn->inflight.fetch_sub(1,
+                                           std::memory_order_relaxed);
                 auto &bufs = workerBufs[static_cast<std::size_t>(worker)];
                 ConnBuf *cb = nullptr;
                 for (auto &b : bufs)

@@ -68,6 +68,52 @@ struct ServerOptions
     /** Admission batch size that closes the window early. */
     std::size_t maxBatch = 1024;
 
+    // ---- resource limits (abuse handling; see README "Resource
+    // limits & abuse handling"). Every limit is surfaced as a
+    // ServerStats counter so shedding is observable over the wire. ----
+
+    /**
+     * Read deadline in milliseconds, enforced from accept onwards: a
+     * connection that is mid-frame (partial header or payload
+     * buffered) or has never completed a frame (handshake) and makes
+     * no frame progress for this long is closed — the slowloris
+     * defense. A connection idling *between* complete frames is never
+     * closed (keep-alive is free). 0 disables the deadline.
+     */
+    int readTimeoutMs = 30000;
+
+    /**
+     * Accept-time connection cap: when this many connections are
+     * alive, further accepts are closed immediately (counter:
+     * connectionsShed). 0 disables the cap.
+     */
+    std::size_t maxConnections = 1024;
+
+    /**
+     * Bounded admission queue: PREDICT requests arriving while this
+     * many are already pending are answered Status::Overloaded
+     * instead of buffered (counter: overloadedQueue). The bound is
+     * what turns a request flood into explicit backpressure rather
+     * than unbounded memory growth. 0 disables the bound.
+     */
+    std::size_t maxPending = 65536;
+
+    /**
+     * Per-connection in-flight quota: PREDICT requests admitted but
+     * not yet answered. Requests beyond it are answered
+     * Status::Overloaded (counter: overloadedConn). The default
+     * leaves room for two full client pipeline windows. 0 disables.
+     */
+    std::size_t maxInFlightPerConn = 2 * 4096;
+
+    /**
+     * Per-connection cap on buffered-unparsed request bytes
+     * (FrameParser::Options::maxBuffered). Exceeding it closes the
+     * connection (counter: quotaClosed); it cannot be hit by
+     * well-formed traffic since frames are drained as they complete.
+     */
+    std::size_t maxBufferedPerConn = 1u << 20;
+
     /** Engine to serve from; nullptr uses PredictionEngine::shared(). */
     engine::PredictionEngine *engine = nullptr;
 

@@ -234,6 +234,62 @@ TEST(Corpus, RejectsMalformedFiles)
     std::remove(path.c_str());
 }
 
+TEST(Corpus, InMemoryReaderMatchesFileReader)
+{
+    Rng rng(0xfeedbeefu);
+    const std::string path = tmpPath("memreader");
+    std::vector<corpus::Entry> written;
+    {
+        corpus::Writer w(path);
+        for (int i = 0; i < 100; ++i) {
+            written.push_back(randomEntry(rng));
+            w.append(written.back());
+        }
+        w.close();
+    }
+    const std::vector<std::uint8_t> img = slurp(path);
+    std::remove(path.c_str());
+
+    corpus::Reader r(img.data(), img.size());
+    EXPECT_EQ(r.declaredCount(), written.size());
+    corpus::Entry e;
+    std::size_t i = 0;
+    while (r.next(e)) {
+        ASSERT_LT(i, written.size());
+        EXPECT_TRUE(sameEntry(e, written[i]));
+        ++i;
+    }
+    EXPECT_EQ(i, written.size());
+}
+
+TEST(Corpus, InMemoryReaderRejectsMalformedImages)
+{
+    // Garbage: bad magic.
+    const std::vector<std::uint8_t> garbage(64, 0xAA);
+    EXPECT_THROW(corpus::Reader(garbage.data(), garbage.size()),
+                 corpus::CorpusError);
+
+    // Empty image: truncated header.
+    EXPECT_THROW(corpus::Reader(garbage.data(), 0),
+                 corpus::CorpusError);
+
+    // Valid header, truncated record.
+    const std::string path = tmpPath("memtrunc");
+    {
+        corpus::Writer w(path);
+        corpus::Entry e;
+        e.bytes = {0x90, 0x90, 0x90};
+        w.append(e);
+        w.close();
+    }
+    std::vector<std::uint8_t> img = slurp(path);
+    std::remove(path.c_str());
+    img.resize(img.size() - 2);
+    corpus::Reader r(img.data(), img.size());
+    corpus::Entry e;
+    EXPECT_THROW(r.next(e), corpus::CorpusError);
+}
+
 TEST(Corpus, WriterRejectsOversizedBlocks)
 {
     const std::string path = tmpPath("oversize");

@@ -8,14 +8,19 @@
  */
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <thread>
-#include <unistd.h>
 
 #include "bhive/generator.h"
 #include "facile/component.h"
 #include "server/client.h"
+#include "server/net_util.h"
 #include "server/server.h"
 
 namespace facile::server {
@@ -272,6 +277,272 @@ TEST(Server, AblationConfigTravelsTheWire)
             client.predict(r.bytes, r.arch, r.loop, cfg),
             serialPredict(r)))
             << "config without component " << c;
+    }
+    server.stop();
+}
+
+// ---- resource limits & backpressure (ServerOptions quotas) ----------------
+
+/** Blocking raw-socket connect to a unix path (no Client framing). */
+int
+rawConnectUnix(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr),
+        0);
+    return fd;
+}
+
+/** Read one complete response frame off a raw socket (blocking). */
+bool
+rawReadResponse(int fd, ResponseHeader &h,
+                std::vector<std::uint8_t> &payload)
+{
+    std::uint8_t header[kResponseHeaderSize];
+    std::size_t got = 0;
+    while (got < sizeof header) {
+        ssize_t n = ::recv(fd, header + got, sizeof header - got, 0);
+        if (n <= 0)
+            return false;
+        got += static_cast<std::size_t>(n);
+    }
+    h = parseResponseHeader(header);
+    payload.resize(h.len);
+    got = 0;
+    while (got < h.len) {
+        ssize_t n = ::recv(fd, payload.data() + got, h.len - got, 0);
+        if (n <= 0)
+            return false;
+        got += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+TEST(ServerLimits, SlowlorisConnectionIsClosedWhileHealthyOnesServe)
+{
+    ServerOptions opts;
+    opts.unixPath = freshUnixPath();
+    opts.readTimeoutMs = 150;
+    engine::PredictionEngine eng({.numThreads = 1});
+    opts.engine = &eng;
+    PredictionServer server(opts);
+    server.start();
+
+    // The attacker: sends half a request header and then nothing —
+    // the classic slowloris hold.
+    int slow = rawConnectUnix(opts.unixPath);
+    const std::uint8_t half[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    ASSERT_TRUE(sendAll(slow, half, sizeof half));
+
+    // A healthy client keeps serving bit-identical predictions while
+    // the slow connection ages out.
+    auto client = Client::connectUnix(opts.unixPath);
+    const auto &b = suite().front();
+    engine::Request good{b.bytesU, uarch::UArch::SKL, false, {}};
+    EXPECT_TRUE(bitIdentical(
+        client.predict(good.bytes, good.arch, good.loop),
+        serialPredict(good)));
+
+    // The read deadline closes the mid-frame connection: recv sees
+    // EOF well within a few deadline periods.
+    std::uint8_t byte;
+    ssize_t n = ::recv(slow, &byte, 1, 0); // blocks until server closes
+    EXPECT_EQ(n, 0) << "slowloris connection was not closed";
+    ::close(slow);
+
+    // Still healthy afterwards, and the shed is observable.
+    EXPECT_TRUE(bitIdentical(
+        client.predict(good.bytes, good.arch, good.loop),
+        serialPredict(good)));
+    EXPECT_GE(client.stats().readTimeouts, 1u);
+
+    // A connection idling *between* complete frames is never closed:
+    // this client has been idle > readTimeoutMs by now and still works.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    client.ping();
+    server.stop();
+}
+
+TEST(ServerLimits, HandshakeSilenceIsAlsoDeadlined)
+{
+    ServerOptions opts;
+    opts.unixPath = freshUnixPath();
+    opts.readTimeoutMs = 150;
+    engine::PredictionEngine eng({.numThreads = 1});
+    opts.engine = &eng;
+    PredictionServer server(opts);
+    server.start();
+
+    // Connect and send nothing at all: the deadline applies from
+    // accept, not from the first byte.
+    int silent = rawConnectUnix(opts.unixPath);
+    std::uint8_t byte;
+    EXPECT_EQ(::recv(silent, &byte, 1, 0), 0)
+        << "silent connection was not closed";
+    ::close(silent);
+
+    auto client = Client::connectUnix(opts.unixPath);
+    EXPECT_GE(client.stats().readTimeouts, 1u);
+    server.stop();
+}
+
+TEST(ServerLimits, InFlightQuotaAnswersOverloadedAndRecovers)
+{
+    ServerOptions opts;
+    opts.unixPath = freshUnixPath();
+    opts.maxInFlightPerConn = 2;
+    opts.batchWindowUs = 200000; // park admitted requests for 200ms
+    engine::PredictionEngine eng({.numThreads = 1});
+    opts.engine = &eng;
+    PredictionServer server(opts);
+    server.start();
+
+    const auto &b = suite().front();
+    engine::Request req{b.bytesU, uarch::UArch::SKL, false, {}};
+
+    // Six pipelined requests against a quota of two: the four beyond
+    // the quota are answered Overloaded while the admitted two park in
+    // the admission window; all six get a response on one connection.
+    int fd = rawConnectUnix(opts.unixPath);
+    std::vector<std::uint8_t> frames;
+    for (std::uint64_t id = 1; id <= 6; ++id)
+        appendPredictRequest(frames, id, req);
+    ASSERT_TRUE(sendAll(fd, frames.data(), frames.size()));
+
+    int ok = 0, overloaded = 0;
+    const Prediction expect = serialPredict(req);
+    for (int i = 0; i < 6; ++i) {
+        ResponseHeader h;
+        std::vector<std::uint8_t> payload;
+        ASSERT_TRUE(rawReadResponse(fd, h, payload));
+        if (h.status == static_cast<std::uint8_t>(Status::Ok)) {
+            auto p = decodePredictPayload(payload.data(), h.len);
+            ASSERT_TRUE(p.has_value());
+            EXPECT_TRUE(bitIdentical(*p, expect));
+            ++ok;
+        } else {
+            EXPECT_EQ(h.status,
+                      static_cast<std::uint8_t>(Status::Overloaded));
+            EXPECT_EQ(h.len, 0u);
+            ++overloaded;
+        }
+    }
+    EXPECT_EQ(ok, 2);
+    EXPECT_EQ(overloaded, 4);
+    ::close(fd);
+
+    // The quota frees as requests complete: a fresh window succeeds.
+    auto client = Client::connectUnix(opts.unixPath);
+    EXPECT_TRUE(bitIdentical(
+        client.predict(req.bytes, req.arch, req.loop), expect));
+    EXPECT_EQ(client.stats().overloadedConn, 4u);
+    server.stop();
+}
+
+TEST(ServerLimits, BoundedQueueShedsExcessAndServesTheRest)
+{
+    ServerOptions opts;
+    opts.unixPath = freshUnixPath();
+    opts.maxPending = 3;
+    opts.batchWindowUs = 200000; // hold the queue full for 200ms
+    engine::PredictionEngine eng({.numThreads = 1});
+    opts.engine = &eng;
+    PredictionServer server(opts);
+    server.start();
+
+    const auto &b = suite().front();
+    engine::Request req{b.bytesL, uarch::UArch::ICL, true, {}};
+
+    int fd = rawConnectUnix(opts.unixPath);
+    std::vector<std::uint8_t> frames;
+    for (std::uint64_t id = 1; id <= 8; ++id)
+        appendPredictRequest(frames, id, req);
+    ASSERT_TRUE(sendAll(fd, frames.data(), frames.size()));
+
+    int ok = 0, overloaded = 0;
+    const Prediction expect = serialPredict(req);
+    for (int i = 0; i < 8; ++i) {
+        ResponseHeader h;
+        std::vector<std::uint8_t> payload;
+        ASSERT_TRUE(rawReadResponse(fd, h, payload));
+        if (h.status == static_cast<std::uint8_t>(Status::Ok)) {
+            auto p = decodePredictPayload(payload.data(), h.len);
+            ASSERT_TRUE(p.has_value());
+            EXPECT_TRUE(bitIdentical(*p, expect));
+            ++ok;
+        } else {
+            EXPECT_EQ(h.status,
+                      static_cast<std::uint8_t>(Status::Overloaded));
+            ++overloaded;
+        }
+    }
+    // Exactly maxPending requests got through; the flood was shed
+    // with explicit backpressure, not buffered without bound.
+    EXPECT_EQ(ok, 3);
+    EXPECT_EQ(overloaded, 5);
+    ::close(fd);
+
+    auto client = Client::connectUnix(opts.unixPath);
+    EXPECT_GE(client.stats().overloadedQueue, 5u);
+    server.stop();
+}
+
+TEST(ServerLimits, ConnectionCapShedsAtAccept)
+{
+    ServerOptions opts;
+    opts.unixPath = freshUnixPath();
+    opts.maxConnections = 1;
+    engine::PredictionEngine eng({.numThreads = 1});
+    opts.engine = &eng;
+    PredictionServer server(opts);
+    server.start();
+
+    auto first = Client::connectUnix(opts.unixPath);
+    first.ping(); // occupies the single slot
+
+    // The second connection is accepted and immediately closed — the
+    // peer observes EOF, never a response.
+    int second = rawConnectUnix(opts.unixPath);
+    std::uint8_t byte;
+    EXPECT_EQ(::recv(second, &byte, 1, 0), 0)
+        << "over-cap connection was not shed";
+    ::close(second);
+
+    // The surviving connection is unaffected.
+    const auto &b = suite().front();
+    engine::Request req{b.bytesU, uarch::UArch::SKL, false, {}};
+    EXPECT_TRUE(bitIdentical(
+        first.predict(req.bytes, req.arch, req.loop),
+        serialPredict(req)));
+    EXPECT_GE(first.stats().connectionsShed, 1u);
+    server.stop();
+}
+
+TEST(ServerLimits, ClientThrowsTypedOverloadedError)
+{
+    ServerOptions opts;
+    opts.unixPath = freshUnixPath();
+    opts.maxInFlightPerConn = 1;
+    opts.batchWindowUs = 200000;
+    engine::PredictionEngine eng({.numThreads = 1});
+    opts.engine = &eng;
+    PredictionServer server(opts);
+    server.start();
+
+    const auto &b = suite().front();
+    std::vector<engine::Request> reqs(
+        4, engine::Request{b.bytesU, uarch::UArch::SKL, false, {}});
+    auto client = Client::connectUnix(opts.unixPath);
+    try {
+        client.predictMany(reqs); // 4 pipelined vs quota of 1
+        FAIL() << "expected ProtocolError";
+    } catch (const ProtocolError &e) {
+        EXPECT_EQ(e.status(), Status::Overloaded);
     }
     server.stop();
 }

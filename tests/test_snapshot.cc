@@ -331,6 +331,128 @@ TEST(Snapshot, RejectsCorruptionTruncationAndVersionMismatch)
     std::remove(path.c_str());
 }
 
+/** Read the whole file (for the in-memory entry-point tests). */
+std::vector<std::uint8_t>
+slurpFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    std::vector<std::uint8_t> buf(
+        static_cast<std::size_t>(std::ftell(f)));
+    std::fseek(f, 0, SEEK_SET);
+    EXPECT_EQ(std::fread(buf.data(), 1, buf.size(), f), buf.size());
+    std::fclose(f);
+    return buf;
+}
+
+/** Count canonical records currently interned for @p arch. */
+std::size_t
+recordCount(uarch::UArch arch)
+{
+    std::size_t n = 0;
+    analysis::InstInterner::forArch(arch).exportRecords(
+        [&](const std::uint8_t *, std::size_t,
+            const analysis::InstRecord &) { ++n; });
+    return n;
+}
+
+TEST(Snapshot, MemoryLoadMatchesFileLoad)
+{
+    populateInterners();
+    const std::string path = tmpPath("memload");
+    const analysis::SnapshotStats saved = analysis::saveSnapshot(path);
+
+    const std::vector<std::uint8_t> img = slurpFile(path);
+    std::remove(path.c_str());
+    const analysis::SnapshotStats st =
+        analysis::loadSnapshotFromMemory(img.data(), img.size());
+    EXPECT_EQ(st.records, saved.records);
+    EXPECT_EQ(st.fusedPairs, saved.fusedPairs);
+    EXPECT_EQ(st.bytes, img.size());
+    // Same process: every key already interned, nothing appended.
+    EXPECT_EQ(st.newRecords, 0u);
+}
+
+TEST(Snapshot, ValidateStagesEverythingAndCommitsNothing)
+{
+    populateInterners();
+    const std::string path = tmpPath("validate");
+    analysis::saveSnapshot(path);
+    std::vector<std::uint8_t> img = slurpFile(path);
+    std::remove(path.c_str());
+
+    // Forge a never-seen intern key: flip the first key byte of the
+    // first record (the key is opaque to validation) and re-stamp the
+    // checksum, so a committing load WOULD append a record.
+    ASSERT_GT(img.size(), 54u);
+    std::uint32_t sectionType;
+    std::memcpy(&sectionType, img.data() + 32, 4);
+    ASSERT_EQ(sectionType, 1u); // records section first
+    img[53] ^= 0xFF;            // first key byte (keyLen at 52)
+    const std::uint64_t sum =
+        analysis::fnv1a64(img.data() + 32, img.size() - 32);
+    std::memcpy(img.data() + 24, &sum, 8);
+
+    std::uint32_t archWord;
+    std::memcpy(&archWord, img.data() + 36, 4);
+    const auto arch = static_cast<uarch::UArch>(archWord);
+
+    // validateSnapshot: full staging pass, zero commitment.
+    const std::size_t before = recordCount(arch);
+    const analysis::SnapshotStats st =
+        analysis::validateSnapshot(img.data(), img.size());
+    EXPECT_GT(st.records, 0u);
+    EXPECT_EQ(st.newRecords, 0u);
+    EXPECT_EQ(recordCount(arch), before);
+
+    // The same image, committed, appends the forged-key record.
+    const analysis::SnapshotStats loaded =
+        analysis::loadSnapshotFromMemory(img.data(), img.size());
+    EXPECT_GE(loaded.newRecords, 1u);
+    EXPECT_EQ(recordCount(arch), before + loaded.newRecords);
+}
+
+TEST(Snapshot, ForgedRecordCountCannotBloatMemory)
+{
+    // A section claiming 2^32-1 records in a 4-byte payload must be
+    // rejected as truncation — and, with the clamped reserve, without
+    // first attempting a count-sized allocation (the checksum is
+    // FNV-1a, so an attacker can stamp any count they like).
+    std::vector<std::uint8_t> img(32);
+    std::memcpy(img.data(), "FACSNAP\n", 8);
+    const std::uint32_t version = analysis::kSnapshotVersion;
+    std::memcpy(img.data() + 8, &version, 4);
+    const std::uint32_t sections = 1;
+    std::memcpy(img.data() + 12, &sections, 4);
+
+    auto put32 = [&](std::uint32_t v) {
+        const std::size_t n = img.size();
+        img.resize(n + 4);
+        std::memcpy(img.data() + n, &v, 4);
+    };
+    auto put64 = [&](std::uint64_t v) {
+        const std::size_t n = img.size();
+        img.resize(n + 8);
+        std::memcpy(img.data() + n, &v, 8);
+    };
+    put32(1); // SectionType::Records
+    put32(0); // arch
+    put64(4); // section len: just the count field
+    put32(0xFFFFFFFFu);
+
+    const std::uint64_t payloadLen = img.size() - 32;
+    std::memcpy(img.data() + 16, &payloadLen, 8);
+    const std::uint64_t sum =
+        analysis::fnv1a64(img.data() + 32, payloadLen);
+    std::memcpy(img.data() + 24, &sum, 8);
+
+    EXPECT_THROW(analysis::validateSnapshot(img.data(), img.size()),
+                 analysis::SnapshotError);
+    EXPECT_THROW(analysis::loadSnapshotFromMemory(img.data(), img.size()),
+                 analysis::SnapshotError);
+}
+
 /**
  * Child half of the fresh-process property: when the probe env vars
  * are set (by FreshProcessBitIdentity, in a *child* process whose
