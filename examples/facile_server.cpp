@@ -5,10 +5,14 @@
  *
  * Usage:
  *   facile_server [--tcp PORT] [--unix PATH] [--threads N]
- *                 [--window-us N] [--max-batch N]
+ *                 [--io-threads N] [--window-us N] [--max-batch N]
  *                 [--read-timeout-ms N] [--max-connections N]
  *                 [--max-pending N] [--max-inflight N]
  *                 [--snapshot-load FILE] [--snapshot-save FILE]
+ *
+ * --threads sizes the engine worker pool; --io-threads the epoll
+ * reader loops (1 is right until the reader side itself saturates a
+ * core — see ServerOptions::ioThreads).
  *
  * With no listener flags it serves on --unix /tmp/facile.sock.
  * SIGINT/SIGTERM shut down cleanly and print the serving counters.
@@ -71,7 +75,7 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--tcp PORT] [--unix PATH] [--threads N] "
-                 "[--window-us N] [--max-batch N]\n"
+                 "[--io-threads N] [--window-us N] [--max-batch N]\n"
                  "       [--read-timeout-ms N] [--max-connections N] "
                  "[--max-pending N] [--max-inflight N]\n"
                  "       [--snapshot-load FILE] [--snapshot-save FILE]\n",
@@ -107,6 +111,11 @@ main(int argc, char **argv)
             if (!v)
                 return usage(argv[0]);
             threads = std::atoi(v);
+        } else if (arg == "--io-threads") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            opts.ioThreads = std::atoi(v);
         } else if (arg == "--window-us") {
             const char *v = next();
             if (!v)
@@ -187,9 +196,10 @@ main(int argc, char **argv)
     if (opts.tcpPort >= 0)
         std::printf("serving on %s:%d\n", opts.tcpHost.c_str(),
                     srv.tcpPort());
-    std::printf("engine: %d worker thread(s), admission window %d us, "
-                "max batch %zu\n",
-                eng.numThreads(), opts.batchWindowUs, opts.maxBatch);
+    std::printf("engine: %d worker thread(s), %d io loop(s), admission "
+                "window %d us, max batch %zu\n",
+                eng.numThreads(), opts.ioThreads, opts.batchWindowUs,
+                opts.maxBatch);
     std::printf("limits: read deadline %d ms, %zu connections, "
                 "%zu pending, %zu in-flight per connection\n",
                 opts.readTimeoutMs, opts.maxConnections, opts.maxPending,
@@ -242,6 +252,11 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(s.maxBatch),
                 static_cast<unsigned long long>(s.predictionCacheHits),
                 static_cast<unsigned long long>(s.connectionsAccepted));
+    std::printf("event loop: %llu epoll wakeups, %llu short writes "
+                "(EPOLLOUT resumes), %llu ring-full rejections\n",
+                static_cast<unsigned long long>(s.epollWakeups),
+                static_cast<unsigned long long>(s.shortWrites),
+                static_cast<unsigned long long>(s.ringFull));
     const std::uint64_t shed = s.overloadedQueue + s.overloadedConn +
                                s.readTimeouts + s.quotaClosed +
                                s.connectionsShed;

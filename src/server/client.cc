@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -57,6 +58,7 @@ Client::connectTcp(const std::string &host, int port)
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    setNonBlocking(fd); // connect stays blocking; the session is not
     return Client(fd);
 }
 
@@ -78,6 +80,7 @@ Client::connectUnix(const std::string &path)
         errno = e;
         throwErrno("connect " + path);
     }
+    setNonBlocking(fd);
     return Client(fd);
 }
 
@@ -108,17 +111,63 @@ Client::operator=(Client &&other) noexcept
     return *this;
 }
 
+bool
+Client::drainSocket()
+{
+    std::uint8_t chunk[64 * 1024];
+    for (;;) {
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n > 0) {
+            inbuf_.insert(inbuf_.end(), chunk, chunk + n);
+            if (static_cast<std::size_t>(n) < sizeof chunk)
+                return true;
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return true;
+        return false; // EOF or hard error
+    }
+}
+
 void
 Client::writeAll(const std::uint8_t *data, std::size_t len)
 {
-    if (!sendAll(fd_, data, len))
+    while (len > 0) {
+        const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
+        if (n > 0) {
+            data += static_cast<std::size_t>(n);
+            len -= static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            // Send buffer full. The server may be blocked writing
+            // responses back to us right now — drain them into inbuf_
+            // while waiting for writability, or a deep pipeline
+            // deadlocks with both socket buffers full. readResponse()
+            // parses inbuf_ before touching the socket, so nothing
+            // drained here is lost.
+            pollfd pf{fd_, POLLIN | POLLOUT, 0};
+            if (::poll(&pf, 1, -1) < 0) {
+                if (errno == EINTR)
+                    continue;
+                throwErrno("poll");
+            }
+            if ((pf.revents & POLLIN) && !drainSocket())
+                throw std::runtime_error(
+                    "connection closed by prediction server");
+            continue;
+        }
         throwErrno("send");
+    }
 }
 
 ResponseHeader
 Client::readResponse(const std::uint8_t *&payload)
 {
-    std::uint8_t chunk[64 * 1024];
     for (;;) {
         if (inbuf_.size() - parsed_ >= kResponseHeaderSize) {
             ResponseHeader h =
@@ -135,19 +184,21 @@ Client::readResponse(const std::uint8_t *&payload)
         if (parsed_ == inbuf_.size()) {
             inbuf_.clear();
             parsed_ = 0;
-        } else if (parsed_ > sizeof chunk) {
+        } else if (parsed_ > kCompactThreshold) {
             inbuf_.erase(inbuf_.begin(),
                          inbuf_.begin() +
                              static_cast<std::ptrdiff_t>(parsed_));
             parsed_ = 0;
         }
-        ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-        if (n < 0 && errno == EINTR)
-            continue;
-        if (n <= 0)
+        const std::size_t before = inbuf_.size();
+        if (!drainSocket())
             throw std::runtime_error(
                 "connection closed by prediction server");
-        inbuf_.insert(inbuf_.end(), chunk, chunk + n);
+        if (inbuf_.size() == before) {
+            pollfd pf{fd_, POLLIN, 0};
+            if (::poll(&pf, 1, -1) < 0 && errno != EINTR)
+                throwErrno("poll");
+        }
     }
 }
 

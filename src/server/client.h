@@ -1,7 +1,13 @@
 /**
  * @file
- * Client library for the prediction server: a blocking, pipelining
- * connection speaking the protocol.h wire format.
+ * Client library for the prediction server: a pipelining connection
+ * speaking the protocol.h wire format. The API is synchronous (every
+ * call runs to completion), but the socket underneath is nonblocking:
+ * when a pipelined write fills the send buffer, the client drains any
+ * responses the server has already produced while waiting for
+ * writability. Without that interleave, a deep pipeline deadlocks
+ * against any finite-buffered peer — both sides blocked writing, both
+ * socket buffers full, nobody reading.
  *
  * One Client owns one socket and is NOT thread-safe; use one Client
  * per thread (the server multiplexes any number of connections). The
@@ -97,7 +103,21 @@ class Client
      */
     ResponseHeader readResponse(const std::uint8_t *&payload);
 
+    /**
+     * Send the whole buffer on the nonblocking socket. While the send
+     * buffer is full, readable response bytes are drained into inbuf_
+     * (see the file comment on the pipelining deadlock).
+     */
     void writeAll(const std::uint8_t *data, std::size_t len);
+
+    /**
+     * Move everything currently readable into inbuf_ without blocking.
+     * Returns false once the peer has closed the connection.
+     */
+    bool drainSocket();
+
+    /** Reclaim inbuf_'s consumed prefix once it outgrows a read chunk. */
+    static constexpr std::size_t kCompactThreshold = 64 * 1024;
 
     int fd_ = -1;
     std::uint64_t nextId_ = 1;

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Bounded lock-free MPSC ring: the admission path between the epoll
+ * reader loops (N producers) and the batch collector (one consumer).
+ *
+ * This replaces the mutex-guarded admission vector of the
+ * thread-per-connection server: producers hand off parsed PREDICT
+ * requests without ever blocking each other or the consumer, so a
+ * reader loop never stalls on admission while another loop (or the
+ * collector draining a batch) holds a lock. The ring is a Vyukov-style
+ * bounded queue — per-cell sequence numbers instead of a global lock:
+ *
+ *   - tryPush: producers claim a slot with one fetch_add on the tail,
+ *     then publish the element by bumping the cell's sequence number
+ *     (release). Multiple producers are safe; a full ring fails the
+ *     push without side effects.
+ *   - tryPop: the single consumer reads the head cell's sequence
+ *     number (acquire), moves the element out, and recycles the cell
+ *     for the producers one lap later.
+ *
+ * The acquire/release pair on each cell's sequence is the
+ * happens-before edge that makes the moved element's heap contents
+ * (request bytes, shared_ptr control block) visible to the consumer —
+ * there is no other synchronization on the hot path.
+ *
+ * Capacity is fixed at construction and rounded up to a power of two.
+ * The ring stores elements by value and never allocates after
+ * construction; a full ring is the backpressure signal (the server
+ * answers OVERLOADED). Waking a sleeping consumer is out of scope —
+ * the server pairs the ring with an eventfd.
+ */
+#ifndef FACILE_SERVER_MPSC_RING_H
+#define FACILE_SERVER_MPSC_RING_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace facile::server {
+
+template <typename T> class MpscRing
+{
+  public:
+    /** @p capacity is rounded up to a power of two (minimum 2). */
+    explicit MpscRing(std::size_t capacity)
+        : mask_(roundUpPow2(capacity) - 1),
+          cells_(std::make_unique<Cell[]>(mask_ + 1))
+    {
+        for (std::size_t i = 0; i <= mask_; ++i)
+            cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+
+    MpscRing(const MpscRing &) = delete;
+    MpscRing &operator=(const MpscRing &) = delete;
+
+    /** Slots in the ring (the rounded-up capacity). */
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /**
+     * Enqueue by move. Returns false when the ring is full (the
+     * element is left untouched). Safe from any number of threads.
+     */
+    bool
+    tryPush(T &&v)
+    {
+        std::size_t pos = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells_[pos & mask_];
+            const std::size_t seq =
+                cell.seq.load(std::memory_order_acquire);
+            const std::intptr_t dif =
+                static_cast<std::intptr_t>(seq) -
+                static_cast<std::intptr_t>(pos);
+            if (dif == 0) {
+                if (tail_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                {
+                    cell.value = std::move(v);
+                    cell.seq.store(pos + 1, std::memory_order_release);
+                    return true;
+                }
+                // CAS failure reloaded pos; retry with the new slot.
+            } else if (dif < 0) {
+                // The cell is still occupied by an element from one
+                // lap ago: the ring is full.
+                return false;
+            } else {
+                pos = tail_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /**
+     * Dequeue into @p out. Returns false when the ring is empty.
+     * Single consumer only.
+     */
+    bool
+    tryPop(T &out)
+    {
+        Cell &cell = cells_[head_ & mask_];
+        const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+        const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                  static_cast<std::intptr_t>(head_ + 1);
+        if (dif < 0)
+            return false; // not yet published
+        out = std::move(cell.value);
+        cell.value = T{}; // drop heap payloads promptly
+        cell.seq.store(head_ + mask_ + 1, std::memory_order_release);
+        ++head_;
+        return true;
+    }
+
+    /**
+     * Approximate occupancy (produced minus consumed); exact when no
+     * push is concurrently mid-flight. For stats, not for gating.
+     */
+    std::size_t
+    sizeApprox() const
+    {
+        const std::size_t t = tail_.load(std::memory_order_relaxed);
+        return t >= head_ ? t - head_ : 0;
+    }
+
+  private:
+    struct Cell
+    {
+        std::atomic<std::size_t> seq{0};
+        T value{};
+    };
+
+    static std::size_t
+    roundUpPow2(std::size_t n)
+    {
+        std::size_t p = 2;
+        while (p < n)
+            p <<= 1;
+        return p;
+    }
+
+    const std::size_t mask_;
+    std::unique_ptr<Cell[]> cells_;
+
+    /** Producer cursor (shared); consumer cursor (consumer-only). */
+    alignas(64) std::atomic<std::size_t> tail_{0};
+    alignas(64) std::size_t head_ = 0;
+};
+
+} // namespace facile::server
+
+#endif // FACILE_SERVER_MPSC_RING_H

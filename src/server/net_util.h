@@ -7,7 +7,9 @@
 #ifndef FACILE_SERVER_NET_UTIL_H
 #define FACILE_SERVER_NET_UTIL_H
 
+#include <fcntl.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <cerrno>
 #include <cstdint>
@@ -41,6 +43,23 @@ sendAll(int fd, const std::uint8_t *data, std::size_t len)
 throwErrno(const std::string &what)
 {
     throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/** Put @p fd in nonblocking mode; false on fcntl failure. */
+inline bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/** Drain a nonblocking eventfd/pipe wakeup (ignores emptiness). */
+inline void
+drainWakeFd(int fd)
+{
+    std::uint64_t v;
+    while (::read(fd, &v, sizeof v) > 0) {
+    }
 }
 
 } // namespace facile::server

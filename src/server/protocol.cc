@@ -143,6 +143,9 @@ appendStatsResponse(std::vector<std::uint8_t> &buf, std::uint64_t id,
     putU64(p, stats.connectionsAccepted);
     putU64(p, stats.connectionsOpen);
     putU64(p, stats.uptimeMs);
+    putU64(p, stats.epollWakeups);
+    putU64(p, stats.shortWrites);
+    putU64(p, stats.ringFull);
 }
 
 bool
@@ -196,8 +199,13 @@ decodePredictPayload(const std::uint8_t *p, std::size_t len)
 std::optional<ServerStats>
 decodeStatsPayload(const std::uint8_t *p, std::size_t len)
 {
-    if (len != kStatsFields * 8)
+    // Append-only payload: require at least the v1 fields and a whole
+    // number of u64s; trailing fields a newer server added beyond what
+    // this build knows are ignored, and fields this build knows that
+    // an older server did not send stay 0.
+    if (len < kStatsFieldsV1 * 8 || len % 8 != 0)
         return std::nullopt;
+    const std::size_t fields = len / 8;
     ServerStats s;
     s.requests = getU64(p);
     s.predictions = getU64(p + 8);
@@ -214,6 +222,12 @@ decodeStatsPayload(const std::uint8_t *p, std::size_t len)
     s.connectionsAccepted = getU64(p + 96);
     s.connectionsOpen = getU64(p + 104);
     s.uptimeMs = getU64(p + 112);
+    if (fields > 15)
+        s.epollWakeups = getU64(p + 120);
+    if (fields > 16)
+        s.shortWrites = getU64(p + 128);
+    if (fields > 17)
+        s.ringFull = getU64(p + 136);
     return s;
 }
 

@@ -52,8 +52,11 @@
  *   i32  criticalChain[nCriticalChain]
  *   i32  contendingInsts[nContendingInsts]
  *
- * STATS response payload: ServerStats as kStatsFields (15) u64 fields
- * in declaration order. PING response payload: empty.
+ * STATS response payload: ServerStats as kStatsFields (18) u64 fields
+ * in declaration order. The payload is append-only — decoders accept
+ * any whole-u64 payload of at least kStatsFieldsV1 (15) fields, so
+ * mixed-version client/server pairs interoperate. PING response
+ * payload: empty.
  *
  * A malformed-but-well-framed block (decode error) is NOT a protocol
  * error: it follows the engine's crash protocol and yields status OK
@@ -172,10 +175,24 @@ struct ServerStats
     std::uint64_t connectionsAccepted = 0;
     std::uint64_t connectionsOpen = 0;
     std::uint64_t uptimeMs = 0;
+
+    // Event-loop data-plane counters (appended in PR 7; the STATS
+    // payload is append-only so older peers still decode the prefix).
+    std::uint64_t epollWakeups = 0; ///< epoll_wait returns, all io loops
+    std::uint64_t shortWrites = 0;  ///< partial writev: EPOLLOUT resume
+    std::uint64_t ringFull = 0;     ///< admission-ring capacity rejections
 };
 
-/** Number of u64 fields in the STATS response payload. */
-inline constexpr std::size_t kStatsFields = 15;
+/**
+ * Number of u64 fields in the STATS response payload. The payload is
+ * append-only: kStatsFieldsV1 is the thread-per-connection era field
+ * count, and decodeStatsPayload accepts any whole-u64 payload of at
+ * least that many fields (missing trailing fields read 0, unknown
+ * extras are ignored), so client and server can be upgraded
+ * independently.
+ */
+inline constexpr std::size_t kStatsFields = 18;
+inline constexpr std::size_t kStatsFieldsV1 = 15;
 
 // ---- little-endian append/read helpers ------------------------------------
 // Encoders write through a raw cursor into pre-grown buffer space: the

@@ -3,8 +3,10 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
-#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -12,9 +14,9 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -22,59 +24,89 @@
 
 #include "analysis/snapshot.h"
 #include "server/frame_parser.h"
+#include "server/mpsc_ring.h"
 #include "server/net_util.h"
+#include "server/write_queue.h"
 #include "uarch/config.h"
 
 namespace facile::server {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Milliseconds until @p t, rounded up and clamped to [0, cap]. */
+int
+msUntil(Clock::time_point t, Clock::time_point now, int cap)
+{
+    if (t <= now)
+        return 0;
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        t - now)
+                        .count();
+    const long long ms = (us + 999) / 1000;
+    return static_cast<int>(std::min<long long>(ms, cap));
+}
+
+} // namespace
+
 struct PredictionServer::Impl
 {
-    /** One accepted connection. */
-    struct Conn
+    /**
+     * Every epoll registration's data.ptr points at one of these; the
+     * kind tag dispatches the event (two listeners, the per-loop
+     * wakeup eventfd, or a connection).
+     */
+    struct EvSource
     {
+        enum class Kind : std::uint8_t {
+            TcpListen,
+            UnixListen,
+            Wake,
+            Conn
+        };
+        Kind kind;
+        explicit EvSource(Kind k) : kind(k) {}
+    };
+
+    struct Loop;
+
+    /**
+     * One accepted connection. Threading contract:
+     *   - parser, seenFrame, lastProgress: owning io thread only;
+     *   - outq, wantWrite, and the socket writes/epoll interest: any
+     *     thread, under writeMu;
+     *   - fd and open are atomics so lock-free readers can bail early;
+     *     the transition open->false (with fd close + epoll DEL)
+     *     happens exactly once, under writeMu.
+     */
+    struct Conn : EvSource, std::enable_shared_from_this<Conn>
+    {
+        Conn() : EvSource(Kind::Conn) {}
+
         std::atomic<int> fd{-1};
         std::atomic<bool> open{true};
+        Loop *loop = nullptr;
 
-        /**
-         * Set by the reader thread as its very last action. The
-         * reaper joins only exited readers: open==false alone can
-         * mean a collector-side write failure on a reader that is
-         * still running — and possibly about to take connMu for a
-         * STATS snapshot, which would deadlock a join under connMu.
-         */
-        std::atomic<bool> readerExited{false};
+        FrameParser parser;
+        bool seenFrame = false;
+        Clock::time_point lastProgress;
+
         std::mutex writeMu;
-        std::thread reader;
+        WriteQueue outq;
+        bool wantWrite = false; ///< EPOLLOUT currently armed
 
         /**
          * PREDICT requests admitted but not yet answered, gating the
-         * per-connection in-flight quota. Incremented by the reader
-         * at admission, decremented by engine workers as responses
-         * are serialized — both sides relaxed; the quota is a bound,
-         * not a synchronization point.
+         * per-connection in-flight quota. Incremented at admission,
+         * decremented by engine workers as responses are serialized —
+         * both sides relaxed; the quota is a bound, not a
+         * synchronization point.
          */
         std::atomic<std::size_t> inflight{0};
-
-        /** Frame-atomic buffered write; false once the peer is gone. */
-        bool
-        write(const std::vector<std::uint8_t> &buf)
-        {
-            std::lock_guard<std::mutex> lock(writeMu);
-            int f = fd.load();
-            if (f < 0 || !open.load())
-                return false;
-            if (!sendAll(f, buf.data(), buf.size())) {
-                open.store(false);
-                // Unblock the reader thread promptly so the reaper can
-                // join it even if the peer never sends EOF.
-                ::shutdown(f, SHUT_RDWR);
-                return false;
-            }
-            return true;
-        }
     };
 
-    /** One admitted PREDICT request awaiting batch submission. */
+    /** One admitted PREDICT request traveling through the ring. */
     struct Pending
     {
         std::shared_ptr<Conn> conn;
@@ -82,29 +114,62 @@ struct PredictionServer::Impl
         engine::Request req;
     };
 
+    /** One epoll reader loop. conns/inbox feed io-thread-owned state. */
+    struct Loop
+    {
+        std::size_t idx = 0;
+        int epfd = -1;
+        int wakeFd = -1;
+        EvSource wakeTag{EvSource::Kind::Wake};
+        std::thread thr;
+
+        /** Io-thread owned; stop() touches it only after the join. */
+        std::vector<std::shared_ptr<Conn>> conns;
+
+        /** Connections accepted on loop 0 awaiting registration here. */
+        std::mutex inboxMu;
+        std::vector<std::shared_ptr<Conn>> inbox;
+    };
+
     ServerOptions opts;
     engine::PredictionEngine *engine = nullptr;
 
     std::atomic<bool> running{false};
     std::atomic<bool> stopping{false};
-    std::chrono::steady_clock::time_point startTime;
+    Clock::time_point startTime;
 
     int tcpFd = -1;
     int unixFd = -1;
     int boundTcpPort = -1;
-    std::thread tcpAccept, unixAccept;
+    EvSource tcpTag{EvSource::Kind::TcpListen};
+    EvSource unixTag{EvSource::Kind::UnixListen};
 
-    mutable std::mutex connMu;
-    std::vector<std::shared_ptr<Conn>> conns;
+    std::vector<std::unique_ptr<Loop>> loops;
+    std::atomic<std::size_t> rrAssign{0};
 
-    std::mutex queueMu;
-    std::condition_variable queueCv;
-    std::vector<Pending> pending;
+    std::unique_ptr<MpscRing<Pending>> ring;
+    int collectorWakeFd = -1;
     std::thread collector;
 
-    std::atomic<std::uint64_t> requestCount{0}; ///< per-frame hot path
+    /** Admitted-but-unsubmitted PREDICT requests (maxPending gate). */
+    std::atomic<std::size_t> queuedCount{0};
+
+    // Hot-path counters (per frame / per event, touched by io threads
+    // and engine workers — atomics, no lock).
+    std::atomic<std::uint64_t> requestCount{0};
+    std::atomic<std::uint64_t> overloadedQueue{0};
+    std::atomic<std::uint64_t> overloadedConn{0};
+    std::atomic<std::uint64_t> readTimeouts{0};
+    std::atomic<std::uint64_t> quotaClosed{0};
+    std::atomic<std::uint64_t> connectionsShed{0};
+    std::atomic<std::uint64_t> connectionsAccepted{0};
+    std::atomic<std::uint64_t> connectionsOpen{0};
+    std::atomic<std::uint64_t> epollWakeups{0};
+    std::atomic<std::uint64_t> shortWrites{0};
+    std::atomic<std::uint64_t> ringFull{0};
+
     mutable std::mutex statsMu;
-    ServerStats counters; ///< batch-grained; derived fields on read
+    ServerStats counters; ///< batch-grained; merged on read
 
     std::mutex snapshotMu; ///< serializes concurrent snapshot saves
 
@@ -114,12 +179,14 @@ struct PredictionServer::Impl
                              : &engine::PredictionEngine::shared())
     {}
 
+    ~Impl() { stop(); }
+
     // ---- listeners --------------------------------------------------------
 
     int
     listenTcp()
     {
-        int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
         if (fd < 0)
             throwErrno("socket(AF_INET)");
         int one = 1;
@@ -135,7 +202,7 @@ struct PredictionServer::Impl
         }
         if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
                 0 ||
-            ::listen(fd, 64) < 0) {
+            ::listen(fd, 512) < 0) {
             int e = errno;
             ::close(fd);
             errno = e;
@@ -156,7 +223,7 @@ struct PredictionServer::Impl
         if (opts.unixPath.size() >= sizeof addr.sun_path)
             throw std::runtime_error("unix path too long: " +
                                      opts.unixPath);
-        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK, 0);
         if (fd < 0)
             throwErrno("socket(AF_UNIX)");
         addr.sun_family = AF_UNIX;
@@ -165,7 +232,7 @@ struct PredictionServer::Impl
         ::unlink(opts.unixPath.c_str()); // stale socket from a crash
         if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
                 0 ||
-            ::listen(fd, 64) < 0) {
+            ::listen(fd, 512) < 0) {
             int e = errno;
             ::close(fd);
             errno = e;
@@ -174,220 +241,398 @@ struct PredictionServer::Impl
         return fd;
     }
 
+    // ---- connection lifecycle ---------------------------------------------
+
+    /** Register @p conn in its owning loop's epoll (io thread of lp). */
     void
-    acceptLoop(int listenFd, bool tcp)
+    registerConn(Loop &lp, const std::shared_ptr<Conn> &conn)
     {
-        while (!stopping.load()) {
-            int fd = ::accept(listenFd, nullptr, nullptr);
+        lp.conns.push_back(conn);
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.ptr = static_cast<EvSource *>(conn.get());
+        ::epoll_ctl(lp.epfd, EPOLL_CTL_ADD, conn->fd.load(), &ev);
+    }
+
+    /**
+     * Close a connection exactly once: epoll deregistration + close
+     * under writeMu so no other thread is mid-write on the fd. Any
+     * thread may call it; the owning io loop reaps the carcass from
+     * its conns list on the next sweep.
+     */
+    void
+    dropConn(Conn &c)
+    {
+        std::lock_guard<std::mutex> lock(c.writeMu);
+        dropConnLocked(c);
+    }
+
+    void
+    dropConnLocked(Conn &c)
+    {
+        if (!c.open.exchange(false))
+            return;
+        const int f = c.fd.exchange(-1);
+        if (f >= 0) {
+            if (c.loop)
+                ::epoll_ctl(c.loop->epfd, EPOLL_CTL_DEL, f, nullptr);
+            ::close(f);
+        }
+        connectionsOpen.fetch_sub(1, std::memory_order_relaxed);
+    }
+
+    /** Arm or disarm EPOLLOUT. Requires writeMu; open fd. */
+    void
+    setWantWriteLocked(Conn &c, bool want)
+    {
+        if (c.wantWrite == want)
+            return;
+        const int f = c.fd.load();
+        if (f < 0)
+            return;
+        epoll_event ev{};
+        ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
+        ev.data.ptr = static_cast<EvSource *>(&c);
+        ::epoll_ctl(c.loop->epfd, EPOLL_CTL_MOD, f, &ev);
+        c.wantWrite = want;
+    }
+
+    /**
+     * Post-write bookkeeping shared by every writer (io-thread reply
+     * flush, collector batch flush, EPOLLOUT resume). Requires
+     * writeMu held and an open connection at call time.
+     */
+    void
+    applyWriteResultLocked(Conn &c, WriteQueue::Result r)
+    {
+        switch (r) {
+          case WriteQueue::Result::Drained:
+            setWantWriteLocked(c, false);
+            return;
+          case WriteQueue::Result::Blocked:
+            shortWrites.fetch_add(1, std::memory_order_relaxed);
+            setWantWriteLocked(c, true);
+            return;
+          case WriteQueue::Result::PeerGone:
+            dropConnLocked(c);
+            return;
+        }
+    }
+
+    /** Gather-write @p iov to @p conn; no-op once the peer is gone. */
+    void
+    writeConn(Conn &c, const iovec *iov, std::size_t n)
+    {
+        std::lock_guard<std::mutex> lock(c.writeMu);
+        if (!c.open.load())
+            return;
+        applyWriteResultLocked(c, c.outq.writeGather(c.fd.load(), iov, n));
+    }
+
+    // ---- accept (runs on loop 0) ------------------------------------------
+
+    void
+    acceptReady(Loop &lp0, int listenFd, bool tcp)
+    {
+        for (;;) {
+            int fd = ::accept4(listenFd, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
             if (fd < 0) {
                 if (errno == EINTR)
                     continue;
-                break; // listener closed by stop()
+                break; // EAGAIN, or listener closed by stop()
             }
             if (tcp) {
                 int one = 1;
                 ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
                              sizeof one);
             }
-            auto conn = std::make_shared<Conn>();
-            conn->fd.store(fd);
-            bool shed = false;
-            {
-                // Cap check, reader start, and publication share one
-                // connMu hold: the reader must start BEFORE the conn
-                // is visible to the other transport's accept thread
-                // (a concurrent reap's joinable() check would race a
-                // move-assignment of conn->reader), and the cap must
-                // be judged against the post-reap connection count.
-                std::lock_guard<std::mutex> lock(connMu);
-                reapClosedLocked();
-                if (opts.maxConnections > 0 &&
-                    conns.size() >= opts.maxConnections) {
-                    shed = true;
-                } else {
-                    conn->reader =
-                        std::thread([this, conn] { readerLoop(conn); });
-                    conns.push_back(conn);
-                }
-            }
-            std::lock_guard<std::mutex> lock(statsMu);
-            if (shed) {
+            if (opts.maxConnections > 0 &&
+                connectionsOpen.load(std::memory_order_relaxed) >=
+                    opts.maxConnections) {
                 // Accept-time shedding: no protocol exchange happened
                 // yet, so there is no id to answer OVERLOADED on —
                 // the close IS the backpressure signal.
                 ::close(fd);
-                conn->fd.store(-1);
-                ++counters.connectionsShed;
+                connectionsShed.fetch_add(1, std::memory_order_relaxed);
+                continue;
+            }
+            connectionsAccepted.fetch_add(1, std::memory_order_relaxed);
+            connectionsOpen.fetch_add(1, std::memory_order_relaxed);
+
+            auto conn = std::make_shared<Conn>();
+            conn->fd.store(fd);
+            conn->parser = FrameParser({opts.maxBufferedPerConn});
+            conn->lastProgress = Clock::now();
+            const std::size_t target =
+                loops.size() == 1
+                    ? 0
+                    : rrAssign.fetch_add(1, std::memory_order_relaxed) %
+                          loops.size();
+            conn->loop = loops[target].get();
+            if (target == lp0.idx) {
+                registerConn(lp0, conn);
             } else {
-                ++counters.connectionsAccepted;
+                Loop &dst = *loops[target];
+                {
+                    std::lock_guard<std::mutex> lock(dst.inboxMu);
+                    dst.inbox.push_back(std::move(conn));
+                }
+                wake(dst);
             }
         }
     }
 
-    /** Join and drop connections whose reader has exited; holds connMu. */
     void
-    reapClosedLocked()
+    wake(Loop &lp)
     {
-        for (auto it = conns.begin(); it != conns.end();) {
-            Conn &c = **it;
-            // readerExited (not open) gates the join: an exited reader
-            // can no longer take connMu, so joining it under connMu is
-            // safe — and the join returns promptly.
-            if (c.readerExited.load() && c.reader.joinable()) {
-                c.reader.join();
-                std::lock_guard<std::mutex> lock(c.writeMu);
-                int f = c.fd.exchange(-1);
-                if (f >= 0)
-                    ::close(f);
-                it = conns.erase(it);
-            } else {
-                ++it;
-            }
-        }
+        const std::uint64_t one = 1;
+        [[maybe_unused]] ssize_t n =
+            ::write(lp.wakeFd, &one, sizeof one);
     }
 
-    // ---- per-connection reader -------------------------------------------
+    void
+    wakeCollector()
+    {
+        const std::uint64_t one = 1;
+        [[maybe_unused]] ssize_t n =
+            ::write(collectorWakeFd, &one, sizeof one);
+    }
+
+    // ---- io loop ----------------------------------------------------------
 
     void
-    readerLoop(const std::shared_ptr<Conn> &conn)
+    ioLoop(Loop &lp)
     {
-        FrameParser parser({opts.maxBufferedPerConn});
+        constexpr int kMaxEvents = 128;
+        epoll_event evs[kMaxEvents];
         std::vector<std::uint8_t> chunk(64 * 1024);
         std::vector<Pending> admitted;
         std::vector<std::uint8_t> reply;
 
-        // Read-deadline state (slowloris defense). The clock resets
-        // only when a frame completes or the buffer drains clean; a
-        // peer dripping header bytes — or one that never sends a
-        // complete first frame after connecting — gets closed after
-        // readTimeoutMs no matter how often its bytes arrive.
-        // SO_RCVTIMEO bounds each recv() so a silent peer is noticed
-        // without a watchdog thread.
-        const bool deadline = opts.readTimeoutMs > 0;
-        if (deadline) {
-            timeval tv{};
-            tv.tv_sec = opts.readTimeoutMs / 1000;
-            tv.tv_usec =
-                static_cast<suseconds_t>(opts.readTimeoutMs % 1000) *
-                1000;
-            ::setsockopt(conn->fd.load(), SOL_SOCKET, SO_RCVTIMEO, &tv,
-                         sizeof tv);
-        }
-        bool seenFrame = false;
-        auto lastProgress = std::chrono::steady_clock::now();
+        // Deadline sweep cadence: fine enough that a configured read
+        // deadline is enforced within ~1.25x its nominal value, coarse
+        // enough that an idle server wakes at most a few times/second.
+        const int sweepMs =
+            opts.readTimeoutMs > 0
+                ? std::clamp(opts.readTimeoutMs / 4, 10, 1000)
+                : 1000;
+        auto nextSweep = Clock::now() + std::chrono::milliseconds(sweepMs);
 
-        for (;;) {
-            ssize_t n = ::recv(conn->fd.load(), chunk.data(),
-                               chunk.size(), 0);
-            if (n < 0 && errno == EINTR)
+        while (!stopping.load(std::memory_order_acquire)) {
+            const int timeout =
+                msUntil(nextSweep, Clock::now(), sweepMs);
+            const int n = ::epoll_wait(lp.epfd, evs, kMaxEvents, timeout);
+            epollWakeups.fetch_add(1, std::memory_order_relaxed);
+            if (n < 0 && errno != EINTR)
+                break;
+            if (stopping.load(std::memory_order_acquire))
+                break;
+            for (int i = 0; i < std::max(n, 0); ++i) {
+                auto *src = static_cast<EvSource *>(evs[i].data.ptr);
+                switch (src->kind) {
+                  case EvSource::Kind::TcpListen:
+                    acceptReady(lp, tcpFd, true);
+                    break;
+                  case EvSource::Kind::UnixListen:
+                    acceptReady(lp, unixFd, false);
+                    break;
+                  case EvSource::Kind::Wake:
+                    drainWakeFd(lp.wakeFd);
+                    adoptInbox(lp);
+                    break;
+                  case EvSource::Kind::Conn: {
+                    Conn &c = *static_cast<Conn *>(src);
+                    if (!c.open.load(std::memory_order_relaxed))
+                        break; // closed by another thread; reap later
+                    if (evs[i].events & (EPOLLHUP | EPOLLERR)) {
+                        dropConn(c);
+                        break;
+                    }
+                    if (evs[i].events & EPOLLOUT)
+                        resumeWrite(c);
+                    if (evs[i].events & EPOLLIN)
+                        handleReadable(c.shared_from_this(), chunk,
+                                       admitted, reply);
+                    break;
+                  }
+                }
+            }
+            const auto now = Clock::now();
+            if (now >= nextSweep) {
+                sweep(lp, now);
+                nextSweep = now + std::chrono::milliseconds(sweepMs);
+            }
+        }
+    }
+
+    void
+    adoptInbox(Loop &lp)
+    {
+        std::vector<std::shared_ptr<Conn>> fresh;
+        {
+            std::lock_guard<std::mutex> lock(lp.inboxMu);
+            fresh.swap(lp.inbox);
+        }
+        for (auto &conn : fresh)
+            registerConn(lp, conn);
+    }
+
+    /** EPOLLOUT: resume a partially-written response stream. */
+    void
+    resumeWrite(Conn &c)
+    {
+        std::lock_guard<std::mutex> lock(c.writeMu);
+        if (!c.open.load())
+            return;
+        const WriteQueue::Result r = c.outq.flush(c.fd.load());
+        // Still blocked => stay armed (no counter: the short write was
+        // counted when the tail was first queued).
+        if (r != WriteQueue::Result::Blocked)
+            applyWriteResultLocked(c, r);
+    }
+
+    /**
+     * Reap closed connections and enforce the read deadline: a
+     * connection mid-frame (partial header or payload buffered) or
+     * one that never completed a first frame (handshake) with no
+     * progress for readTimeoutMs is dropped — the slowloris defense.
+     * Idling between complete frames is never penalized.
+     */
+    void
+    sweep(Loop &lp, Clock::time_point now)
+    {
+        const auto deadline =
+            std::chrono::milliseconds(opts.readTimeoutMs);
+        for (auto it = lp.conns.begin(); it != lp.conns.end();) {
+            Conn &c = **it;
+            if (!c.open.load(std::memory_order_relaxed)) {
+                it = lp.conns.erase(it);
                 continue;
-            const bool timedOut =
-                n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK);
-            if (n <= 0 && !timedOut)
-                break; // EOF, error, or shutdown() from stop()
-            if (n > 0 && !parser.feed(chunk.data(),
-                                      static_cast<std::size_t>(n))) {
+            }
+            if (opts.readTimeoutMs > 0 &&
+                (c.parser.midFrame() || !c.seenFrame) &&
+                now - c.lastProgress >= deadline) {
+                readTimeouts.fetch_add(1, std::memory_order_relaxed);
+                dropConn(c);
+                it = lp.conns.erase(it);
+                continue;
+            }
+            ++it;
+        }
+    }
+
+    void
+    handleReadable(const std::shared_ptr<Conn> &conn,
+                   std::vector<std::uint8_t> &chunk,
+                   std::vector<Pending> &admitted,
+                   std::vector<std::uint8_t> &reply)
+    {
+        // Fairness bound: one greedy pipeline must not monopolize the
+        // loop. Level-triggered epoll re-reports leftover data.
+        constexpr int kReadBudget = 8;
+
+        admitted.clear();
+        reply.clear();
+        bool closed = false;
+        bool abuse = false;
+        std::size_t frames = 0;
+        const int fd = conn->fd.load();
+
+        for (int budget = kReadBudget; budget > 0; --budget) {
+            const ssize_t n = ::recv(fd, chunk.data(), chunk.size(), 0);
+            if (n < 0 && errno == EINTR) {
+                ++budget;
+                continue;
+            }
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+                break;
+            if (n <= 0) {
+                closed = true; // EOF or hard error
+                break;
+            }
+            if (!conn->parser.feed(chunk.data(),
+                                   static_cast<std::size_t>(n))) {
                 // Buffered-unparsed byte quota exceeded. Well-formed
                 // traffic cannot get here (frames drain as they
                 // complete), so treat it as abuse and drop the
                 // connection.
-                bump(&ServerStats::quotaClosed);
+                quotaClosed.fetch_add(1, std::memory_order_relaxed);
+                closed = abuse = true;
                 break;
             }
-
-            admitted.clear();
-            reply.clear();
-            std::size_t frames = 0;
             FrameView f;
-            while (parser.next(f)) {
+            while (conn->parser.next(f)) {
                 handleFrame(conn, f.header, f.payload, admitted, reply);
                 ++frames;
             }
-
-            if (deadline) {
-                const auto now = std::chrono::steady_clock::now();
-                if (frames > 0)
-                    seenFrame = true;
-                if (seenFrame && (frames > 0 || !parser.midFrame())) {
-                    lastProgress = now;
-                } else if (now - lastProgress >=
-                           std::chrono::milliseconds(
-                               opts.readTimeoutMs)) {
-                    // Mid-frame stall, or a handshake that never
-                    // produced a first frame. Nothing is parsed but
-                    // unanswerable, so dropping the fd loses no
-                    // admitted work (frames==0 on this path).
-                    bump(&ServerStats::readTimeouts);
-                    break;
-                }
-            }
-
-            // Control responses first (cheap, keeps health checks
-            // responsive), then hand the whole admitted chunk to the
-            // collector under one lock — bounded by maxPending, with
-            // the overflow answered OVERLOADED right here instead of
-            // buffering without limit.
-            if (!reply.empty())
-                conn->write(reply);
-            if (!admitted.empty()) {
-                std::size_t accepted = admitted.size();
-                {
-                    std::lock_guard<std::mutex> lock(queueMu);
-                    if (opts.maxPending > 0) {
-                        const std::size_t space =
-                            opts.maxPending > pending.size()
-                                ? opts.maxPending - pending.size()
-                                : 0;
-                        accepted = std::min(accepted, space);
-                    }
-                    pending.insert(
-                        pending.end(),
-                        std::make_move_iterator(admitted.begin()),
-                        std::make_move_iterator(admitted.begin() +
-                                                static_cast<
-                                                    std::ptrdiff_t>(
-                                                    accepted)));
-                }
-                if (accepted > 0)
-                    queueCv.notify_one();
-                if (accepted < admitted.size()) {
-                    reply.clear();
-                    for (std::size_t i = accepted; i < admitted.size();
-                         ++i) {
-                        appendStatusResponse(reply, admitted[i].id,
-                                             Op::Predict,
-                                             Status::Overloaded);
-                        conn->inflight.fetch_sub(
-                            1, std::memory_order_relaxed);
-                    }
-                    {
-                        std::lock_guard<std::mutex> lock(statsMu);
-                        counters.overloadedQueue +=
-                            admitted.size() - accepted;
-                    }
-                    conn->write(reply);
-                }
-            }
-            if (!conn->open.load())
-                break;
+            if (static_cast<std::size_t>(n) < chunk.size())
+                break; // likely drained; epoll re-reports otherwise
         }
-        conn->open.store(false);
-        // The reaper (next accept) or stop() owns the close(); shutdown
-        // here so a shed peer sees EOF immediately — otherwise a
-        // deadline- or quota-dropped connection would linger half-open
-        // until another client happens to connect.
-        const int f = conn->fd.load();
-        if (f >= 0)
-            ::shutdown(f, SHUT_RDWR);
-        conn->readerExited.store(true);
+
+        // Read-deadline bookkeeping (see sweep()): the clock resets
+        // only when a frame completes or the buffer drains clean, and
+        // never before the first frame.
+        if (frames > 0)
+            conn->seenFrame = true;
+        if (conn->seenFrame &&
+            (frames > 0 || !conn->parser.midFrame()))
+            conn->lastProgress = Clock::now();
+
+        // Admission before the control-reply flush: overflow shedding
+        // appends its OVERLOADED responses to the same reply buffer,
+        // so the whole answer goes out in one gather write.
+        if (!admitted.empty())
+            admitRequests(*conn, admitted, reply);
+        if (!reply.empty() && !abuse &&
+            conn->open.load(std::memory_order_relaxed)) {
+            const iovec iov{
+                const_cast<std::uint8_t *>(reply.data()), reply.size()};
+            writeConn(*conn, &iov, 1);
+        }
+        if (closed)
+            dropConn(*conn);
     }
 
-    /** Increment one ServerStats counter under statsMu (cold paths). */
+    /**
+     * Push parsed PREDICT requests into the admission ring, bounded by
+     * maxPending (and by the ring's own capacity); overflow is
+     * answered OVERLOADED right here instead of buffered without
+     * limit.
+     */
     void
-    bump(std::uint64_t ServerStats::*field)
+    admitRequests(Conn &conn, std::vector<Pending> &admitted,
+                  std::vector<std::uint8_t> &reply)
     {
-        std::lock_guard<std::mutex> lock(statsMu);
-        ++(counters.*field);
+        std::size_t accepted = 0;
+        for (Pending &p : admitted) {
+            bool ok = true;
+            if (opts.maxPending > 0) {
+                const std::size_t q = queuedCount.fetch_add(
+                    1, std::memory_order_relaxed);
+                if (q >= opts.maxPending) {
+                    queuedCount.fetch_sub(1, std::memory_order_relaxed);
+                    overloadedQueue.fetch_add(
+                        1, std::memory_order_relaxed);
+                    ok = false;
+                }
+            }
+            if (ok && !ring->tryPush(std::move(p))) {
+                if (opts.maxPending > 0)
+                    queuedCount.fetch_sub(1, std::memory_order_relaxed);
+                ringFull.fetch_add(1, std::memory_order_relaxed);
+                ok = false;
+            }
+            if (ok) {
+                ++accepted;
+            } else {
+                appendStatusResponse(reply, p.id, Op::Predict,
+                                     Status::Overloaded);
+                conn.inflight.fetch_sub(1, std::memory_order_relaxed);
+            }
+        }
+        if (accepted > 0)
+            wakeCollector();
     }
 
     void
@@ -405,9 +650,10 @@ struct PredictionServer::Impl
             return;
           case Op::Snapshot:
             // Admin frame: path is operator-configured, never wire-
-            // supplied. The save runs on this reader thread — it
-            // serializes under snapshotMu and other connections keep
-            // serving through the collector meanwhile.
+            // supplied. The save runs on this io thread — rare by
+            // construction; it stalls this loop's connections for the
+            // few ms of the save while other loops and the collector
+            // keep serving.
             appendStatusResponse(reply, h.id, Op::Snapshot,
                                  saveSnapshotNow() ? Status::Ok
                                                    : Status::BadRequest);
@@ -425,8 +671,8 @@ struct PredictionServer::Impl
                 // Per-connection backpressure: this peer already has
                 // a full quota of unanswered predictions; shedding
                 // here keeps one greedy pipeline from monopolizing
-                // the admission queue.
-                bump(&ServerStats::overloadedConn);
+                // the admission ring.
+                overloadedConn.fetch_add(1, std::memory_order_relaxed);
                 appendStatusResponse(reply, h.id, Op::Predict,
                                      Status::Overloaded);
                 return;
@@ -461,38 +707,90 @@ struct PredictionServer::Impl
         std::vector<std::uint8_t> buf;
     };
 
+    /** Scatter-gather flush unit: one conn, its per-worker buffers. */
+    struct FlushEntry
+    {
+        Conn *conn = nullptr;
+        std::vector<iovec> iov;
+    };
+
+    /** Pop everything available, up to @p room more entries. */
+    std::size_t
+    drainRing(std::vector<Pending> &batch, std::size_t room)
+    {
+        Pending p;
+        std::size_t got = 0;
+        while (got < room && ring->tryPop(p)) {
+            batch.push_back(std::move(p));
+            ++got;
+        }
+        return got;
+    }
+
     void
     collectorLoop()
     {
         std::vector<Pending> batch;
         std::vector<engine::Request> reqs;
-        std::vector<std::size_t> order; // batch index in submission order
+        std::vector<std::size_t> order; // batch index, submission order
         std::vector<std::vector<ConnBuf>> workerBufs(
             static_cast<std::size_t>(engine->numThreads()));
+        std::vector<FlushEntry> flushes;
+
+        const std::size_t cap =
+            opts.maxBatch > 0 ? opts.maxBatch : ring->capacity();
 
         for (;;) {
-            {
-                std::unique_lock<std::mutex> lock(queueMu);
-                queueCv.wait(lock, [&] {
-                    return stopping.load() || !pending.empty();
-                });
-                if (pending.empty() && stopping.load())
+            batch.clear();
+            // Block until the first request of a burst (or shutdown:
+            // the ring is drained before exiting, so every admitted
+            // request still gets an answer while stop() holds the
+            // connection fds open).
+            while (drainRing(batch, 1) == 0) {
+                if (stopping.load(std::memory_order_acquire))
                     return;
-                // Admission window: wait for stragglers of the burst,
-                // close early when maxBatch are pending.
-                if (opts.batchWindowUs > 0 &&
-                    pending.size() < opts.maxBatch)
-                    queueCv.wait_for(
-                        lock,
-                        std::chrono::microseconds(opts.batchWindowUs),
-                        [&] {
-                            return stopping.load() ||
-                                   pending.size() >= opts.maxBatch;
-                        });
-                batch.clear();
-                std::swap(batch, pending);
+                pollfd pf{collectorWakeFd, POLLIN, 0};
+                ::poll(&pf, 1, -1);
+                drainWakeFd(collectorWakeFd);
             }
-            submitBatch(batch, reqs, order, workerBufs);
+            // Admission window: wait for stragglers of the burst;
+            // maxBatch pending closes the window early. ppoll keeps
+            // the sub-millisecond window of the old condition-variable
+            // collector.
+            if (opts.batchWindowUs > 0) {
+                const auto deadline =
+                    Clock::now() +
+                    std::chrono::microseconds(opts.batchWindowUs);
+                while (batch.size() < cap &&
+                       !stopping.load(std::memory_order_acquire)) {
+                    if (drainRing(batch, cap - batch.size()) > 0)
+                        continue;
+                    const auto now = Clock::now();
+                    if (now >= deadline)
+                        break;
+                    const auto ns =
+                        std::chrono::duration_cast<
+                            std::chrono::nanoseconds>(deadline - now);
+                    timespec ts{};
+                    ts.tv_sec =
+                        static_cast<time_t>(ns.count() / 1000000000);
+                    ts.tv_nsec =
+                        static_cast<long>(ns.count() % 1000000000);
+                    pollfd pf{collectorWakeFd, POLLIN, 0};
+                    ::ppoll(&pf, 1, &ts, nullptr);
+                    drainWakeFd(collectorWakeFd);
+                }
+            }
+            // Final sweep: submit everything pending, not just
+            // maxBatch — closing the window early must not split one
+            // burst into several engine fan-outs (the ring bounds the
+            // sweep). This matches the pre-event-loop collector, which
+            // grabbed the whole admission queue at window close.
+            drainRing(batch, ring->capacity());
+            if (opts.maxPending > 0)
+                queuedCount.fetch_sub(batch.size(),
+                                      std::memory_order_relaxed);
+            submitBatch(batch, reqs, order, workerBufs, flushes);
         }
     }
 
@@ -500,7 +798,8 @@ struct PredictionServer::Impl
     submitBatch(std::vector<Pending> &batch,
                 std::vector<engine::Request> &reqs,
                 std::vector<std::size_t> &order,
-                std::vector<std::vector<ConnBuf>> &workerBufs)
+                std::vector<std::vector<ConnBuf>> &workerBufs,
+                std::vector<FlushEntry> &flushes)
     {
         // Group requests per arch (stable counting sort) so one engine
         // fan-out walks each arch's cache shards and uop tables
@@ -534,8 +833,7 @@ struct PredictionServer::Impl
 
         // Zero-copy serving: each engine worker serializes predictions
         // straight from the cache into its own per-connection staging
-        // buffer (no Prediction copies, no locks between workers), and
-        // every non-empty buffer is flushed with one write afterwards.
+        // buffer (no Prediction copies, no locks between workers).
         // Responses are matched by id, so the worker interleaving is
         // invisible to clients.
         for (auto &bufs : workerBufs) {
@@ -579,10 +877,33 @@ struct PredictionServer::Impl
             counters.predictionCacheHits += bs.predictionCacheHits;
             counters.analyzed += bs.analyzed;
         }
-        for (auto &bufs : workerBufs)
-            for (auto &b : bufs)
-                if (!b.buf.empty())
-                    b.conn->write(b.buf); // closed peers drop silently
+
+        // Scatter-gather flush: group every worker's buffer for the
+        // same connection into one iovec list and push it with a
+        // single vectored write. A short write leaves the tail in the
+        // connection's WriteQueue and arms EPOLLOUT on its io loop;
+        // closed peers drop silently.
+        flushes.clear();
+        for (auto &bufs : workerBufs) {
+            for (auto &b : bufs) {
+                if (b.buf.empty())
+                    continue;
+                FlushEntry *fe = nullptr;
+                for (auto &e : flushes)
+                    if (e.conn == b.conn.get()) {
+                        fe = &e;
+                        break;
+                    }
+                if (!fe) {
+                    flushes.push_back({b.conn.get(), {}});
+                    fe = &flushes.back();
+                }
+                fe->iov.push_back(
+                    {b.buf.data(), b.buf.size()});
+            }
+        }
+        for (FlushEntry &e : flushes)
+            writeConn(*e.conn, e.iov.data(), e.iov.size());
     }
 
     // ---- warm-start snapshot ----------------------------------------------
@@ -613,16 +934,24 @@ struct PredictionServer::Impl
             s = counters;
         }
         s.requests = requestCount.load(std::memory_order_relaxed);
-        {
-            std::lock_guard<std::mutex> lock(connMu);
-            std::size_t open = 0;
-            for (const auto &c : conns)
-                open += c->open.load() ? 1 : 0;
-            s.connectionsOpen = open;
-        }
+        s.overloadedQueue =
+            overloadedQueue.load(std::memory_order_relaxed);
+        s.overloadedConn =
+            overloadedConn.load(std::memory_order_relaxed);
+        s.readTimeouts = readTimeouts.load(std::memory_order_relaxed);
+        s.quotaClosed = quotaClosed.load(std::memory_order_relaxed);
+        s.connectionsShed =
+            connectionsShed.load(std::memory_order_relaxed);
+        s.connectionsAccepted =
+            connectionsAccepted.load(std::memory_order_relaxed);
+        s.connectionsOpen =
+            connectionsOpen.load(std::memory_order_relaxed);
+        s.epollWakeups = epollWakeups.load(std::memory_order_relaxed);
+        s.shortWrites = shortWrites.load(std::memory_order_relaxed);
+        s.ringFull = ringFull.load(std::memory_order_relaxed);
         s.uptimeMs = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::milliseconds>(
-                std::chrono::steady_clock::now() - startTime)
+                Clock::now() - startTime)
                 .count());
         return s;
     }
@@ -637,7 +966,7 @@ struct PredictionServer::Impl
         if (opts.unixPath.empty() && opts.tcpPort < 0)
             throw std::runtime_error(
                 "PredictionServer: no listener configured");
-        startTime = std::chrono::steady_clock::now();
+        startTime = Clock::now();
         stopping.store(false);
         if (!opts.unixPath.empty())
             unixFd = listenUnix();
@@ -653,13 +982,49 @@ struct PredictionServer::Impl
                 throw;
             }
         }
+
+        ring = std::make_unique<MpscRing<Pending>>(
+            opts.maxPending > 0 ? opts.maxPending : 65536);
+        collectorWakeFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+        if (collectorWakeFd < 0)
+            throwErrno("eventfd");
+
+        const int nLoops = std::max(1, opts.ioThreads);
+        loops.clear();
+        for (int i = 0; i < nLoops; ++i) {
+            auto lp = std::make_unique<Loop>();
+            lp->idx = static_cast<std::size_t>(i);
+            lp->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+            lp->wakeFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+            if (lp->epfd < 0 || lp->wakeFd < 0)
+                throwErrno("epoll_create1/eventfd");
+            epoll_event ev{};
+            ev.events = EPOLLIN;
+            ev.data.ptr = &lp->wakeTag;
+            ::epoll_ctl(lp->epfd, EPOLL_CTL_ADD, lp->wakeFd, &ev);
+            loops.push_back(std::move(lp));
+        }
+        // Loop 0 owns the listeners; accepted connections are assigned
+        // round-robin across loops.
+        if (tcpFd >= 0) {
+            epoll_event ev{};
+            ev.events = EPOLLIN;
+            ev.data.ptr = &tcpTag;
+            ::epoll_ctl(loops[0]->epfd, EPOLL_CTL_ADD, tcpFd, &ev);
+        }
+        if (unixFd >= 0) {
+            epoll_event ev{};
+            ev.events = EPOLLIN;
+            ev.data.ptr = &unixTag;
+            ::epoll_ctl(loops[0]->epfd, EPOLL_CTL_ADD, unixFd, &ev);
+        }
+
         running.store(true);
         collector = std::thread([this] { collectorLoop(); });
-        if (tcpFd >= 0)
-            tcpAccept = std::thread([this] { acceptLoop(tcpFd, true); });
-        if (unixFd >= 0)
-            unixAccept =
-                std::thread([this] { acceptLoop(unixFd, false); });
+        for (auto &lp : loops) {
+            Loop *p = lp.get();
+            p->thr = std::thread([this, p] { ioLoop(*p); });
+        }
     }
 
     void
@@ -667,19 +1032,47 @@ struct PredictionServer::Impl
     {
         if (!running.exchange(false))
             return;
-        stopping.store(true);
+        stopping.store(true, std::memory_order_release);
 
-        // 1. Close listeners; accept threads unblock and exit (no more
-        //    sweeps run after this, so fds below cannot be recycled
-        //    under us).
-        if (tcpFd >= 0)
-            ::shutdown(tcpFd, SHUT_RDWR);
-        if (unixFd >= 0)
-            ::shutdown(unixFd, SHUT_RDWR);
-        if (tcpAccept.joinable())
-            tcpAccept.join();
-        if (unixAccept.joinable())
-            unixAccept.join();
+        // 1. Wake and join the io loops. They stop accepting and
+        //    reading immediately but leave every connection fd open,
+        //    so the drain below can still deliver answers.
+        for (auto &lp : loops)
+            wake(*lp);
+        for (auto &lp : loops)
+            if (lp->thr.joinable())
+                lp->thr.join();
+
+        // 2. Drain the collector: with the producers joined, it
+        //    empties the ring, submits the final batches, and writes
+        //    the responses directly (EPOLLOUT resume is gone with the
+        //    io threads, so a blocked tail stays queued — accepted
+        //    loss, the process is exiting the serving loop).
+        wakeCollector();
+        if (collector.joinable())
+            collector.join();
+
+        // 3. Now tear the sockets down.
+        for (auto &lp : loops) {
+            for (auto &c : lp->conns)
+                dropConn(*c);
+            lp->conns.clear();
+            {
+                std::lock_guard<std::mutex> lock(lp->inboxMu);
+                for (auto &c : lp->inbox)
+                    dropConn(*c);
+                lp->inbox.clear();
+            }
+            if (lp->epfd >= 0)
+                ::close(lp->epfd);
+            if (lp->wakeFd >= 0)
+                ::close(lp->wakeFd);
+        }
+        loops.clear();
+        if (collectorWakeFd >= 0) {
+            ::close(collectorWakeFd);
+            collectorWakeFd = -1;
+        }
         if (tcpFd >= 0)
             ::close(tcpFd);
         if (unixFd >= 0) {
@@ -687,40 +1080,7 @@ struct PredictionServer::Impl
             ::unlink(opts.unixPath.c_str());
         }
         tcpFd = unixFd = -1;
-
-        // 2. Unblock connection readers and join them. Join WITHOUT
-        //    holding connMu: a reader serving a STATS op takes connMu
-        //    in snapshotStats(), and joining it under the same lock
-        //    would deadlock.
-        std::vector<std::shared_ptr<Conn>> snapshot;
-        {
-            std::lock_guard<std::mutex> lock(connMu);
-            snapshot = conns;
-        }
-        for (auto &c : snapshot) {
-            int f = c->fd.load();
-            if (f >= 0)
-                ::shutdown(f, SHUT_RDWR);
-        }
-        for (auto &c : snapshot)
-            if (c->reader.joinable())
-                c->reader.join();
-
-        // 3. Drain the collector (it answers what it can; writes to
-        //    closed peers fail silently), then close the sockets.
-        queueCv.notify_all();
-        if (collector.joinable())
-            collector.join();
-        {
-            std::lock_guard<std::mutex> lock(connMu);
-            for (auto &c : conns) {
-                std::lock_guard<std::mutex> wlock(c->writeMu);
-                int f = c->fd.exchange(-1);
-                if (f >= 0)
-                    ::close(f);
-            }
-            conns.clear();
-        }
+        ring.reset();
     }
 };
 

@@ -4,25 +4,33 @@
  * over TCP and Unix-domain sockets with the framed binary protocol of
  * protocol.h.
  *
- * Architecture (one process, no external dependencies):
+ * Architecture (one process, no external dependencies): an
+ * event-driven data plane — readiness-driven nonblocking I/O instead
+ * of a thread per connection, so thousands of mostly-idle connections
+ * cost file descriptors, not stacks and context switches.
  *
- *   listener threads (TCP / UDS)  -- accept -->  one reader thread
- *                                                per connection
- *        reader: frame parsing, request validation, control ops
- *            |  complete PREDICT frames, appended in bulk
+ *   io loops (1..ioThreads, each an epoll over nonblocking sockets)
+ *       accept (loop 0) -> connections assigned round-robin
+ *       EPOLLIN: recv -> FrameParser -> control ops answered inline,
+ *                PREDICT requests admitted through a bounded
+ *                lock-free MPSC ring (mpsc_ring.h)
+ *            |
  *            v
- *   admission queue  --  collector thread groups requests for up to
- *                        batchWindowUs or until maxBatch are pending,
- *                        orders them arch-major, and submits ONE
- *                        engine::predictBatch call
+ *   admission ring  --  collector thread drains the ring, groups
+ *                       requests for up to batchWindowUs or until
+ *                       maxBatch are pending, orders them arch-major,
+ *                       and submits ONE engine batch
  *            |
  *            v
  *   PredictionEngine (worker pool, sharded two-generation caches,
- *                     zero-alloc hot paths)
+ *                     zero-alloc hot paths; workers serialize
+ *                     responses straight from the cache into
+ *                     per-(worker, connection) buffers)
  *            |
  *            v
- *   responses serialized per connection and written in one syscall
- *   per (connection, batch) pair
+ *   scatter-gather flush: one writev-style sendmsg gathers a
+ *   connection's buffers (write_queue.h); a short write queues the
+ *   unsent tail and EPOLLOUT on the owning io loop resumes it
  *
  * The admission batching is what lets wire serving inherit the batch
  * engine's economics: a burst of N requests from any mix of clients
@@ -68,6 +76,14 @@ struct ServerOptions
     /** Admission batch size that closes the window early. */
     std::size_t maxBatch = 1024;
 
+    /**
+     * Number of epoll reader loops (io threads). One loop drives
+     * thousands of connections on this protocol; shard only when the
+     * reader side itself saturates a core. Loop 0 owns the listeners;
+     * accepted connections are assigned round-robin.
+     */
+    int ioThreads = 1;
+
     // ---- resource limits (abuse handling; see README "Resource
     // limits & abuse handling"). Every limit is surfaced as a
     // ServerStats counter so shedding is observable over the wire. ----
@@ -90,11 +106,14 @@ struct ServerOptions
     std::size_t maxConnections = 1024;
 
     /**
-     * Bounded admission queue: PREDICT requests arriving while this
-     * many are already pending are answered Status::Overloaded
-     * instead of buffered (counter: overloadedQueue). The bound is
-     * what turns a request flood into explicit backpressure rather
-     * than unbounded memory growth. 0 disables the bound.
+     * Bounded admission: PREDICT requests arriving while this many
+     * are already admitted but not yet submitted to the engine are
+     * answered Status::Overloaded instead of buffered (counter:
+     * overloadedQueue). The bound sizes the lock-free admission ring
+     * (rounded up to a power of two) and is what turns a request
+     * flood into explicit backpressure rather than unbounded memory
+     * growth. 0 disables the count gate (the ring's own capacity
+     * still bounds memory; counter: ringFull).
      */
     std::size_t maxPending = 65536;
 

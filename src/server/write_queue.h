@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Per-connection writer state machine for the event-driven server:
+ * scatter-gather (writev-style) response flushing over a nonblocking
+ * socket, with partial-write resume.
+ *
+ * The collector serializes a batch's responses into per-(worker,
+ * connection) buffers; a connection's flush must then push several
+ * buffers plus possibly a leftover tail from the previous flush in as
+ * few syscalls as possible, without copying in the common case. The
+ * WriteQueue does exactly that:
+ *
+ *   - writeGather(fd, extra, n) sends queued segments followed by the
+ *     caller's iovecs in one ::sendmsg (the iovec form of writev,
+ *     used for MSG_NOSIGNAL), looping until everything went out, the
+ *     socket would block, or the peer is gone;
+ *   - whatever of the caller's buffers did NOT reach the socket is
+ *     copied into the queue — copy-on-partial: a drained flush copies
+ *     nothing, and a short write buffers only the unsent tail;
+ *   - the next flush (an EPOLLOUT wakeup, or the next batch) resumes
+ *     from the queued tail, so response byte order is preserved across
+ *     arbitrary partial-write interleavings.
+ *
+ * The class is socket-agnostic and lock-free by itself (the server
+ * guards each connection's instance with its write mutex); it is
+ * unit-tested against tiny-SO_SNDBUF socketpairs in
+ * tests/test_write_queue.cc, byte-for-byte.
+ */
+#ifndef FACILE_SERVER_WRITE_QUEUE_H
+#define FACILE_SERVER_WRITE_QUEUE_H
+
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <vector>
+
+namespace facile::server {
+
+class WriteQueue
+{
+  public:
+    enum class Result {
+        Drained,  ///< everything (queue + extras) reached the socket
+        Blocked,  ///< short write: the unsent tail is queued, arm EPOLLOUT
+        PeerGone, ///< write error (EPIPE/ECONNRESET/...): close the conn
+    };
+
+    /** Gather-capacity per sendmsg call (well under IOV_MAX). */
+    static constexpr std::size_t kMaxIov = 64;
+
+    /**
+     * Flush queued segments, then @p extra[0..nExtra): one sendmsg per
+     * kMaxIov iovecs until done or the socket blocks. On a short
+     * write the unsent remainder of @p extra is appended to the queue
+     * (the caller's buffers are never retained by reference). Never
+     * blocks on a nonblocking fd.
+     */
+    Result
+    writeGather(int fd, const iovec *extra, std::size_t nExtra)
+    {
+        std::size_t extraOff = 0; // fully-sent prefix of extra[]
+        std::size_t extraByteOff = 0; // sent bytes of extra[extraOff]
+        for (;;) {
+            iovec iov[kMaxIov];
+            std::size_t n = 0;
+            // Queued tail first: order across flushes is response order.
+            std::size_t off = headOff_;
+            for (auto it = queue_.begin();
+                 it != queue_.end() && n < kMaxIov; ++it) {
+                iov[n].iov_base =
+                    const_cast<std::uint8_t *>(it->data() + off);
+                iov[n].iov_len = it->size() - off;
+                off = 0;
+                ++n;
+            }
+            for (std::size_t i = extraOff; i < nExtra && n < kMaxIov;
+                 ++i) {
+                const std::size_t skip =
+                    i == extraOff ? extraByteOff : 0;
+                if (extra[i].iov_len <= skip)
+                    continue; // empty (or fully-sent) buffer
+                iov[n].iov_base =
+                    static_cast<std::uint8_t *>(extra[i].iov_base) + skip;
+                iov[n].iov_len = extra[i].iov_len - skip;
+                ++n;
+            }
+            if (n == 0)
+                return Result::Drained;
+
+            msghdr msg{};
+            msg.msg_iov = iov;
+            msg.msg_iovlen = n;
+            const ssize_t sent = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+            if (sent < 0) {
+                if (errno == EINTR)
+                    continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                    stashTail(extra, nExtra, extraOff, extraByteOff);
+                    return Result::Blocked;
+                }
+                return Result::PeerGone;
+            }
+            consume(static_cast<std::size_t>(sent), extra, nExtra,
+                    extraOff, extraByteOff);
+            // Loop: either more than kMaxIov segments were pending, or
+            // the kernel took a partial chunk and may take more.
+            if (queue_.empty() && extraOff >= nExtra)
+                return Result::Drained;
+        }
+    }
+
+    /** Flush only what is already queued (the EPOLLOUT resume path). */
+    Result
+    flush(int fd)
+    {
+        return writeGather(fd, nullptr, 0);
+    }
+
+    /** Bytes waiting for the socket to accept them. */
+    std::size_t
+    bytesQueued() const
+    {
+        std::size_t total = 0;
+        for (const auto &seg : queue_)
+            total += seg.size();
+        return total - headOff_;
+    }
+
+    bool empty() const { return queue_.empty(); }
+
+  private:
+    /** Account @p sent bytes: queue first, then the extra iovecs. */
+    void
+    consume(std::size_t sent, const iovec *extra, std::size_t nExtra,
+            std::size_t &extraOff, std::size_t &extraByteOff)
+    {
+        while (sent > 0 && !queue_.empty()) {
+            const std::size_t avail = queue_.front().size() - headOff_;
+            if (sent < avail) {
+                headOff_ += sent;
+                return;
+            }
+            sent -= avail;
+            headOff_ = 0;
+            queue_.pop_front();
+        }
+        while (sent > 0 && extraOff < nExtra) {
+            const std::size_t avail =
+                extra[extraOff].iov_len - extraByteOff;
+            if (sent < avail) {
+                extraByteOff += sent;
+                return;
+            }
+            sent -= avail;
+            extraByteOff = 0;
+            ++extraOff;
+        }
+        // Skip empty extras so the Drained check sees extraOff==nExtra.
+        while (extraOff < nExtra && extra[extraOff].iov_len == 0)
+            ++extraOff;
+    }
+
+    /** Copy the unsent remainder of the extras into the queue. */
+    void
+    stashTail(const iovec *extra, std::size_t nExtra,
+              std::size_t extraOff, std::size_t extraByteOff)
+    {
+        for (std::size_t i = extraOff; i < nExtra; ++i) {
+            const std::size_t skip = i == extraOff ? extraByteOff : 0;
+            if (extra[i].iov_len <= skip)
+                continue;
+            const auto *base =
+                static_cast<const std::uint8_t *>(extra[i].iov_base);
+            queue_.emplace_back(base + skip,
+                                base + extra[i].iov_len);
+        }
+    }
+
+    std::deque<std::vector<std::uint8_t>> queue_;
+    std::size_t headOff_ = 0; ///< sent prefix of queue_.front()
+};
+
+} // namespace facile::server
+
+#endif // FACILE_SERVER_WRITE_QUEUE_H

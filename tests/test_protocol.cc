@@ -170,7 +170,7 @@ TEST(FrameParser, CompactionPreservesPendingPartialFrame)
     EXPECT_EQ(frames[0].second[0], 99);
 }
 
-TEST(Protocol, StatsPayloadRoundTripsAllFifteenCounters)
+TEST(Protocol, StatsPayloadRoundTripsAllCounters)
 {
     ServerStats s;
     std::uint64_t v = 1;
@@ -179,7 +179,8 @@ TEST(Protocol, StatsPayloadRoundTripsAllFifteenCounters)
           &s.analysisCacheHits, &s.predictionCacheHits, &s.analyzed,
           &s.overloadedQueue, &s.overloadedConn, &s.readTimeouts,
           &s.quotaClosed, &s.connectionsShed, &s.connectionsAccepted,
-          &s.connectionsOpen, &s.uptimeMs})
+          &s.connectionsOpen, &s.uptimeMs, &s.epollWakeups,
+          &s.shortWrites, &s.ringFull})
         *field = v++;
 
     std::vector<std::uint8_t> frame;
@@ -196,11 +197,44 @@ TEST(Protocol, StatsPayloadRoundTripsAllFifteenCounters)
     EXPECT_EQ(back->quotaClosed, 11u);
     EXPECT_EQ(back->connectionsShed, 12u);
     EXPECT_EQ(back->uptimeMs, 15u);
+    EXPECT_EQ(back->epollWakeups, 16u);
+    EXPECT_EQ(back->shortWrites, 17u);
+    EXPECT_EQ(back->ringFull, 18u);
+}
 
-    // Strict length: a 14-field (pre-hardening) payload is rejected.
-    EXPECT_FALSE(decodeStatsPayload(frame.data() + kResponseHeaderSize,
-                                    h.len - 8)
+TEST(Protocol, StatsPayloadIsAppendOnlyAcrossVersions)
+{
+    ServerStats s;
+    s.requests = 7;
+    s.uptimeMs = 42;
+    s.epollWakeups = 99;
+    std::vector<std::uint8_t> frame;
+    appendStatsResponse(frame, 5, s);
+    const std::uint8_t *payload = frame.data() + kResponseHeaderSize;
+
+    // A v1 (15-field, thread-per-connection era) payload still
+    // decodes; the appended fields read as zero.
+    auto v1 = decodeStatsPayload(payload, kStatsFieldsV1 * 8);
+    ASSERT_TRUE(v1.has_value());
+    EXPECT_EQ(v1->requests, 7u);
+    EXPECT_EQ(v1->uptimeMs, 42u);
+    EXPECT_EQ(v1->epollWakeups, 0u);
+
+    // A future server may append more fields; unknown extras are
+    // ignored, not rejected.
+    std::vector<std::uint8_t> longer(payload,
+                                     payload + kStatsFields * 8);
+    longer.resize(longer.size() + 16, 0xab);
+    auto future = decodeStatsPayload(longer.data(), longer.size());
+    ASSERT_TRUE(future.has_value());
+    EXPECT_EQ(future->requests, 7u);
+    EXPECT_EQ(future->epollWakeups, 99u);
+
+    // Below the v1 floor, or not a whole number of u64s: malformed.
+    EXPECT_FALSE(decodeStatsPayload(payload, (kStatsFieldsV1 - 1) * 8)
                      .has_value());
+    EXPECT_FALSE(
+        decodeStatsPayload(payload, kStatsFieldsV1 * 8 + 3).has_value());
 }
 
 TEST(Protocol, ProtocolErrorCarriesWireStatus)

@@ -547,6 +547,176 @@ TEST(ServerLimits, ClientThrowsTypedOverloadedError)
     server.stop();
 }
 
+// ---- event-loop data plane: adversarial interleavings ---------------------
+
+TEST(ServerEventLoop, ByteAtATimeRequestsServeBitIdentical)
+{
+    // The cruelest read fragmentation: every byte of three pipelined
+    // frames arrives in its own recv. The per-connection FrameParser
+    // must reassemble them across epoll wakeups without desyncing.
+    ServerOptions opts;
+    opts.unixPath = freshUnixPath();
+    engine::PredictionEngine eng({.numThreads = 1});
+    opts.engine = &eng;
+    PredictionServer server(opts);
+    server.start();
+
+    const auto &b = suite().front();
+    engine::Request req{b.bytesL, uarch::UArch::SKL, true, {}};
+    const Prediction expect = serialPredict(req);
+
+    int fd = rawConnectUnix(opts.unixPath);
+    std::vector<std::uint8_t> frames;
+    for (std::uint64_t id = 1; id <= 3; ++id)
+        appendPredictRequest(frames, id, req);
+    for (std::uint8_t byte : frames)
+        ASSERT_TRUE(sendAll(fd, &byte, 1));
+
+    for (int i = 0; i < 3; ++i) {
+        ResponseHeader h;
+        std::vector<std::uint8_t> payload;
+        ASSERT_TRUE(rawReadResponse(fd, h, payload));
+        EXPECT_EQ(h.status, static_cast<std::uint8_t>(Status::Ok));
+        auto p = decodePredictPayload(payload.data(), h.len);
+        ASSERT_TRUE(p.has_value());
+        EXPECT_TRUE(bitIdentical(*p, expect));
+    }
+    ::close(fd);
+    server.stop();
+}
+
+TEST(ServerEventLoop, CoalescedFloodShedsExactlyAndSurvivorsBitIdentical)
+{
+    // 40 frames coalesced into ONE send against an admission bound of
+    // 16 held open by a long window: the server must read the burst in
+    // as few recvs as the kernel delivers, admit exactly the bound
+    // through the ring, shed the rest with OVERLOADED, and the
+    // surviving predictions must be bit-identical to serial.
+    ServerOptions opts;
+    opts.unixPath = freshUnixPath();
+    opts.maxPending = 16;
+    opts.batchWindowUs = 200000;
+    engine::PredictionEngine eng({.numThreads = 1});
+    opts.engine = &eng;
+    PredictionServer server(opts);
+    server.start();
+
+    const auto &b = suite().front();
+    engine::Request req{b.bytesU, uarch::UArch::ICL, false, {}};
+    const Prediction expect = serialPredict(req);
+
+    int fd = rawConnectUnix(opts.unixPath);
+    std::vector<std::uint8_t> frames;
+    for (std::uint64_t id = 1; id <= 40; ++id)
+        appendPredictRequest(frames, id, req);
+    ASSERT_TRUE(sendAll(fd, frames.data(), frames.size()));
+
+    int ok = 0, overloaded = 0;
+    for (int i = 0; i < 40; ++i) {
+        ResponseHeader h;
+        std::vector<std::uint8_t> payload;
+        ASSERT_TRUE(rawReadResponse(fd, h, payload));
+        if (h.status == static_cast<std::uint8_t>(Status::Ok)) {
+            auto p = decodePredictPayload(payload.data(), h.len);
+            ASSERT_TRUE(p.has_value());
+            EXPECT_TRUE(bitIdentical(*p, expect));
+            ++ok;
+        } else {
+            EXPECT_EQ(h.status,
+                      static_cast<std::uint8_t>(Status::Overloaded));
+            ++overloaded;
+        }
+    }
+    EXPECT_EQ(ok, 16);
+    EXPECT_EQ(overloaded, 24);
+    ::close(fd);
+
+    // Every shed is attributed to a counter: the count gate or the
+    // ring's own capacity backstop.
+    auto client = Client::connectUnix(opts.unixPath);
+    ServerStats s = client.stats();
+    EXPECT_EQ(s.overloadedQueue + s.ringFull, 24u);
+    EXPECT_GE(s.epollWakeups, 1u);
+    server.stop();
+}
+
+TEST(ServerEventLoop, PartialWriteResumesViaEpollout)
+{
+    // Ask for more response bytes than the socket can buffer while
+    // refusing to read: the batch flush must hit EAGAIN, queue the
+    // tail (shortWrites counter), and resume on EPOLLOUT once we
+    // drain — with every response byte-identical and in order.
+    ServerOptions opts;
+    opts.unixPath = freshUnixPath();
+    engine::PredictionEngine eng({.numThreads = 2});
+    opts.engine = &eng;
+    PredictionServer server(opts);
+    server.start();
+
+    const auto &b = suite().front();
+    // Full interpretability payload: the largest response shape.
+    engine::Request req{b.bytesL, uarch::UArch::SKL, true, {},
+                        model::Payload::Full};
+    const Prediction expect = serialPredict(req);
+
+    constexpr int kRequests = 8000; // response volume >> socket buffer
+    int fd = rawConnectUnix(opts.unixPath);
+    std::vector<std::uint8_t> frames;
+    for (std::uint64_t id = 1; id <= kRequests; ++id)
+        appendPredictRequest(frames, id, req);
+    std::thread sender([&] {
+        EXPECT_TRUE(sendAll(fd, frames.data(), frames.size()));
+    });
+
+    // Let the server finish every batch while we sit on a full socket
+    // buffer; only then start draining, so the tail must travel
+    // through the WriteQueue + EPOLLOUT path.
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+    std::vector<bool> seen(kRequests, false);
+    for (int i = 0; i < kRequests; ++i) {
+        ResponseHeader h;
+        std::vector<std::uint8_t> payload;
+        ASSERT_TRUE(rawReadResponse(fd, h, payload));
+        ASSERT_EQ(h.status, static_cast<std::uint8_t>(Status::Ok));
+        ASSERT_GE(h.id, 1u);
+        ASSERT_LE(h.id, static_cast<std::uint64_t>(kRequests));
+        ASSERT_FALSE(seen[h.id - 1]) << "duplicate id " << h.id;
+        seen[h.id - 1] = true;
+        auto p = decodePredictPayload(payload.data(), h.len);
+        ASSERT_TRUE(p.has_value());
+        ASSERT_TRUE(bitIdentical(*p, expect)) << "response " << i;
+    }
+    sender.join();
+    ::close(fd);
+
+    auto client = Client::connectUnix(opts.unixPath);
+    ServerStats s = client.stats();
+    EXPECT_GE(s.shortWrites, 1u)
+        << "expected at least one EAGAIN-queued flush";
+    server.stop();
+}
+
+TEST(ServerEventLoop, StatsCountersTravelTheWire)
+{
+    ServerOptions opts;
+    opts.unixPath = freshUnixPath();
+    engine::PredictionEngine eng({.numThreads = 1});
+    opts.engine = &eng;
+    PredictionServer server(opts);
+    server.start();
+
+    auto client = Client::connectUnix(opts.unixPath);
+    client.ping();
+    ServerStats s = client.stats();
+    // epoll wakeups necessarily happened to serve the two frames; the
+    // other event-loop counters decode (zero) rather than truncating
+    // the payload.
+    EXPECT_GE(s.epollWakeups, 1u);
+    EXPECT_EQ(s.ringFull, 0u);
+    server.stop();
+}
+
 TEST(Protocol, ConfigBitsRoundTrip)
 {
     for (int c = 0; c < model::kNumComponents; ++c) {

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Short soak of the event-driven server data plane: ~1k idle
+ * connections parked on the epoll loops while a pipelining client
+ * sustains bit-identical traffic through the admission ring, with a
+ * read deadline short enough that the sweep runs many times over the
+ * test. What this catches that the unit tests cannot: connection
+ * counts the thread-per-connection design could never hold (1k stacks
+ * vs 1k fds), deadline sweeps walking a large conns list while some
+ * entries are mid-traffic, and accept/adopt churn under load.
+ *
+ * The connection count adapts to RLIMIT_NOFILE so sandboxed runners
+ * with tight fd limits soak what they can instead of failing.
+ */
+#include <gtest/gtest.h>
+
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bhive/generator.h"
+#include "facile/component.h"
+#include "server/client.h"
+#include "server/net_util.h"
+#include "server/server.h"
+
+namespace facile::server {
+namespace {
+
+std::string
+soakUnixPath()
+{
+    return "/tmp/facile_soak_" + std::to_string(::getpid()) + ".sock";
+}
+
+int
+rawConnectUnix(const std::string &path)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr),
+        0);
+    return fd;
+}
+
+/** PING round trip on a raw fd; false on any transport hiccup. */
+bool
+rawPing(int fd, std::uint64_t id)
+{
+    std::vector<std::uint8_t> frame;
+    appendControlRequest(frame, id, Op::Ping);
+    if (!sendAll(fd, frame.data(), frame.size()))
+        return false;
+    std::uint8_t header[kResponseHeaderSize];
+    std::size_t got = 0;
+    while (got < sizeof header) {
+        const ssize_t n =
+            ::recv(fd, header + got, sizeof header - got, 0);
+        if (n <= 0)
+            return false;
+        got += static_cast<std::size_t>(n);
+    }
+    const ResponseHeader h = parseResponseHeader(header);
+    return h.id == id && h.len == 0 &&
+           h.status == static_cast<std::uint8_t>(Status::Ok);
+}
+
+TEST(ServerSoak, ThousandIdleConnectionsWhilePipeliningClientSustains)
+{
+    // Budget fds: ~1k idle conns + the server's own fds + slack.
+    rlimit rl{};
+    ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &rl), 0);
+    const std::size_t idleTarget = std::min<std::size_t>(
+        1000, rl.rlim_cur > 200 ? (rl.rlim_cur - 100) / 2 : 50);
+
+    ServerOptions opts;
+    opts.unixPath = soakUnixPath();
+    opts.maxConnections = idleTarget + 16;
+    // Short deadline => the sweep walks the full conns list dozens of
+    // times during the soak. Idle-between-frames conns must survive it.
+    opts.readTimeoutMs = 250;
+    engine::PredictionEngine eng({.numThreads = 2});
+    opts.engine = &eng;
+    PredictionServer server(opts);
+    server.start();
+
+    // Park the idle herd. Each connection completes one PING frame
+    // first: a conn that never framed is deadline-eligible (handshake
+    // rule), one idling between frames is not.
+    std::vector<int> idle;
+    idle.reserve(idleTarget);
+    for (std::size_t i = 0; i < idleTarget; ++i) {
+        const int fd = rawConnectUnix(opts.unixPath);
+        ASSERT_GE(fd, 0);
+        ASSERT_TRUE(rawPing(fd, i + 1)) << "conn " << i;
+        idle.push_back(fd);
+    }
+
+    // Sustained pipelined traffic over > several deadline periods.
+    const auto &suite = bhive::generateSuite(7, 2);
+    std::vector<engine::Request> batch;
+    for (const auto &b : suite)
+        batch.push_back({b.bytesL, uarch::UArch::SKL, true, {}});
+    model::PredictScratch scratch;
+    std::vector<model::Prediction> expected;
+    for (const auto &r : batch)
+        expected.push_back(model::predict(bb::analyze(r.bytes, r.arch),
+                                          r.loop, r.config, scratch));
+
+    auto client = Client::connectUnix(opts.unixPath);
+    std::vector<model::Prediction> out;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(900);
+    std::size_t passes = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+        client.predictManyInto(batch, out);
+        ASSERT_EQ(out.size(), batch.size());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            ASSERT_EQ(std::memcmp(&out[i].throughput,
+                                  &expected[i].throughput,
+                                  sizeof(double)),
+                      0)
+                << "pass " << passes << " block " << i;
+        ++passes;
+    }
+    EXPECT_GE(passes, 3u);
+
+    // The idle herd must have survived every sweep: no read timeouts,
+    // all connections still open and answering.
+    ServerStats s = client.stats();
+    EXPECT_EQ(s.readTimeouts, 0u);
+    EXPECT_GE(s.connectionsOpen, idleTarget + 1);
+    for (std::size_t i = 0; i < idle.size();
+         i += std::max<std::size_t>(1, idle.size() / 16))
+        EXPECT_TRUE(rawPing(idle[i], 100000 + i)) << "idle conn " << i;
+
+    for (int fd : idle)
+        ::close(fd);
+    server.stop();
+    EXPECT_GE(server.stats().connectionsAccepted, idleTarget + 1);
+}
+
+} // namespace
+} // namespace facile::server
