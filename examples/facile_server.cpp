@@ -9,13 +9,20 @@
  *                 [--read-timeout-ms N] [--max-connections N]
  *                 [--max-pending N] [--max-inflight N]
  *                 [--snapshot-load FILE] [--snapshot-save FILE]
+ *                 [--drain-grace-ms N]
  *
  * --threads sizes the engine worker pool; --io-threads the epoll
  * reader loops (1 is right until the reader side itself saturates a
  * core — see ServerOptions::ioThreads).
  *
  * With no listener flags it serves on --unix /tmp/facile.sock.
- * SIGINT/SIGTERM shut down cleanly and print the serving counters.
+ *
+ * Shutdown (see PredictionServer::drain()): SIGTERM drains first —
+ * new connections are refused, new PREDICTs are answered DRAINING,
+ * HEALTH flips to Draining so routers move traffic off, and admitted
+ * work flushes — then after --drain-grace-ms (default 1000) the
+ * server stops and prints the serving counters. SIGINT skips the
+ * grace period and stops immediately (a second SIGTERM too).
  *
  * The resource-limit flags override the ServerOptions defaults (see
  * src/server/README.md, "Resource limits & abuse handling"): read
@@ -28,17 +35,24 @@
  * Warm-start snapshots (src/analysis/snapshot.h): --snapshot-load
  * restores the instruction intern arenas and the engine's prediction
  * cache before the first request, so a restarted server serves warm
- * immediately. --snapshot-save configures the destination; a save is
- * triggered by SIGUSR1, by the SNAPSHOT admin frame
- * (server::Client::snapshot()), and once more on clean shutdown.
+ * immediately — falling back through rotated generations when the
+ * newest file is torn (e.g. the previous process was SIGKILLed mid-
+ * save), and starting cold if none loads. --snapshot-save configures
+ * the destination; a save is triggered by SIGUSR1, by the SNAPSHOT
+ * admin frame (server::Client::snapshot()), and once more on clean
+ * shutdown. Saves are atomic (temp + fsync + rename), so a crash
+ * never leaves the destination unloadable. Point both flags at the
+ * same file for crash-restart round trips.
  */
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <semaphore.h>
 #include <string>
+#include <thread>
 
 #include "analysis/snapshot.h"
 #include "server/server.h"
@@ -53,13 +67,25 @@ sem_t g_stopSem;
 /** Set by SIGUSR1: the main loop saves a snapshot and keeps serving. */
 std::atomic<bool> g_snapshotRequested{false};
 
-/** Set by SIGINT/SIGTERM: the main loop shuts down. */
+/** Set by SIGINT (or a repeated SIGTERM): stop immediately. */
 std::atomic<bool> g_stopRequested{false};
+
+/** Set by SIGTERM: drain, then stop after the grace period. */
+std::atomic<bool> g_drainRequested{false};
 
 void
 onSignal(int)
 {
     g_stopRequested.store(true);
+    sem_post(&g_stopSem);
+}
+
+void
+onSigTerm(int)
+{
+    // Second SIGTERM escalates to an immediate stop.
+    if (g_drainRequested.exchange(true))
+        g_stopRequested.store(true);
     sem_post(&g_stopSem);
 }
 
@@ -78,7 +104,8 @@ usage(const char *argv0)
                  "[--io-threads N] [--window-us N] [--max-batch N]\n"
                  "       [--read-timeout-ms N] [--max-connections N] "
                  "[--max-pending N] [--max-inflight N]\n"
-                 "       [--snapshot-load FILE] [--snapshot-save FILE]\n",
+                 "       [--snapshot-load FILE] [--snapshot-save FILE] "
+                 "[--drain-grace-ms N]\n",
                  argv0);
     return 2;
 }
@@ -89,8 +116,8 @@ int
 main(int argc, char **argv)
 {
     server::ServerOptions opts;
-    std::string snapshotLoad;
     int threads = 0;
+    int drainGraceMs = 1000;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -151,12 +178,17 @@ main(int argc, char **argv)
             const char *v = next();
             if (!v)
                 return usage(argv[0]);
-            snapshotLoad = v;
+            opts.snapshotLoadPath = v;
         } else if (arg == "--snapshot-save") {
             const char *v = next();
             if (!v)
                 return usage(argv[0]);
             opts.snapshotPath = v;
+        } else if (arg == "--drain-grace-ms") {
+            const char *v = next();
+            if (!v)
+                return usage(argv[0]);
+            drainGraceMs = std::atoi(v);
         } else {
             return usage(argv[0]);
         }
@@ -169,21 +201,10 @@ main(int argc, char **argv)
     engine::PredictionEngine eng(eopts);
     opts.engine = &eng;
 
-    if (!snapshotLoad.empty()) {
-        try {
-            const analysis::SnapshotStats st =
-                analysis::loadSnapshot(snapshotLoad, {&eng});
-            std::printf("warm start from %s: %zu instruction records "
-                        "(%zu new), %zu fused pairs, %zu cached "
-                        "predictions\n",
-                        snapshotLoad.c_str(), st.records, st.newRecords,
-                        st.fusedPairs, st.predictions);
-        } catch (const analysis::SnapshotError &e) {
-            std::fprintf(stderr, "%s\n", e.what());
-            return 1;
-        }
-    }
-
+    // --snapshot-load flows through ServerOptions::snapshotLoadPath:
+    // start() walks the rotated generations and falls back to a cold
+    // start if none loads, logging either way — a missing or torn
+    // snapshot must not keep a replica from coming up.
     server::PredictionServer srv(opts);
     try {
         srv.start();
@@ -208,7 +229,7 @@ main(int argc, char **argv)
 
     sem_init(&g_stopSem, 0, 0);
     std::signal(SIGINT, onSignal);
-    std::signal(SIGTERM, onSignal);
+    std::signal(SIGTERM, onSigTerm);
     // Installed even without --snapshot-save: the default SIGUSR1
     // disposition is process termination, and a stray ops-script
     // signal must not kill the server. saveSnapshot() reports the
@@ -229,6 +250,23 @@ main(int argc, char **argv)
                             opts.snapshotPath.c_str(),
                             srv.saveSnapshot() ? "saved" : "FAILED");
             std::fflush(stdout);
+        }
+        if (g_drainRequested.load() && !g_stopRequested.load()) {
+            std::printf("SIGTERM: draining (refusing new work, grace "
+                        "%d ms; SIGINT or SIGTERM again stops now)\n",
+                        drainGraceMs);
+            std::fflush(stdout);
+            srv.drain();
+            // Sleep out the grace in slices so an escalation signal
+            // still cuts it short; admitted batches flush meanwhile.
+            const auto until =
+                std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(drainGraceMs);
+            while (std::chrono::steady_clock::now() < until &&
+                   !g_stopRequested.load())
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            break;
         }
         // Only an explicit stop request ends the loop: back-to-back
         // SIGUSR1s leave extra semaphore posts behind, and those
@@ -257,6 +295,11 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(s.epollWakeups),
                 static_cast<unsigned long long>(s.shortWrites),
                 static_cast<unsigned long long>(s.ringFull));
+    if (s.drainSheds > 0 || s.snapshotFallbacks > 0)
+        std::printf("resilience: %llu requests answered DRAINING, "
+                    "%llu snapshot generation fallbacks at warm start\n",
+                    static_cast<unsigned long long>(s.drainSheds),
+                    static_cast<unsigned long long>(s.snapshotFallbacks));
     const std::uint64_t shed = s.overloadedQueue + s.overloadedConn +
                                s.readTimeouts + s.quotaClosed +
                                s.connectionsShed;

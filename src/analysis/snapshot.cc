@@ -1,6 +1,10 @@
 #include "analysis/snapshot.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <unordered_map>
@@ -10,6 +14,7 @@
 // The prediction-cache section reuses the wire codec (one Prediction
 // body layout in the repo, not two drifting copies).
 #include "server/protocol.h"
+#include "testing/fault.h"
 
 namespace facile::analysis {
 
@@ -256,7 +261,14 @@ decodePrediction(const std::uint8_t *data, std::size_t len)
 std::vector<std::uint8_t>
 readFile(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
+    std::FILE *f;
+    const auto fa = testing::faultPoint("snapshot.read", 0);
+    if (fa.err) {
+        errno = fa.err;
+        f = nullptr;
+    } else {
+        f = std::fopen(path.c_str(), "rb");
+    }
     if (!f)
         throw SnapshotError("cannot open " + path);
     std::fseek(f, 0, SEEK_END);
@@ -273,30 +285,129 @@ readFile(const std::string &path)
     return buf;
 }
 
+/**
+ * Best-effort directory fsync after a rename: without it the rename
+ * itself may not survive a power loss even though the file data would.
+ * Failure is ignored — some filesystems refuse O_DIRECTORY fsync, and
+ * the fallback generations cover the residual window.
+ */
 void
-writeFile(const std::string &path, const std::uint8_t *data,
-          std::size_t len)
+fsyncParentDir(const std::string &path)
 {
-    // Write-then-rename so a crash mid-save (OOM kill, power loss)
-    // never replaces the previous good snapshot with a truncated one
-    // — the server saves to the same operator-configured path on
-    // every SIGUSR1 and shutdown.
-    const std::string tmp = path + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f)
-        throw SnapshotError("cannot create " + tmp);
-    const bool ok = std::fwrite(data, 1, len, f) == len;
-    if (std::fclose(f) != 0 || !ok) {
-        std::remove(tmp.c_str());
-        throw SnapshotError("short write on " + tmp);
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        throw SnapshotError("cannot rename " + tmp + " to " + path);
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
     }
 }
 
+void
+writeFileAtomic(const std::string &path, const std::uint8_t *data,
+                std::size_t len, int generations)
+{
+    // Write-then-fsync-then-rename so a crash mid-save (SIGKILL, OOM
+    // kill, power loss) never replaces the previous good snapshot with
+    // a truncated one — the server saves to the same
+    // operator-configured path on every SIGUSR1 and shutdown. The temp
+    // name is pid-suffixed so concurrent savers (two processes sharing
+    // a snapshot path) cannot tear each other's staging file.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    std::FILE *f;
+    {
+        const auto fa = testing::faultPoint("snapshot.open", 0);
+        if (fa.err) {
+            errno = fa.err;
+            f = nullptr;
+        } else {
+            f = std::fopen(tmp.c_str(), "wb");
+        }
+    }
+    if (!f)
+        throw SnapshotError("cannot create " + tmp);
+
+    // Torn-write injection point: a clamp cuts the staging file short,
+    // an errno fails the write outright — either way nothing has
+    // touched `path` yet and every existing generation stays loadable.
+    bool ok;
+    {
+        const auto fa = testing::faultPoint("snapshot.write", len);
+        if (fa.err) {
+            errno = fa.err;
+            ok = false;
+        } else {
+            const std::size_t n = std::min(len, fa.clamp);
+            ok = std::fwrite(data, 1, n, f) == n && n == len;
+        }
+    }
+    // Durability before visibility: the bytes must be on stable
+    // storage before the rename can make them the file readers see.
+    if (ok) {
+        const auto fa = testing::faultPoint("snapshot.fsync", 0);
+        if (fa.err) {
+            errno = fa.err;
+            ok = false;
+        } else {
+            ok = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+        }
+    }
+    if (std::fclose(f) != 0)
+        ok = false;
+    if (!ok) {
+        std::remove(tmp.c_str());
+        throw SnapshotError("short write on " + tmp);
+    }
+
+    // Rotate prior generations (path -> .g1 -> .g2, oldest renamed
+    // first). A missing generation is fine; any other failure aborts
+    // the save with every existing generation intact.
+    for (int g = generations - 1; g >= 1; --g) {
+        const std::string from = snapshotGenerationPath(path, g - 1);
+        const std::string to = snapshotGenerationPath(path, g);
+        int rc;
+        const auto fa = testing::faultPoint("snapshot.rotate", 0);
+        if (fa.err) {
+            errno = fa.err;
+            rc = -1;
+        } else {
+            rc = std::rename(from.c_str(), to.c_str());
+        }
+        if (rc != 0 && errno != ENOENT) {
+            std::remove(tmp.c_str());
+            throw SnapshotError("cannot rotate " + from + " to " + to);
+        }
+    }
+
+    // The commit point. If this fails after a rotation, the primary
+    // name is vacant but `path.g1` holds the previous good image and
+    // the loader's generation walk finds it.
+    int rc;
+    {
+        const auto fa = testing::faultPoint("snapshot.rename", 0);
+        if (fa.err) {
+            errno = fa.err;
+            rc = -1;
+        } else {
+            rc = std::rename(tmp.c_str(), path.c_str());
+        }
+    }
+    if (rc != 0) {
+        std::remove(tmp.c_str());
+        throw SnapshotError("cannot rename " + tmp + " to " + path);
+    }
+    fsyncParentDir(path);
+}
+
 } // namespace
+
+std::string
+snapshotGenerationPath(const std::string &path, int gen)
+{
+    return gen <= 0 ? path : path + ".g" + std::to_string(gen);
+}
 
 std::uint64_t
 fnv1a64(const std::uint8_t *data, std::size_t len, std::uint64_t seed)
@@ -573,7 +684,8 @@ saveSnapshot(const std::string &path, const SnapshotOptions &opts)
     putU64(file, payload.size());
     putU64(file, fnv1a64(payload.data(), payload.size()));
     file.insert(file.end(), payload.begin(), payload.end());
-    writeFile(path, file.data(), file.size());
+    writeFileAtomic(path, file.data(), file.size(),
+                    std::max(1, opts.generations));
     st.bytes = file.size();
     return st;
 }
@@ -738,9 +850,27 @@ loadImage(const std::uint8_t *data, std::size_t size,
 SnapshotStats
 loadSnapshot(const std::string &path, const SnapshotOptions &opts)
 {
-    const std::vector<std::uint8_t> file = readFile(path);
-    return loadImage(file.data(), file.size(), opts, /*commit=*/true,
-                     path);
+    // Walk the generation chain newest-first and warm-start from the
+    // first image that validates end to end. Staging (phase 1) commits
+    // nothing on failure, so a torn primary costs only the attempt —
+    // the fallback load starts from pristine state.
+    const int gens = std::max(1, opts.generations);
+    std::string firstError;
+    for (int g = 0; g < gens; ++g) {
+        const std::string cand = snapshotGenerationPath(path, g);
+        try {
+            const std::vector<std::uint8_t> file = readFile(cand);
+            SnapshotStats st = loadImage(file.data(), file.size(), opts,
+                                         /*commit=*/true, cand);
+            st.generation = static_cast<std::size_t>(g);
+            return st;
+        } catch (const SnapshotError &e) {
+            if (firstError.empty())
+                firstError = e.what();
+        }
+    }
+    throw SnapshotError("no loadable generation of " + path + " (" +
+                        firstError + ")");
 }
 
 SnapshotStats

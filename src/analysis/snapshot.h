@@ -46,6 +46,19 @@
  * file, out-of-bounds section, or checksum mismatch throws
  * SnapshotError; nothing is imported from a file that fails
  * validation (the checksum is verified before any section is parsed).
+ *
+ * Crash safety (PR 8): saveSnapshot is atomic and durable — the image
+ * is written to a pid-suffixed temp file, fflush+fsync'd, and then
+ * rename(2)'d over the target, with the parent directory fsync'd
+ * after; a crash (SIGKILL, OOM, power loss) at ANY point leaves the
+ * previous on-disk state untouched. Saves additionally keep a bounded
+ * history of *generations*: before the rename, `path` is rotated to
+ * `path.g1`, `path.g1` to `path.g2`, ... up to
+ * SnapshotOptions::generations files. loadSnapshot walks that chain —
+ * primary first, then older generations — and warm-starts from the
+ * first one that validates, so even external corruption of the newest
+ * file degrades warm start by one save interval instead of forcing a
+ * cold start. SnapshotStats::generation reports which one loaded.
  */
 #ifndef FACILE_ANALYSIS_SNAPSHOT_H
 #define FACILE_ANALYSIS_SNAPSHOT_H
@@ -66,6 +79,12 @@ namespace facile::analysis {
 
 inline constexpr std::uint32_t kSnapshotVersion = 1;
 
+/**
+ * Default on-disk history depth: the primary file plus two rotated
+ * prior generations (`path`, `path.g1`, `path.g2`).
+ */
+inline constexpr int kSnapshotGenerations = 3;
+
 /** Thrown on malformed, truncated, or corrupted snapshot files. */
 class SnapshotError : public std::runtime_error
 {
@@ -83,6 +102,12 @@ struct SnapshotStats
     std::size_t predictions = 0; ///< engine prediction-cache entries
     std::size_t newRecords = 0;  ///< load: records actually appended
     std::size_t bytes = 0;       ///< file size
+    /**
+     * Which generation a load came from: 0 = the primary path, g > 0 =
+     * the g-th rotated fallback (`path.gN`) after newer generations
+     * failed validation. Always 0 for saves.
+     */
+    std::size_t generation = 0;
 };
 
 struct SnapshotOptions
@@ -93,15 +118,33 @@ struct SnapshotOptions
      * process-wide and always included.
      */
     engine::PredictionEngine *engine = nullptr;
+
+    /**
+     * On-disk generations kept by save (and scanned by load). 1 means
+     * no rotation — the pre-PR 8 single-file behavior. Values < 1 are
+     * treated as 1.
+     */
+    int generations = kSnapshotGenerations;
 };
 
-/** Serialize the intern arenas (all nine arches) to @p path. */
+/** Name of generation @p gen of @p path (gen 0 is @p path itself). */
+std::string snapshotGenerationPath(const std::string &path, int gen);
+
+/**
+ * Serialize the intern arenas (all nine arches) to @p path, atomically
+ * and durably (temp file + fsync + rename), rotating prior generations
+ * per SnapshotOptions::generations.
+ */
 SnapshotStats saveSnapshot(const std::string &path,
                            const SnapshotOptions &opts = {});
 
 /**
  * Validate and load @p path, appending to the process-wide arenas.
- * @throws SnapshotError on any validation failure (nothing imported).
+ * Falls back through rotated generations (`path.g1`, ...) when newer
+ * files are missing or fail validation; SnapshotStats::generation
+ * records which one was used.
+ * @throws SnapshotError when no generation validates (nothing
+ * imported).
  */
 SnapshotStats loadSnapshot(const std::string &path,
                            const SnapshotOptions &opts = {});

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "server/net_util.h"
+#include "testing/fault.h"
 
 namespace facile::server {
 
@@ -29,9 +30,72 @@ throwOnRejected(const ResponseHeader &h)
     if (h.status == static_cast<std::uint8_t>(Status::Overloaded))
         throw ProtocolError("server overloaded (back off and retry)",
                             Status::Overloaded);
+    if (h.status == static_cast<std::uint8_t>(Status::Draining))
+        throw ProtocolError("server draining (retry elsewhere or back "
+                            "off)",
+                            Status::Draining);
     throw ProtocolError("server rejected request (status " +
                             std::to_string(h.status) + ")",
                         static_cast<Status>(h.status));
+}
+
+[[noreturn]] void
+throwTransport(const std::string &what)
+{
+    throw TransportError(what + ": " + std::strerror(errno));
+}
+
+/**
+ * Finish a connect(2) that was interrupted by a signal: the kernel
+ * keeps establishing the connection asynchronously, so poll for
+ * writability and read the final outcome from SO_ERROR — calling
+ * connect() again would race the handshake and can report EALREADY
+ * or EISCONN depending on timing.
+ */
+void
+finishInterruptedConnect(int fd, const std::string &what)
+{
+    for (;;) {
+        pollfd pf{fd, POLLOUT, 0};
+        const int rc = ::poll(&pf, 1, -1);
+        if (rc >= 0)
+            break;
+        if (errno != EINTR)
+            throwTransport(what);
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0)
+        throwTransport(what);
+    if (err != 0) {
+        errno = err;
+        throwTransport(what);
+    }
+}
+
+/**
+ * connect(2) with EINTR completion and a fault-injection point. The
+ * injection runs *after* the real connect so a forced EINTR models
+ * the true syscall semantics (interrupted, but the handshake
+ * continues in the background).
+ */
+void
+connectOrThrow(int fd, const sockaddr *addr, socklen_t len,
+               const std::string &what)
+{
+    int rc = ::connect(fd, addr, len);
+    const auto fa = testing::faultPoint("client.connect", 0);
+    if (fa.err && rc == 0) {
+        errno = fa.err;
+        rc = -1;
+    }
+    if (rc == 0)
+        return;
+    if (errno == EINTR) {
+        finishInterruptedConnect(fd, what);
+        return;
+    }
+    throwTransport(what);
 }
 
 } // namespace
@@ -49,12 +113,13 @@ Client::connectTcp(const std::string &host, int port)
         ::close(fd);
         throw std::runtime_error("bad host (want a dotted quad): " + host);
     }
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
-        0) {
-        int e = errno;
+    try {
+        connectOrThrow(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof addr,
+                       "connect " + host + ":" + std::to_string(port));
+    } catch (...) {
         ::close(fd);
-        errno = e;
-        throwErrno("connect " + host + ":" + std::to_string(port));
+        throw;
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -73,12 +138,12 @@ Client::connectUnix(const std::string &path)
         throwErrno("socket(AF_UNIX)");
     addr.sun_family = AF_UNIX;
     std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
-    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof addr) <
-        0) {
-        int e = errno;
+    try {
+        connectOrThrow(fd, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof addr, "connect " + path);
+    } catch (...) {
         ::close(fd);
-        errno = e;
-        throwErrno("connect " + path);
+        throw;
     }
     setNonBlocking(fd);
     return Client(fd);
@@ -116,7 +181,14 @@ Client::drainSocket()
 {
     std::uint8_t chunk[64 * 1024];
     for (;;) {
-        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        ssize_t n;
+        const auto fa = testing::faultPoint("client.recv", sizeof chunk);
+        if (fa.err) {
+            errno = fa.err;
+            n = -1;
+        } else {
+            n = ::recv(fd_, chunk, std::min(sizeof chunk, fa.clamp), 0);
+        }
         if (n > 0) {
             inbuf_.insert(inbuf_.end(), chunk, chunk + n);
             if (static_cast<std::size_t>(n) < sizeof chunk)
@@ -135,7 +207,14 @@ void
 Client::writeAll(const std::uint8_t *data, std::size_t len)
 {
     while (len > 0) {
-        const ssize_t n = ::send(fd_, data, len, MSG_NOSIGNAL);
+        ssize_t n;
+        const auto fa = testing::faultPoint("client.send", len);
+        if (fa.err) {
+            errno = fa.err;
+            n = -1;
+        } else {
+            n = ::send(fd_, data, std::min(len, fa.clamp), MSG_NOSIGNAL);
+        }
         if (n > 0) {
             data += static_cast<std::size_t>(n);
             len -= static_cast<std::size_t>(n);
@@ -151,17 +230,25 @@ Client::writeAll(const std::uint8_t *data, std::size_t len)
             // parses inbuf_ before touching the socket, so nothing
             // drained here is lost.
             pollfd pf{fd_, POLLIN | POLLOUT, 0};
-            if (::poll(&pf, 1, -1) < 0) {
+            int rc;
+            const auto pfa = testing::faultPoint("client.poll", 0);
+            if (pfa.err) {
+                errno = pfa.err;
+                rc = -1;
+            } else {
+                rc = ::poll(&pf, 1, -1);
+            }
+            if (rc < 0) {
                 if (errno == EINTR)
                     continue;
-                throwErrno("poll");
+                throwTransport("poll");
             }
             if ((pf.revents & POLLIN) && !drainSocket())
-                throw std::runtime_error(
+                throw TransportError(
                     "connection closed by prediction server");
             continue;
         }
-        throwErrno("send");
+        throwTransport("send");
     }
 }
 
@@ -192,12 +279,20 @@ Client::readResponse(const std::uint8_t *&payload)
         }
         const std::size_t before = inbuf_.size();
         if (!drainSocket())
-            throw std::runtime_error(
+            throw TransportError(
                 "connection closed by prediction server");
         if (inbuf_.size() == before) {
             pollfd pf{fd_, POLLIN, 0};
-            if (::poll(&pf, 1, -1) < 0 && errno != EINTR)
-                throwErrno("poll");
+            int rc;
+            const auto fa = testing::faultPoint("client.poll", 0);
+            if (fa.err) {
+                errno = fa.err;
+                rc = -1;
+            } else {
+                rc = ::poll(&pf, 1, -1);
+            }
+            if (rc < 0 && errno != EINTR)
+                throwTransport("poll");
         }
     }
 }
@@ -325,6 +420,24 @@ Client::ping()
     if (h.id != id)
         throw ProtocolError("PING response id mismatch");
     throwOnRejected(h);
+}
+
+HealthState
+Client::health()
+{
+    const std::uint64_t id = nextId_++;
+    std::vector<std::uint8_t> frame;
+    appendControlRequest(frame, id, Op::Health);
+    writeAll(frame.data(), frame.size());
+    const std::uint8_t *payload = nullptr;
+    ResponseHeader h = readResponse(payload);
+    if (h.id != id)
+        throw ProtocolError("HEALTH response id mismatch");
+    throwOnRejected(h);
+    auto state = decodeHealthPayload(payload, h.len);
+    if (!state)
+        throw ProtocolError("malformed HEALTH response payload");
+    return *state;
 }
 
 } // namespace facile::server

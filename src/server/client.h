@@ -49,12 +49,15 @@ class Client
      * pass model::Payload::Full to have the server build the
      * interpretability payload (wire flag bit 1).
      *
-     * Error contract (predictMany/stats/ping/snapshot follow it too):
-     * protocol faults — a rejected status (BadRequest, Overloaded),
-     * a malformed or mismatched response — throw ProtocolError, with
-     * the wire status attached for rejections so callers can treat
-     * Overloaded as retryable backpressure; transport faults
-     * (connection loss, short writes) throw plain std::runtime_error.
+     * Error contract (predictMany/stats/ping/snapshot/health follow
+     * it too): protocol faults — a rejected status (BadRequest,
+     * Overloaded, Draining), a malformed or mismatched response —
+     * throw ProtocolError, with the wire status attached for
+     * rejections so callers can treat Overloaded/Draining as
+     * retryable backpressure (ProtocolError::retryable()); transport
+     * faults (connect failure, connection loss, poll errors) throw
+     * TransportError. ResilientClient wraps this class and turns both
+     * retryable classes into automatic reconnect/backoff/replay.
      */
     model::Prediction
     predict(const std::vector<std::uint8_t> &bytes, uarch::UArch arch,
@@ -83,6 +86,14 @@ class Client
 
     /** Health check; throws if the server does not answer. */
     void ping();
+
+    /**
+     * Readiness probe (the HEALTH admin frame): Ready in normal
+     * operation, Draining once graceful shutdown began — a router
+     * shards new traffic away from draining replicas. Unknown for a
+     * state this client build does not recognize.
+     */
+    HealthState health();
 
     /**
      * Ask the server to persist a warm-start snapshot to its

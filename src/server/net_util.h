@@ -11,11 +11,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
 #include <cstring>
 #include <stdexcept>
 #include <string>
+
+#include "testing/fault.h"
 
 namespace facile::server {
 
@@ -27,7 +30,14 @@ inline bool
 sendAll(int fd, const std::uint8_t *data, std::size_t len)
 {
     while (len > 0) {
-        ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+        ssize_t n;
+        const auto fa = testing::faultPoint("net.send", len);
+        if (fa.err) {
+            errno = fa.err;
+            n = -1;
+        } else {
+            n = ::send(fd, data, std::min(len, fa.clamp), MSG_NOSIGNAL);
+        }
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -58,7 +68,49 @@ inline void
 drainWakeFd(int fd)
 {
     std::uint64_t v;
-    while (::read(fd, &v, sizeof v) > 0) {
+    for (;;) {
+        ssize_t n;
+        const auto fa = testing::faultPoint("net.wake_read", sizeof v);
+        if (fa.err) {
+            errno = fa.err;
+            n = -1;
+        } else {
+            n = ::read(fd, &v, sizeof v);
+        }
+        if (n > 0)
+            continue;
+        // A signal between the eventfd becoming readable and the read
+        // would otherwise leave the counter set and the next epoll_wait
+        // spinning on a level-triggered wakeup that never drains.
+        if (n < 0 && errno == EINTR)
+            continue;
+        return;
+    }
+}
+
+/**
+ * Bump a nonblocking eventfd, retrying on EINTR: a lost wakeup here
+ * means the target loop sleeps a full sweep interval (or until the
+ * next unrelated event) with work already queued for it. EAGAIN means
+ * the counter is already non-zero — the wakeup is pending, nothing to
+ * do. Any other error is ignored by design (shutdown races close the
+ * fd under us; the sweeps bound the damage).
+ */
+inline void
+signalWakeFd(int fd)
+{
+    const std::uint64_t one = 1;
+    for (;;) {
+        ssize_t n;
+        const auto fa = testing::faultPoint("net.wake_write", sizeof one);
+        if (fa.err) {
+            errno = fa.err;
+            n = -1;
+        } else {
+            n = ::write(fd, &one, sizeof one);
+        }
+        if (n >= 0 || errno != EINTR)
+            return;
     }
 }
 

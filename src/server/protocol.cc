@@ -146,6 +146,39 @@ appendStatsResponse(std::vector<std::uint8_t> &buf, std::uint64_t id,
     putU64(p, stats.epollWakeups);
     putU64(p, stats.shortWrites);
     putU64(p, stats.ringFull);
+    putU64(p, stats.reconnects);
+    putU64(p, stats.retriedRequests);
+    putU64(p, stats.drainSheds);
+    putU64(p, stats.snapshotFallbacks);
+}
+
+void
+appendHealthResponse(std::vector<std::uint8_t> &buf, std::uint64_t id,
+                     HealthState state)
+{
+    std::uint8_t *p = growBuf(buf, kResponseHeaderSize + 1);
+    putU64(p, id);
+    *p++ = static_cast<std::uint8_t>(Status::Ok);
+    *p++ = static_cast<std::uint8_t>(Op::Health);
+    putU16(p, 1);
+    *p = static_cast<std::uint8_t>(state);
+}
+
+std::optional<HealthState>
+decodeHealthPayload(const std::uint8_t *p, std::size_t len)
+{
+    if (len < 1)
+        return std::nullopt;
+    switch (p[0]) {
+    case static_cast<std::uint8_t>(HealthState::Ready):
+        return HealthState::Ready;
+    case static_cast<std::uint8_t>(HealthState::Draining):
+        return HealthState::Draining;
+    default:
+        // Forward compatibility: a state this build doesn't know is
+        // still a well-formed answer, not a protocol error.
+        return HealthState::Unknown;
+    }
 }
 
 bool
@@ -228,6 +261,14 @@ decodeStatsPayload(const std::uint8_t *p, std::size_t len)
         s.shortWrites = getU64(p + 128);
     if (fields > 17)
         s.ringFull = getU64(p + 136);
+    if (fields > 18)
+        s.reconnects = getU64(p + 144);
+    if (fields > 19)
+        s.retriedRequests = getU64(p + 152);
+    if (fields > 20)
+        s.drainSheds = getU64(p + 160);
+    if (fields > 21)
+        s.snapshotFallbacks = getU64(p + 168);
     return s;
 }
 

@@ -18,7 +18,10 @@
  *                            intern arenas + prediction cache — to the
  *                            operator-configured snapshotPath; answers
  *                            BAD_REQUEST when no path is configured or
- *                            the save fails)
+ *                            the save fails)  5=HEALTH (readiness
+ *                            probe: payload is one u8, 1=READY
+ *                            2=DRAINING; a router shards traffic away
+ *                            from draining replicas)
  *   offset 9   u8   arch     uarch::UArch value (PREDICT only)
  *   offset 10  u8   flags    bit 0: loop (TPL vs TPU); bit 1: explain
  *                            (build the interpretability payload —
@@ -39,6 +42,10 @@
  *                            (load shed: admission queue full or the
  *                            connection's in-flight quota exceeded;
  *                            the request was valid — back off, retry)
+ *                            3=DRAINING (the server is shutting down
+ *                            gracefully: it no longer accepts PREDICT
+ *                            work but still answers control ops; retry
+ *                            against another replica or after backoff)
  *   offset 9   u8   op       echo of the request op
  *   offset 10  u16  len      payload length
  *
@@ -52,11 +59,12 @@
  *   i32  criticalChain[nCriticalChain]
  *   i32  contendingInsts[nContendingInsts]
  *
- * STATS response payload: ServerStats as kStatsFields (18) u64 fields
+ * STATS response payload: ServerStats as kStatsFields (22) u64 fields
  * in declaration order. The payload is append-only — decoders accept
  * any whole-u64 payload of at least kStatsFieldsV1 (15) fields, so
  * mixed-version client/server pairs interoperate. PING response
- * payload: empty.
+ * payload: empty. HEALTH response payload: one u8 readiness state
+ * (decoders must tolerate longer payloads — append-only, like STATS).
  *
  * A malformed-but-well-framed block (decode error) is NOT a protocol
  * error: it follows the engine's crash protocol and yields status OK
@@ -85,6 +93,7 @@ enum class Op : std::uint8_t {
     Stats = 2,
     Ping = 3,
     Snapshot = 4,
+    Health = 5,
 };
 
 enum class Status : std::uint8_t {
@@ -98,16 +107,30 @@ enum class Status : std::uint8_t {
      * the request itself was wrong.
      */
     Overloaded = 2,
+    /**
+     * Graceful shutdown in progress: the server is flushing in-flight
+     * batches and no longer takes PREDICT work (control ops still
+     * answer). Like Overloaded this says nothing was wrong with the
+     * request — retry elsewhere or after backoff.
+     */
+    Draining = 3,
+};
+
+/** HEALTH response payload values (first u8). */
+enum class HealthState : std::uint8_t {
+    Unknown = 0,
+    Ready = 1,
+    Draining = 2,
 };
 
 /**
  * Typed protocol fault (mirrors analysis::SnapshotError): the peer
  * spoke the wire format wrong or rejected a request — as opposed to a
- * transport fault (connection reset, short write), which surfaces as a
- * plain std::runtime_error. status() carries the wire status for
- * rejections (Status::Overloaded means "back off and retry"); locally
- * detected faults (malformed payload, id mismatch) report Status::Ok
- * there since no wire status was involved.
+ * transport fault (TransportError below). status() carries the wire
+ * status for rejections (Status::Overloaded and Status::Draining mean
+ * "back off and retry"); locally detected faults (malformed payload,
+ * id mismatch) report Status::Ok there since no wire status was
+ * involved.
  */
 class ProtocolError : public std::runtime_error
 {
@@ -119,8 +142,35 @@ class ProtocolError : public std::runtime_error
 
     Status status() const { return status_; }
 
+    /**
+     * Retryable-vs-fatal taxonomy for self-healing clients: a shed
+     * (Overloaded/Draining) is the server explicitly asking for a
+     * retry after backoff; everything else — BadRequest, malformed
+     * payloads, id mismatches — will fail the same way again and must
+     * surface to the caller.
+     */
+    bool retryable() const
+    {
+        return status_ == Status::Overloaded || status_ == Status::Draining;
+    }
+
   private:
     Status status_;
+};
+
+/**
+ * Typed transport fault: the connection itself failed (reset, refused,
+ * unexpected EOF, poll timeout) rather than the protocol being spoken
+ * wrong. Always retryable after a reconnect — PREDICT is pure, so a
+ * self-healing client may replay in-flight requests on a fresh
+ * connection (ResilientClient does exactly that).
+ */
+class TransportError : public std::runtime_error
+{
+  public:
+    explicit TransportError(const std::string &what)
+        : std::runtime_error("transport: " + what)
+    {}
 };
 
 /** Request flag bits (the u8 at offset 10). */
@@ -181,6 +231,15 @@ struct ServerStats
     std::uint64_t epollWakeups = 0; ///< epoll_wait returns, all io loops
     std::uint64_t shortWrites = 0;  ///< partial writev: EPOLLOUT resume
     std::uint64_t ringFull = 0;     ///< admission-ring capacity rejections
+
+    // Fault-tolerance counters (appended in PR 8). The first two are
+    // client-side: a server always reports 0 there, and
+    // ResilientClient::stats() fills in its own reconnect/retry tallies
+    // so one struct describes the whole path end to end.
+    std::uint64_t reconnects = 0;        ///< client: successful reconnects
+    std::uint64_t retriedRequests = 0;   ///< client: requests re-sent
+    std::uint64_t drainSheds = 0;        ///< PREDICTs answered DRAINING
+    std::uint64_t snapshotFallbacks = 0; ///< warm-start generations skipped
 };
 
 /**
@@ -191,7 +250,7 @@ struct ServerStats
  * extras are ignored), so client and server can be upgraded
  * independently.
  */
-inline constexpr std::size_t kStatsFields = 18;
+inline constexpr std::size_t kStatsFields = 22;
 inline constexpr std::size_t kStatsFieldsV1 = 15;
 
 // ---- little-endian append/read helpers ------------------------------------
@@ -284,6 +343,17 @@ void appendStatusResponse(std::vector<std::uint8_t> &buf, std::uint64_t id,
 /** Append a STATS response frame. */
 void appendStatsResponse(std::vector<std::uint8_t> &buf, std::uint64_t id,
                          const ServerStats &stats);
+
+/** Append a HEALTH response frame (payload: one readiness u8). */
+void appendHealthResponse(std::vector<std::uint8_t> &buf, std::uint64_t id,
+                          HealthState state);
+
+/**
+ * Decode a HEALTH response payload. Tolerates future append-only
+ * extensions (extra trailing bytes); nullopt only on an empty payload.
+ */
+std::optional<HealthState> decodeHealthPayload(const std::uint8_t *p,
+                                               std::size_t len);
 
 /**
  * Decode a PREDICT response payload back into a Prediction. Returns

@@ -27,6 +27,7 @@
 #include "server/mpsc_ring.h"
 #include "server/net_util.h"
 #include "server/write_queue.h"
+#include "testing/fault.h"
 #include "uarch/config.h"
 
 namespace facile::server {
@@ -136,6 +137,13 @@ struct PredictionServer::Impl
 
     std::atomic<bool> running{false};
     std::atomic<bool> stopping{false};
+    /**
+     * Graceful-degradation latch (drain()): accept no new
+     * connections, shed new PREDICT work with Status::Draining, keep
+     * answering control ops and flushing batches already admitted.
+     * One-way until the next start().
+     */
+    std::atomic<bool> draining{false};
     Clock::time_point startTime;
 
     int tcpFd = -1;
@@ -167,6 +175,8 @@ struct PredictionServer::Impl
     std::atomic<std::uint64_t> epollWakeups{0};
     std::atomic<std::uint64_t> shortWrites{0};
     std::atomic<std::uint64_t> ringFull{0};
+    std::atomic<std::uint64_t> drainSheds{0};
+    std::atomic<std::uint64_t> snapshotFallbacks{0};
 
     mutable std::mutex statsMu;
     ServerStats counters; ///< batch-grained; merged on read
@@ -335,17 +345,32 @@ struct PredictionServer::Impl
     acceptReady(Loop &lp0, int listenFd, bool tcp)
     {
         for (;;) {
-            int fd = ::accept4(listenFd, nullptr, nullptr,
+            int fd;
+            const auto fa = testing::faultPoint("server.accept", 0);
+            if (fa.err) {
+                errno = fa.err;
+                fd = -1;
+            } else {
+                fd = ::accept4(listenFd, nullptr, nullptr,
                                SOCK_NONBLOCK | SOCK_CLOEXEC);
+            }
             if (fd < 0) {
-                if (errno == EINTR)
-                    continue;
+                if (errno == EINTR || errno == ECONNABORTED)
+                    continue; // retry: more conns may be queued behind
                 break; // EAGAIN, or listener closed by stop()
             }
             if (tcp) {
                 int one = 1;
                 ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
                              sizeof one);
+            }
+            if (draining.load(std::memory_order_relaxed)) {
+                // Drain mode: existing connections finish their work,
+                // new ones are turned away at the door (same signal as
+                // the connection cap — the close IS the answer).
+                ::close(fd);
+                connectionsShed.fetch_add(1, std::memory_order_relaxed);
+                continue;
             }
             if (opts.maxConnections > 0 &&
                 connectionsOpen.load(std::memory_order_relaxed) >=
@@ -383,21 +408,14 @@ struct PredictionServer::Impl
         }
     }
 
-    void
-    wake(Loop &lp)
-    {
-        const std::uint64_t one = 1;
-        [[maybe_unused]] ssize_t n =
-            ::write(lp.wakeFd, &one, sizeof one);
-    }
+    // EINTR audit (PR 8): these were bare ::write calls with the
+    // result ignored — a signal landing exactly here silently lost the
+    // wakeup and left the target loop asleep (up to a full sweep
+    // interval for io loops, until the next unrelated wake for the
+    // collector) with work already queued. signalWakeFd retries.
+    void wake(Loop &lp) { signalWakeFd(lp.wakeFd); }
 
-    void
-    wakeCollector()
-    {
-        const std::uint64_t one = 1;
-        [[maybe_unused]] ssize_t n =
-            ::write(collectorWakeFd, &one, sizeof one);
-    }
+    void wakeCollector() { signalWakeFd(collectorWakeFd); }
 
     // ---- io loop ----------------------------------------------------------
 
@@ -422,7 +440,14 @@ struct PredictionServer::Impl
         while (!stopping.load(std::memory_order_acquire)) {
             const int timeout =
                 msUntil(nextSweep, Clock::now(), sweepMs);
-            const int n = ::epoll_wait(lp.epfd, evs, kMaxEvents, timeout);
+            int n;
+            const auto fa = testing::faultPoint("server.epoll", 0);
+            if (fa.err) {
+                errno = fa.err;
+                n = -1;
+            } else {
+                n = ::epoll_wait(lp.epfd, evs, kMaxEvents, timeout);
+            }
             epollWakeups.fetch_add(1, std::memory_order_relaxed);
             if (n < 0 && errno != EINTR)
                 break;
@@ -540,7 +565,15 @@ struct PredictionServer::Impl
         const int fd = conn->fd.load();
 
         for (int budget = kReadBudget; budget > 0; --budget) {
-            const ssize_t n = ::recv(fd, chunk.data(), chunk.size(), 0);
+            ssize_t n;
+            const auto fa = testing::faultPoint("server.recv", chunk.size());
+            if (fa.err) {
+                errno = fa.err;
+                n = -1;
+            } else {
+                n = ::recv(fd, chunk.data(),
+                           std::min(chunk.size(), fa.clamp), 0);
+            }
             if (n < 0 && errno == EINTR) {
                 ++budget;
                 continue;
@@ -658,11 +691,27 @@ struct PredictionServer::Impl
                                  saveSnapshotNow() ? Status::Ok
                                                    : Status::BadRequest);
             return;
+          case Op::Health:
+            appendHealthResponse(reply, h.id,
+                                 draining.load(std::memory_order_relaxed)
+                                     ? HealthState::Draining
+                                     : HealthState::Ready);
+            return;
           case Op::Predict: {
             if (h.arch >= uarch::allUArchs().size() ||
                 h.len > kMaxBlockBytes) {
                 appendStatusResponse(reply, h.id, Op::Predict,
                                      Status::BadRequest);
+                return;
+            }
+            if (draining.load(std::memory_order_relaxed)) {
+                // Graceful shutdown: batches already admitted still
+                // flush, but new work is declined with a status that
+                // tells the client to go elsewhere — unlike Overloaded
+                // this is not transient on THIS replica.
+                drainSheds.fetch_add(1, std::memory_order_relaxed);
+                appendStatusResponse(reply, h.id, Op::Predict,
+                                     Status::Draining);
                 return;
             }
             if (opts.maxInFlightPerConn > 0 &&
@@ -750,7 +799,12 @@ struct PredictionServer::Impl
                 if (stopping.load(std::memory_order_acquire))
                     return;
                 pollfd pf{collectorWakeFd, POLLIN, 0};
-                ::poll(&pf, 1, -1);
+                // EINTR (or any failure) is benign here: the loop
+                // re-checks the ring and stop flag either way.
+                const auto fa =
+                    testing::faultPoint("server.collector_poll", 0);
+                if (!fa.err)
+                    ::poll(&pf, 1, -1);
                 drainWakeFd(collectorWakeFd);
             }
             // Admission window: wait for stragglers of the burst;
@@ -777,7 +831,10 @@ struct PredictionServer::Impl
                     ts.tv_nsec =
                         static_cast<long>(ns.count() % 1000000000);
                     pollfd pf{collectorWakeFd, POLLIN, 0};
-                    ::ppoll(&pf, 1, &ts, nullptr);
+                    const auto fa =
+                        testing::faultPoint("server.collector_poll", 0);
+                    if (!fa.err)
+                        ::ppoll(&pf, 1, &ts, nullptr);
                     drainWakeFd(collectorWakeFd);
                 }
             }
@@ -908,6 +965,43 @@ struct PredictionServer::Impl
 
     // ---- warm-start snapshot ----------------------------------------------
 
+    /**
+     * Warm start from ServerOptions::snapshotLoadPath before serving.
+     * Crash recovery path: loadSnapshot walks the generation chain, so
+     * a snapshot torn by a SIGKILL mid-save falls back to the previous
+     * good one (counted in snapshotFallbacks); when NO generation
+     * loads, the server starts cold rather than refusing to serve —
+     * availability over warmth. Never throws.
+     */
+    void
+    loadSnapshotAtStart()
+    {
+        if (opts.snapshotLoadPath.empty())
+            return;
+        try {
+            const analysis::SnapshotStats st = analysis::loadSnapshot(
+                opts.snapshotLoadPath, {engine, opts.snapshotGenerations});
+            snapshotFallbacks.fetch_add(st.generation,
+                                        std::memory_order_relaxed);
+            std::fprintf(
+                stderr,
+                "warm start: %zu records, %zu predictions from %s"
+                " (generation %zu)\n",
+                st.records, st.predictions,
+                analysis::snapshotGenerationPath(
+                    opts.snapshotLoadPath, static_cast<int>(st.generation))
+                    .c_str(),
+                st.generation);
+        } catch (const std::exception &e) {
+            snapshotFallbacks.fetch_add(
+                static_cast<std::uint64_t>(
+                    std::max(1, opts.snapshotGenerations)),
+                std::memory_order_relaxed);
+            std::fprintf(stderr, "warm start unavailable, cold start: %s\n",
+                         e.what());
+        }
+    }
+
     bool
     saveSnapshotNow()
     {
@@ -915,7 +1009,8 @@ struct PredictionServer::Impl
             return false;
         std::lock_guard<std::mutex> lock(snapshotMu);
         try {
-            analysis::saveSnapshot(opts.snapshotPath, {engine});
+            analysis::saveSnapshot(opts.snapshotPath,
+                                   {engine, opts.snapshotGenerations});
             return true;
         } catch (const std::exception &e) {
             std::fprintf(stderr, "snapshot save failed: %s\n", e.what());
@@ -949,6 +1044,12 @@ struct PredictionServer::Impl
         s.epollWakeups = epollWakeups.load(std::memory_order_relaxed);
         s.shortWrites = shortWrites.load(std::memory_order_relaxed);
         s.ringFull = ringFull.load(std::memory_order_relaxed);
+        // reconnects/retriedRequests are client-side counters; a
+        // server always reports 0 (ResilientClient::stats() fills
+        // them in on its side of the wire).
+        s.drainSheds = drainSheds.load(std::memory_order_relaxed);
+        s.snapshotFallbacks =
+            snapshotFallbacks.load(std::memory_order_relaxed);
         s.uptimeMs = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::milliseconds>(
                 Clock::now() - startTime)
@@ -966,8 +1067,10 @@ struct PredictionServer::Impl
         if (opts.unixPath.empty() && opts.tcpPort < 0)
             throw std::runtime_error(
                 "PredictionServer: no listener configured");
+        loadSnapshotAtStart();
         startTime = Clock::now();
         stopping.store(false);
+        draining.store(false);
         if (!opts.unixPath.empty())
             unixFd = listenUnix();
         if (opts.tcpPort >= 0) {
@@ -1103,6 +1206,18 @@ void
 PredictionServer::stop()
 {
     impl_->stop();
+}
+
+void
+PredictionServer::drain()
+{
+    impl_->draining.store(true, std::memory_order_release);
+}
+
+bool
+PredictionServer::draining() const
+{
+    return impl_->draining.load(std::memory_order_acquire);
 }
 
 int

@@ -47,6 +47,7 @@
 #include <memory>
 #include <string>
 
+#include "analysis/snapshot.h"
 #include "server/protocol.h"
 
 namespace facile::server {
@@ -142,9 +143,23 @@ struct ServerOptions
      * frame or the operator's signal handler — persists the intern
      * arenas and the serving engine's prediction cache there. Empty
      * disables the op (SNAPSHOT answers BAD_REQUEST): the path is
-     * always operator-chosen, never taken from the wire.
+     * always operator-chosen, never taken from the wire. Saves are
+     * atomic and generation-rotated (see snapshot.h "Crash safety").
      */
     std::string snapshotPath;
+
+    /**
+     * Warm-start source: when non-empty, start() loads this snapshot
+     * — falling back through rotated generations if the newest file
+     * is torn or corrupt (counter: snapshotFallbacks) — and starts
+     * cold if no generation is loadable. Usually the same path as
+     * snapshotPath so a crashed server restarts from its own last
+     * good save.
+     */
+    std::string snapshotLoadPath;
+
+    /** Snapshot generations kept/scanned (SnapshotOptions::generations). */
+    int snapshotGenerations = analysis::kSnapshotGenerations;
 };
 
 class PredictionServer
@@ -167,6 +182,21 @@ class PredictionServer
 
     /** Stop listeners, drain in-flight batches, join all threads. */
     void stop();
+
+    /**
+     * Enter drain mode (graceful degradation, typically on SIGTERM):
+     * new connections are refused, new PREDICT requests are answered
+     * Status::Draining (counter: drainSheds), batches already admitted
+     * flush normally, and control ops — STATS, PING, HEALTH (which now
+     * reports Draining), SNAPSHOT — keep answering so operators can
+     * save state and routers can observe the transition. Does not
+     * block; call stop() once peers have moved off. One-way until the
+     * next start().
+     */
+    void drain();
+
+    /** True once drain() was called (and until the next start()). */
+    bool draining() const;
 
     /** Actual TCP port after start() (ephemeral binds resolved). */
     int tcpPort() const;

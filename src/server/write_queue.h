@@ -32,12 +32,15 @@
 #include <sys/socket.h>
 #include <sys/uio.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <deque>
 #include <vector>
+
+#include "testing/fault.h"
 
 namespace facile::server {
 
@@ -95,7 +98,34 @@ class WriteQueue
             msghdr msg{};
             msg.msg_iov = iov;
             msg.msg_iovlen = n;
-            const ssize_t sent = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+            int fiErr = 0;
+            if constexpr (testing::kFaultInjection) {
+                std::size_t total = 0;
+                for (std::size_t i = 0; i < n; ++i)
+                    total += iov[i].iov_len;
+                const auto fa = testing::faultPoint("wq.sendmsg", total);
+                fiErr = fa.err;
+                if (!fiErr && fa.clamp < total) {
+                    // Short-write injection: trim the gather list so the
+                    // kernel genuinely accepts at most `clamp` bytes and
+                    // the partial-write resume machinery runs for real.
+                    std::size_t budget = std::max<std::size_t>(1, fa.clamp);
+                    std::size_t m = 0;
+                    while (m < n && budget > 0) {
+                        iov[m].iov_len = std::min(iov[m].iov_len, budget);
+                        budget -= iov[m].iov_len;
+                        ++m;
+                    }
+                    msg.msg_iovlen = m;
+                }
+            }
+            ssize_t sent;
+            if (fiErr) {
+                errno = fiErr;
+                sent = -1;
+            } else {
+                sent = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+            }
             if (sent < 0) {
                 if (errno == EINTR)
                     continue;

@@ -1,0 +1,186 @@
+#include "testing/fault.h"
+
+#ifdef FACILE_FAULT_INJECT
+
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace facile::testing {
+
+namespace {
+
+struct SiteState {
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+    bool armed = false;
+    FaultSpec spec;
+};
+
+struct Registry {
+    std::mutex mu;
+    std::map<std::string, SiteState> sites;
+    bool chaos = false;
+    std::uint64_t chaosSeed = 0;
+    std::uint32_t chaosOneIn = 0;
+    bool envChecked = false;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+fnv1a(const char *s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (; *s; ++s) {
+        h ^= static_cast<std::uint8_t>(*s);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/**
+ * Child processes (the chaos soak's server) can't be armed through
+ * the API, so chaos is also readable from the environment, once, on
+ * the first hit of any site.
+ */
+void
+checkEnvLocked(Registry &r)
+{
+    r.envChecked = true;
+    const char *seed = std::getenv("FACILE_FAULT_SEED");
+    const char *oneIn = std::getenv("FACILE_FAULT_ONE_IN");
+    if (!seed || !oneIn)
+        return;
+    const std::uint64_t s = std::strtoull(seed, nullptr, 0);
+    const std::uint64_t n = std::strtoull(oneIn, nullptr, 0);
+    if (n > 0) {
+        r.chaos = true;
+        r.chaosSeed = s;
+        r.chaosOneIn = static_cast<std::uint32_t>(n);
+    }
+}
+
+} // namespace
+
+FaultAction
+faultPoint(const char *site, std::size_t len)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    if (!r.envChecked)
+        checkEnvLocked(r);
+    SiteState &st = r.sites[site];
+    const std::uint64_t hit = st.hits++;
+
+    if (st.armed && hit >= st.spec.firstHit &&
+        (st.spec.count == UINT64_MAX ||
+         hit < st.spec.firstHit + st.spec.count)) {
+        ++st.fired;
+        return {st.spec.err, st.spec.clampBytes};
+    }
+
+    if (r.chaos) {
+        const std::uint64_t h =
+            splitmix64(r.chaosSeed ^ fnv1a(site) ^ (hit * 0x9e3779b9ULL));
+        if (h % r.chaosOneIn == 0) {
+            ++st.fired;
+            // Only universally safe faults: every boundary must retry
+            // EINTR, and every stream boundary must tolerate short IO.
+            if (len > 1 && ((h >> 32) & 1))
+                return {0, 1 + static_cast<std::size_t>((h >> 33) % len)};
+            return {EINTR, static_cast<std::size_t>(-1)};
+        }
+    }
+    return {};
+}
+
+void
+armFault(const std::string &site, const FaultSpec &spec)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    SiteState &st = r.sites[site];
+    st.armed = true;
+    st.spec = spec;
+}
+
+void
+disarmFault(const std::string &site)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.sites.find(site);
+    if (it != r.sites.end())
+        it->second.armed = false;
+}
+
+void
+resetFaults()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.sites.clear();
+    r.chaos = false;
+    r.chaosSeed = 0;
+    r.chaosOneIn = 0;
+    // Leave envChecked set: the environment is read once per process
+    // by design (a test that resets faults should not resurrect the
+    // chaos env of a parent test runner).
+}
+
+void
+armChaos(std::uint64_t seed, std::uint32_t oneIn)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.chaos = oneIn > 0;
+    r.chaosSeed = seed;
+    r.chaosOneIn = oneIn;
+}
+
+std::uint64_t
+faultHits(const std::string &site)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.sites.find(site);
+    return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t
+faultsFired(const std::string &site)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.sites.find(site);
+    return it == r.sites.end() ? 0 : it->second.fired;
+}
+
+} // namespace facile::testing
+
+#else // !FACILE_FAULT_INJECT
+
+// The header provides inline no-ops; this TU is intentionally empty,
+// but must not be, for portability of archivers.
+namespace facile::testing {
+void faultTranslationUnitAnchor();
+void faultTranslationUnitAnchor() {}
+} // namespace facile::testing
+
+#endif // FACILE_FAULT_INJECT

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic fault injection for syscall/IO boundaries.
+ *
+ * Every wrapped boundary is a named *site* ("server.recv",
+ * "snapshot.rename", ...). The boundary calls faultPoint(site, len)
+ * once per syscall attempt; the returned FaultAction tells it to
+ * either proceed (err == 0), fail with an injected errno, or clamp
+ * the number of bytes it may move (short read / short write / torn
+ * file write). Tests drive the hooks two ways:
+ *
+ *   - armFault(site, spec): inject at exactly the Nth hit of a site
+ *     (and the next `count - 1` hits after it) — fully deterministic,
+ *     used by the per-site unit tests in tests/test_fault.cc;
+ *   - armChaos(seed, oneIn): a seeded splitmix64 stream decides, per
+ *     (site, hit) pair, whether to inject a *universally safe* fault
+ *     (EINTR, or a short read/write) with probability 1/oneIn. The
+ *     same seed always injects at the same points, so chaos failures
+ *     reproduce. Also armable via the environment
+ *     (FACILE_FAULT_SEED / FACILE_FAULT_ONE_IN) for child processes.
+ *
+ * The whole machinery is compiled only when the FACILE_FAULT_INJECT
+ * CMake option is ON. When off, faultPoint() is an inline constant
+ * no-op and every call site folds away — production builds pay
+ * nothing, not even a branch.
+ */
+#ifndef FACILE_TESTING_FAULT_H
+#define FACILE_TESTING_FAULT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace facile::testing {
+
+/** What a wrapped boundary must do for this attempt. */
+struct FaultAction {
+    /** errno to fail with instead of performing the call; 0 = none. */
+    int err = 0;
+    /** Max bytes the call may move (short/torn IO); SIZE_MAX = all. */
+    std::size_t clamp = static_cast<std::size_t>(-1);
+
+    bool injected() const { return err != 0 || clamp != static_cast<std::size_t>(-1); }
+};
+
+/** Deterministic injection window for one site. */
+struct FaultSpec {
+    /** 0-based hit index at which injection starts. */
+    std::uint64_t firstHit = 0;
+    /** Consecutive hits injected from firstHit on (UINT64_MAX = forever). */
+    std::uint64_t count = 1;
+    /** errno to inject; 0 with a clamp = short IO without an error. */
+    int err = 0;
+    /** Byte clamp while injecting; SIZE_MAX = no clamp. */
+    std::size_t clampBytes = static_cast<std::size_t>(-1);
+};
+
+#ifdef FACILE_FAULT_INJECT
+
+inline constexpr bool kFaultInjection = true;
+
+/**
+ * One hit of a named site. Counts the hit, consults the armed spec
+ * and the chaos stream, and returns the action to apply. @p len is
+ * the number of bytes the caller is about to move (0 for pure
+ * syscalls like epoll_wait) — chaos uses it to pick short-IO clamps.
+ */
+FaultAction faultPoint(const char *site, std::size_t len);
+
+/** Arm deterministic injection on @p site (replaces any prior spec). */
+void armFault(const std::string &site, const FaultSpec &spec);
+/** Disarm @p site (hit counters are kept). */
+void disarmFault(const std::string &site);
+/** Disarm everything, zero all counters, and disable chaos. */
+void resetFaults();
+/** Enable seeded random EINTR/short-IO on every site, 1-in-@p oneIn. */
+void armChaos(std::uint64_t seed, std::uint32_t oneIn);
+/** Total faultPoint() calls observed on @p site since resetFaults(). */
+std::uint64_t faultHits(const std::string &site);
+/** Number of those hits that actually injected a fault. */
+std::uint64_t faultsFired(const std::string &site);
+
+#else // !FACILE_FAULT_INJECT — every hook folds to a constant no-op.
+
+inline constexpr bool kFaultInjection = false;
+
+inline FaultAction faultPoint(const char *, std::size_t) { return {}; }
+inline void armFault(const std::string &, const FaultSpec &) {}
+inline void disarmFault(const std::string &) {}
+inline void resetFaults() {}
+inline void armChaos(std::uint64_t, std::uint32_t) {}
+inline std::uint64_t faultHits(const std::string &) { return 0; }
+inline std::uint64_t faultsFired(const std::string &) { return 0; }
+
+#endif // FACILE_FAULT_INJECT
+
+} // namespace facile::testing
+
+#endif // FACILE_TESTING_FAULT_H

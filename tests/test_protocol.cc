@@ -180,7 +180,8 @@ TEST(Protocol, StatsPayloadRoundTripsAllCounters)
           &s.overloadedQueue, &s.overloadedConn, &s.readTimeouts,
           &s.quotaClosed, &s.connectionsShed, &s.connectionsAccepted,
           &s.connectionsOpen, &s.uptimeMs, &s.epollWakeups,
-          &s.shortWrites, &s.ringFull})
+          &s.shortWrites, &s.ringFull, &s.reconnects, &s.retriedRequests,
+          &s.drainSheds, &s.snapshotFallbacks})
         *field = v++;
 
     std::vector<std::uint8_t> frame;
@@ -200,6 +201,10 @@ TEST(Protocol, StatsPayloadRoundTripsAllCounters)
     EXPECT_EQ(back->epollWakeups, 16u);
     EXPECT_EQ(back->shortWrites, 17u);
     EXPECT_EQ(back->ringFull, 18u);
+    EXPECT_EQ(back->reconnects, 19u);
+    EXPECT_EQ(back->retriedRequests, 20u);
+    EXPECT_EQ(back->drainSheds, 21u);
+    EXPECT_EQ(back->snapshotFallbacks, 22u);
 }
 
 TEST(Protocol, StatsPayloadIsAppendOnlyAcrossVersions)
@@ -219,6 +224,14 @@ TEST(Protocol, StatsPayloadIsAppendOnlyAcrossVersions)
     EXPECT_EQ(v1->requests, 7u);
     EXPECT_EQ(v1->uptimeMs, 42u);
     EXPECT_EQ(v1->epollWakeups, 0u);
+
+    // A PR 7-era (18-field) payload decodes with the PR 8
+    // fault-tolerance counters reading zero.
+    auto v18 = decodeStatsPayload(payload, 18 * 8);
+    ASSERT_TRUE(v18.has_value());
+    EXPECT_EQ(v18->epollWakeups, 99u);
+    EXPECT_EQ(v18->drainSheds, 0u);
+    EXPECT_EQ(v18->snapshotFallbacks, 0u);
 
     // A future server may append more fields; unknown extras are
     // ignored, not rejected.

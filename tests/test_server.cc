@@ -14,13 +14,17 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <string>
 #include <thread>
 
+#include "analysis/snapshot.h"
 #include "bhive/generator.h"
 #include "facile/component.h"
 #include "server/client.h"
 #include "server/net_util.h"
+#include "server/resilient_client.h"
 #include "server/server.h"
 
 namespace facile::server {
@@ -715,6 +719,321 @@ TEST(ServerEventLoop, StatsCountersTravelTheWire)
     EXPECT_GE(s.epollWakeups, 1u);
     EXPECT_EQ(s.ringFull, 0u);
     server.stop();
+}
+
+// ---- graceful degradation: drain mode, HEALTH, self-healing client --------
+
+TEST(ServerDrain, ShedsPredictsKeepsControlOpsAndRefusesNewConnections)
+{
+    ServerOptions opts;
+    opts.unixPath = freshUnixPath();
+    engine::PredictionEngine eng({.numThreads = 1});
+    opts.engine = &eng;
+    PredictionServer server(opts);
+    server.start();
+
+    const auto &b = suite().front();
+    engine::Request req{b.bytesU, uarch::UArch::SKL, false, {}};
+
+    auto client = Client::connectUnix(opts.unixPath);
+    EXPECT_EQ(client.health(), HealthState::Ready);
+    EXPECT_TRUE(bitIdentical(client.predict(req.bytes, req.arch, req.loop),
+                             serialPredict(req)));
+    EXPECT_FALSE(server.draining());
+
+    server.drain();
+    EXPECT_TRUE(server.draining());
+
+    // Control ops keep answering on established connections: routers
+    // need HEALTH to observe the transition and operators need STATS
+    // and SNAPSHOT during the grace window.
+    EXPECT_EQ(client.health(), HealthState::Draining);
+    EXPECT_NO_THROW(client.ping());
+
+    // New PREDICTs are shed with the typed retryable status.
+    try {
+        client.predict(req.bytes, req.arch, req.loop);
+        FAIL() << "expected ProtocolError(Draining)";
+    } catch (const ProtocolError &e) {
+        EXPECT_EQ(e.status(), Status::Draining);
+        EXPECT_TRUE(e.retryable());
+    }
+
+    // New connections are refused at accept (EOF, never a response).
+    int late = rawConnectUnix(opts.unixPath);
+    std::uint8_t byte;
+    EXPECT_EQ(::recv(late, &byte, 1, 0), 0)
+        << "connection during drain was not refused";
+    ::close(late);
+
+    // Both sheds travel the wire in the append-only STATS payload.
+    ServerStats s = client.stats();
+    EXPECT_GE(s.drainSheds, 1u);
+    EXPECT_GE(s.connectionsShed, 1u);
+    // The client-side resilience counters are zeros from a server.
+    EXPECT_EQ(s.reconnects, 0u);
+    EXPECT_EQ(s.retriedRequests, 0u);
+    server.stop();
+}
+
+TEST(ServerDrain, StartClearsDrainMode)
+{
+    ServerOptions opts;
+    opts.unixPath = freshUnixPath();
+    engine::PredictionEngine eng({.numThreads = 1});
+    opts.engine = &eng;
+    PredictionServer server(opts);
+    server.start();
+    server.drain();
+    server.stop();
+    server.start();
+    EXPECT_FALSE(server.draining());
+    auto client = Client::connectUnix(opts.unixPath);
+    EXPECT_EQ(client.health(), HealthState::Ready);
+    const auto &b = suite().front();
+    engine::Request req{b.bytesU, uarch::UArch::SKL, false, {}};
+    EXPECT_TRUE(bitIdentical(client.predict(req.bytes, req.arch, req.loop),
+                             serialPredict(req)));
+    server.stop();
+}
+
+TEST(ClientSigpipe, ClosedPeerThrowsTypedTransportErrorNotSignal)
+{
+    // Regression for the classic client killer: writing to a peer
+    // that vanished raises SIGPIPE, whose default disposition
+    // terminates the process. The client must surface a typed
+    // TransportError instead (MSG_NOSIGNAL on every send) — if this
+    // test survives to the assertions, the protection held.
+    ServerOptions opts;
+    opts.unixPath = freshUnixPath();
+    engine::PredictionEngine eng({.numThreads = 1});
+    opts.engine = &eng;
+    PredictionServer server(opts);
+    server.start();
+
+    auto client = Client::connectUnix(opts.unixPath);
+    client.ping();
+    server.stop(); // peer gone, possibly with RST in flight
+
+    bool threw = false;
+    for (int i = 0; i < 10 && !threw; ++i) {
+        try {
+            client.ping(); // send into the dead socket until it EPIPEs
+        } catch (const TransportError &) {
+            threw = true;
+        }
+    }
+    EXPECT_TRUE(threw) << "dead peer never surfaced as TransportError";
+}
+
+TEST(SelfHeal, ResilientClientMatchesSerialAndMergesLocalCounters)
+{
+    ServerOptions opts;
+    opts.unixPath = freshUnixPath();
+    engine::PredictionEngine eng({.numThreads = 2});
+    opts.engine = &eng;
+    PredictionServer server(opts);
+    server.start();
+
+    auto rc = ResilientClient::forUnix(opts.unixPath);
+    EXPECT_FALSE(rc.connected()) << "construction must not dial";
+
+    std::vector<engine::Request> reqs;
+    for (const auto &b : suite())
+        reqs.push_back({b.bytesL, uarch::UArch::ICL, true, {}});
+    const auto out = rc.predictMany(reqs);
+    ASSERT_EQ(out.size(), reqs.size());
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_TRUE(bitIdentical(out[i], serialPredict(reqs[i]))) << i;
+    EXPECT_TRUE(rc.connected());
+
+    // An undisturbed run heals nothing and retries nothing.
+    EXPECT_EQ(rc.selfHealStats().reconnects, 0u);
+    EXPECT_EQ(rc.selfHealStats().retriedRequests, 0u);
+    EXPECT_EQ(rc.stats().reconnects, 0u);
+    server.stop();
+}
+
+TEST(SelfHeal, ReconnectsAndReplaysAcrossServerRestart)
+{
+    ServerOptions opts;
+    opts.unixPath = freshUnixPath();
+    engine::PredictionEngine eng({.numThreads = 1});
+    opts.engine = &eng;
+
+    RetryPolicy policy;
+    policy.initialBackoff = std::chrono::milliseconds(2);
+    policy.maxAttempts = 64;
+    policy.opDeadline = std::chrono::seconds(30);
+
+    const auto &b = suite().front();
+    std::vector<engine::Request> reqs(
+        3, engine::Request{b.bytesU, uarch::UArch::SKL, false, {}});
+    const Prediction expect = serialPredict(reqs[0]);
+
+    auto rc = ResilientClient::forUnix(opts.unixPath, policy);
+    {
+        PredictionServer server(opts);
+        server.start();
+        for (const auto &p : rc.predictMany(reqs))
+            EXPECT_TRUE(bitIdentical(p, expect));
+        server.stop();
+    }
+    // Server gone: the held connection is dead and the socket file is
+    // unlinked. Bring up a fresh instance on the same path and the
+    // client must reconnect + replay without caller-visible failure.
+    PredictionServer server2(opts);
+    std::thread restarter([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        server2.start();
+    });
+    for (const auto &p : rc.predictMany(reqs))
+        EXPECT_TRUE(bitIdentical(p, expect));
+    restarter.join();
+    EXPECT_GE(rc.selfHealStats().reconnects, 1u);
+    EXPECT_GE(rc.selfHealStats().retriedRequests, reqs.size());
+    // The merged STATS view carries the client-side counters.
+    ServerStats merged = rc.stats();
+    EXPECT_GE(merged.reconnects, 1u);
+    EXPECT_GE(merged.retriedRequests, reqs.size());
+    server2.stop();
+}
+
+TEST(SelfHeal, DrainingServerYieldsTypedRetryableFailure)
+{
+    ServerOptions opts;
+    opts.unixPath = freshUnixPath();
+    engine::PredictionEngine eng({.numThreads = 1});
+    opts.engine = &eng;
+    PredictionServer server(opts);
+    server.start();
+
+    RetryPolicy policy;
+    policy.maxAttempts = 2;
+    policy.initialBackoff = std::chrono::milliseconds(1);
+    auto rc = ResilientClient::forUnix(opts.unixPath, policy);
+    rc.ping(); // dial while the server still accepts
+    server.drain();
+
+    const auto &b = suite().front();
+    try {
+        rc.predict(b.bytesU, uarch::UArch::SKL, false);
+        FAIL() << "expected ProtocolError(Draining) after retries";
+    } catch (const ProtocolError &e) {
+        EXPECT_EQ(e.status(), Status::Draining);
+    }
+    EXPECT_GE(rc.selfHealStats().drainedPeers, 1u);
+    EXPECT_GE(rc.selfHealStats().retries, 1u);
+    server.stop();
+}
+
+TEST(SelfHeal, DeadlineBoundsRetriesAgainstAbsentServer)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 1000;
+    policy.initialBackoff = std::chrono::milliseconds(10);
+    policy.opDeadline = std::chrono::milliseconds(150);
+    policy.breakerThreshold = 1000; // keep the breaker out of this test
+    auto rc = ResilientClient::forUnix(freshUnixPath(), policy);
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW(rc.ping(), DeadlineError);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_LT(elapsed, std::chrono::seconds(10))
+        << "deadline did not bound the retry loop";
+}
+
+TEST(SelfHeal, CircuitBreakerFailsFastWhenCooldownExceedsDeadline)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 2;
+    policy.initialBackoff = std::chrono::milliseconds(1);
+    policy.breakerThreshold = 2;
+    policy.breakerCooldown = std::chrono::minutes(10);
+    policy.opDeadline = std::chrono::milliseconds(500);
+    auto rc = ResilientClient::forUnix(freshUnixPath(), policy);
+
+    // First op burns through the attempts and opens the breaker.
+    EXPECT_THROW(rc.ping(), TransportError);
+    EXPECT_GE(rc.selfHealStats().breakerOpens, 1u);
+
+    // Second op cannot outwait a 10-minute cooldown inside a 500 ms
+    // deadline: it must fail fast, not hammer the dead endpoint.
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW(rc.ping(), CircuitOpenError);
+    EXPECT_LT(std::chrono::steady_clock::now() - start,
+              std::chrono::milliseconds(400));
+}
+
+TEST(ServerWarmStart, TornPrimaryFallsBackAndCountsIt)
+{
+    const std::string snap =
+        "/tmp/facile_warm_" + std::to_string(::getpid()) + ".bin";
+    for (int g = 0; g < analysis::kSnapshotGenerations; ++g)
+        std::remove(analysis::snapshotGenerationPath(snap, g).c_str());
+
+    std::vector<engine::Request> reqs;
+    for (const auto &b : suite())
+        reqs.push_back({b.bytesL, uarch::UArch::SKL, true, {}});
+
+    std::vector<Prediction> expected;
+    ServerOptions opts;
+    opts.unixPath = freshUnixPath();
+    opts.snapshotPath = snap;
+    opts.snapshotLoadPath = snap;
+    {
+        engine::PredictionEngine eng({.numThreads = 2});
+        ServerOptions o = opts;
+        o.engine = &eng;
+        PredictionServer server(o);
+        server.start();
+        auto client = Client::connectUnix(o.unixPath);
+        expected = client.predictMany(reqs);
+        ASSERT_TRUE(client.snapshot());
+        ASSERT_TRUE(client.snapshot()); // rotates the first save to .g1
+        server.stop();
+    }
+
+    // Tear the primary the way a mid-write SIGKILL would (bypassing
+    // the atomic writer on purpose).
+    {
+        std::FILE *f = std::fopen(snap.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fputs("torn", f);
+        std::fclose(f);
+    }
+
+    // A fresh server + engine must come up warm from .g1, count the
+    // fallback, and serve bit-identically.
+    {
+        engine::PredictionEngine eng({.numThreads = 2});
+        ServerOptions o = opts;
+        o.engine = &eng;
+        PredictionServer server(o);
+        server.start();
+        auto client = Client::connectUnix(o.unixPath);
+        const auto out = client.predictMany(reqs);
+        ASSERT_EQ(out.size(), expected.size());
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_TRUE(bitIdentical(out[i], expected[i])) << i;
+        ServerStats s = client.stats();
+        EXPECT_GE(s.snapshotFallbacks, 1u)
+            << "generation fallback was not counted over the wire";
+        server.stop();
+    }
+
+    // Total loss (no generation loadable) must cold-start, not fail.
+    for (int g = 0; g < analysis::kSnapshotGenerations; ++g)
+        std::remove(analysis::snapshotGenerationPath(snap, g).c_str());
+    {
+        engine::PredictionEngine eng({.numThreads = 1});
+        ServerOptions o = opts;
+        o.engine = &eng;
+        PredictionServer server(o);
+        EXPECT_NO_THROW(server.start());
+        auto client = Client::connectUnix(o.unixPath);
+        EXPECT_GE(client.stats().snapshotFallbacks, 1u);
+        server.stop();
+    }
 }
 
 TEST(Protocol, ConfigBitsRoundTrip)

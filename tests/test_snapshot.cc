@@ -15,6 +15,7 @@
 
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +24,7 @@
 
 #include "analysis/intern.h"
 #include "analysis/snapshot.h"
+#include "testing/fault.h"
 #include "bb/basic_block.h"
 #include "bhive/generator.h"
 #include "engine/engine.h"
@@ -268,9 +270,10 @@ TEST(Snapshot, RejectsCorruptionTruncationAndVersionMismatch)
     auto writeVariant = [&](const std::vector<std::uint8_t> &bytes) {
         std::FILE *f = std::fopen(path.c_str(), "wb");
         ASSERT_NE(f, nullptr);
-        if (!bytes.empty())
+        if (!bytes.empty()) {
             ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f),
                       bytes.size());
+        }
         std::fclose(f);
     };
 
@@ -527,6 +530,226 @@ TEST(Snapshot, FreshProcessBitIdentity)
     // And both match this (differently warmed) process.
     EXPECT_EQ(cold, suiteDigest());
     std::remove(snap.c_str());
+}
+
+// ---- crash safety: atomic writes + generation rotation + fallback ----------
+
+bool
+fileExists(const std::string &p)
+{
+    std::FILE *f = std::fopen(p.c_str(), "rb");
+    if (f)
+        std::fclose(f);
+    return f != nullptr;
+}
+
+/** Replace @p p with the first @p len bytes of @p full (a torn write). */
+void
+writeTorn(const std::string &p, const std::vector<std::uint8_t> &full,
+          std::size_t len)
+{
+    ASSERT_LE(len, full.size());
+    std::FILE *f = std::fopen(p.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    if (len > 0) {
+        ASSERT_EQ(std::fwrite(full.data(), 1, len, f), len);
+    }
+    std::fclose(f);
+}
+
+void
+removeGenerations(const std::string &path)
+{
+    for (int g = 0; g < analysis::kSnapshotGenerations + 1; ++g)
+        std::remove(analysis::snapshotGenerationPath(path, g).c_str());
+}
+
+TEST(SnapshotCrashSafety, GenerationPathLayout)
+{
+    EXPECT_EQ(analysis::snapshotGenerationPath("snap.bin", 0),
+              "snap.bin");
+    EXPECT_EQ(analysis::snapshotGenerationPath("snap.bin", 1),
+              "snap.bin.g1");
+    EXPECT_EQ(analysis::snapshotGenerationPath("snap.bin", 2),
+              "snap.bin.g2");
+}
+
+TEST(SnapshotCrashSafety, SavesRotateGenerationsAndLeaveNoTempFiles)
+{
+    populateInterners();
+    const std::string path = tmpPath("rotate");
+    removeGenerations(path);
+
+    analysis::saveSnapshot(path);
+    EXPECT_TRUE(fileExists(path));
+    EXPECT_FALSE(fileExists(path + ".g1")) << "one save, one generation";
+
+    analysis::saveSnapshot(path);
+    EXPECT_TRUE(fileExists(path + ".g1"));
+    analysis::saveSnapshot(path);
+    EXPECT_TRUE(fileExists(path + ".g2"));
+    analysis::saveSnapshot(path);
+    // kSnapshotGenerations == 3: nothing rotates beyond .g2.
+    EXPECT_FALSE(fileExists(path + ".g3"));
+
+    // The staging file never outlives a save (atomic temp + rename).
+    EXPECT_FALSE(fileExists(path + ".tmp." +
+                            std::to_string(::getpid())));
+
+    // Every kept generation is independently loadable.
+    for (int g = 0; g < analysis::kSnapshotGenerations; ++g) {
+        const analysis::SnapshotStats st = analysis::loadSnapshot(
+            analysis::snapshotGenerationPath(path, g), {});
+        EXPECT_GT(st.records, 0u) << "generation " << g;
+        EXPECT_EQ(st.generation, 0u)
+            << "direct load, no fallback involved";
+    }
+    removeGenerations(path);
+}
+
+TEST(SnapshotCrashSafety, TornPrimaryFallsBackToPreviousGeneration)
+{
+    populateInterners();
+    const std::string path = tmpPath("torn");
+    removeGenerations(path);
+
+    const analysis::SnapshotStats first = analysis::saveSnapshot(path);
+    analysis::saveSnapshot(path); // rotates the first image to .g1
+    const std::vector<std::uint8_t> primary = slurpFile(path);
+
+    // A SIGKILL mid-write (without the atomic temp) would leave a
+    // prefix of the image; emulate every interesting tear point and
+    // require the loader to land on .g1 each time.
+    for (const std::size_t cut :
+         {std::size_t{0}, std::size_t{7}, std::size_t{31},
+          primary.size() / 3, primary.size() / 2, primary.size() - 1}) {
+        writeTorn(path, primary, cut);
+        const analysis::SnapshotStats st = analysis::loadSnapshot(path);
+        EXPECT_EQ(st.generation, 1u) << "cut " << cut;
+        EXPECT_EQ(st.records, first.records) << "cut " << cut;
+        // Same process, so the fallback image appends nothing — and
+        // predictions stay bit-identical by the no-op property.
+        EXPECT_EQ(st.newRecords, 0u);
+    }
+
+    // With the fallback gone too, the walk must report the root cause.
+    std::remove((path + ".g1").c_str());
+    writeTorn(path, primary, 31);
+    EXPECT_THROW(analysis::loadSnapshot(path), analysis::SnapshotError);
+    removeGenerations(path);
+}
+
+TEST(SnapshotCrashSafety, FallbackWarmStartIsBitIdenticalInFreshProcess)
+{
+    // The chaos-restart property at snapshot granularity: a fresh
+    // process pointed at a torn primary with a good .g1 behind it
+    // must warm-start bit-identically to a cold run. Reuses the
+    // SnapshotProbe.Emit child (it calls loadSnapshot, which walks
+    // generations).
+    populateInterners();
+    const std::string snap = tmpPath("fallback");
+    removeGenerations(snap);
+    analysis::saveSnapshot(snap);
+    analysis::saveSnapshot(snap);
+    {
+        const std::vector<std::uint8_t> primary = slurpFile(snap);
+        writeTorn(snap, primary, primary.size() / 2);
+    }
+
+    char self[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", self, sizeof self - 1);
+    ASSERT_GT(n, 0);
+    self[n] = '\0';
+
+    auto probe = [&](bool warm, std::uint64_t &digest) {
+        const std::string out =
+            tmpPath(warm ? "fb_digest_warm" : "fb_digest_cold");
+        std::string cmd = "FACILE_SNAPSHOT_PROBE_OUT='" + out + "' ";
+        if (warm)
+            cmd += "FACILE_SNAPSHOT_PROBE_SNAP='" + snap + "' ";
+        cmd += "'" + std::string(self) +
+               "' --gtest_filter=SnapshotProbe.Emit >/dev/null 2>&1";
+        if (std::system(cmd.c_str()) != 0)
+            return false;
+        std::FILE *f = std::fopen(out.c_str(), "r");
+        if (!f)
+            return false;
+        unsigned long long d = 0;
+        const bool ok = std::fscanf(f, "%llx", &d) == 1;
+        std::fclose(f);
+        std::remove(out.c_str());
+        digest = d;
+        return ok;
+    };
+
+    std::uint64_t cold = 0, warm = 1;
+    ASSERT_TRUE(probe(false, cold));
+    ASSERT_TRUE(probe(true, warm));
+    EXPECT_EQ(cold, warm);
+    removeGenerations(snap);
+}
+
+/**
+ * Injected save-time crashes (torn staging write, failed fsync,
+ * failed rotation, failed commit rename): every failure mode must
+ * abort the save with the previous on-disk state fully loadable —
+ * the acceptance bar "no save failure leaves the on-disk state
+ * unloadable". Skips in builds without FACILE_FAULT_INJECT.
+ */
+TEST(SnapshotCrashSafety, InjectedSaveFailuresNeverCorruptOnDiskState)
+{
+    if (!testing::kFaultInjection)
+        GTEST_SKIP() << "built without FACILE_FAULT_INJECT";
+    populateInterners();
+    testing::resetFaults();
+    const std::string path = tmpPath("inject");
+    removeGenerations(path);
+    const analysis::SnapshotStats good = analysis::saveSnapshot(path);
+
+    struct Case {
+        const char *site;
+        facile::testing::FaultSpec spec;
+    };
+    const Case cases[] = {
+        {"snapshot.open", {.firstHit = 0, .count = 1, .err = EACCES}},
+        {"snapshot.write", {.firstHit = 0, .count = 1, .err = ENOSPC}},
+        // The torn write proper: stage only 100 bytes of the image.
+        {"snapshot.write",
+         {.firstHit = 0, .count = 1, .clampBytes = 100}},
+        {"snapshot.fsync", {.firstHit = 0, .count = 1, .err = EIO}},
+        {"snapshot.rotate", {.firstHit = 0, .count = 1, .err = EACCES}},
+        {"snapshot.rename", {.firstHit = 0, .count = 1, .err = EACCES}},
+    };
+    for (const Case &c : cases) {
+        testing::resetFaults();
+        testing::armFault(c.site, c.spec);
+        EXPECT_THROW(analysis::saveSnapshot(path),
+                     analysis::SnapshotError)
+            << c.site;
+        testing::resetFaults();
+        // The failed save must not have torn what was there before...
+        const analysis::SnapshotStats st = analysis::loadSnapshot(path);
+        EXPECT_EQ(st.records, good.records) << c.site;
+        // ...nor leaked its staging file.
+        EXPECT_FALSE(fileExists(path + ".tmp." +
+                                std::to_string(::getpid())))
+            << c.site;
+    }
+
+    // Special case: a commit-rename failure AFTER rotation leaves the
+    // primary name vacant — the generation walk must still recover
+    // via .g1 (the image the rotation preserved).
+    analysis::saveSnapshot(path); // ensure .g1 exists
+    testing::armFault("snapshot.rename",
+                      {.firstHit = testing::faultHits("snapshot.rename"),
+                       .count = 1, .err = EACCES});
+    EXPECT_THROW(analysis::saveSnapshot(path), analysis::SnapshotError);
+    testing::resetFaults();
+    EXPECT_FALSE(fileExists(path)) << "rotation moved the primary away";
+    const analysis::SnapshotStats st = analysis::loadSnapshot(path);
+    EXPECT_EQ(st.generation, 1u);
+    EXPECT_EQ(st.records, good.records);
+    removeGenerations(path);
 }
 
 } // namespace
