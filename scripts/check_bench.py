@@ -5,11 +5,13 @@ Compares freshly produced BENCH_{coldpath,throughput,server}.json
 against the checked-in baselines at the repo root and fails the job on
 a real regression:
 
-  * any boolean gate that is true in the baseline but false in the
-    fresh run (bit_identical, warm_bit_identical) FAILS immediately —
-    these are correctness gates, not timings (timing-threshold
-    booleans like speedup_target_met are intentionally NOT hard
-    gates; the tolerance band on their rows covers them);
+  * any boolean gate that is true in the baseline but false in (or
+    missing from) the fresh run (bit_identical, warm_bit_identical,
+    and the snapshot-v2 load gates — see BOOLEAN_GATES) FAILS
+    immediately — these are correctness or order-of-magnitude
+    structural gates, not timings (marginal timing-threshold booleans
+    like speedup_target_met are intentionally NOT hard gates; the
+    tolerance band on their rows covers them);
   * each row's blocks_per_sec is compared *normalized* to the bench's
     serial reference row (coldpath: serial_fresh, throughput: serial,
     server: serial), so a faster or slower CI machine shifts every row
@@ -52,12 +54,26 @@ REFERENCE_ROW = {
     "server": "serial",
 }
 
-# Boolean scalars that must never flip true -> false. Only the
-# deterministic correctness gates belong here: timing-threshold
-# booleans like coldpath's speedup_target_met hover at their cutoff on
-# noisy runners and are covered by the tolerance band on the
-# corresponding rows (serial_interned vs serial_fresh) instead.
-BOOLEAN_GATES = ["bit_identical", "warm_bit_identical"]
+# Boolean scalars that must never flip true -> false (and, once true
+# in the baseline, must keep appearing in fresh runs — a bench that
+# silently stops producing a gate must not pass). Only deterministic
+# gates belong here: timing-threshold booleans like coldpath's
+# speedup_target_met hover at their cutoff on noisy runners and are
+# covered by the tolerance band on the corresponding rows
+# (serial_interned vs serial_fresh) instead. The two snapshot-v2 load
+# gates are the exception that proves the rule: they compare
+# order-of-magnitude structural effects measured in the same run on
+# the same machine (v2 mmap bind vs v1 record parse must stay >= 5x,
+# and scaling the record universe ~100x must grow the v2 load cost by
+# well under half of v1's growth), so a flip means the mmap path
+# broke, not that the runner was busy.
+BOOLEAN_GATES = [
+    "bit_identical",
+    "warm_bit_identical",
+    "v2_first_predict_identical",
+    "v2_load_speedup_met",
+    "v2_load_sublinear",
+]
 
 
 def load(path):
@@ -77,6 +93,12 @@ def compare_bench(name, base, fresh, fail_tol, warn_tol, absolute):
         if base.get(key) is True and fresh.get(key) is False:
             failures.append(
                 f"{name}: boolean gate '{key}' flipped true -> false"
+            )
+        elif base.get(key) is True and key not in fresh:
+            failures.append(
+                f"{name}: boolean gate '{key}' is in the baseline but "
+                f"missing from the fresh run (did its measurement "
+                f"round get skipped?)"
             )
 
     # Quick-suite numbers are not comparable to full-suite numbers:

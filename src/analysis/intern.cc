@@ -242,6 +242,10 @@ struct InstInterner::Impl
 
     std::atomic<std::uint64_t> hits{0}, misses{0};
     std::atomic<std::uint64_t> fusedHits{0}, fusedMisses{0};
+    std::atomic<std::uint64_t> borrowed{0};
+
+    /** Borrowed record store (mmap'd snapshot), nullptr when unbound. */
+    std::atomic<RecordSource *> source{nullptr};
 
     explicit Impl(uarch::UArch arch)
         : cfg(uarch::config(arch)),
@@ -316,101 +320,22 @@ InstInterner::internAt(const std::uint8_t *data, std::size_t size,
     }
 
     if (!rec) {
-        // Analyze outside the lock; a concurrent miss on the same key
-        // does the work twice but only one record is published.
+        // Borrowed store first: an mmap'd snapshot image can hand us
+        // the full analysis results for these exact bytes, skipping
+        // uops::lookup + isa::instRw entirely. A source miss (or a
+        // poisoned/corrupt image) falls through to the cold path, so
+        // correctness never depends on the image.
         InstRecord fresh;
-        fresh.info = uops::lookup(dec.inst, impl_->cfg);
-        isa::instRw(dec.inst, fresh.rw);
-
-        // Precedence edge templates: per-read producer-edge latencies
-        // (identical arithmetic to the historical per-block
-        // derivation, so edge weights stay bit-identical).
-        const isa::MemOp *m = dec.inst.memOperand();
-        const bool loads = dec.inst.isLoad();
-        fresh.stackOp = dec.inst.mnem == isa::Mnemonic::PUSH ||
-                        dec.inst.mnem == isa::Mnemonic::POP ||
-                        dec.inst.mnem == isa::Mnemonic::CALL ||
-                        dec.inst.mnem == isa::Mnemonic::RET;
-        fresh.depReads.reserve(fresh.rw.reads.size());
-        for (int r : fresh.rw.reads) {
-            double lat = static_cast<double>(fresh.info.latency);
-            if (m && loads &&
-                ((m->base.valid() && m->base.family() == r) ||
-                 (m->index.valid() && m->index.family() == r)))
-                lat += impl_->cfg.loadLatency;
-            fresh.depReads.push_back({r, lat});
-        }
-
-        // Inline dependence data (see InstRecord::kInlineDeps).
-        fresh.depBreaking = fresh.rw.depBreaking;
-        if (fresh.rw.writes.size() <= InstRecord::kInlineDeps) {
-            fresh.nWritesInl =
-                static_cast<std::uint8_t>(fresh.rw.writes.size());
-            for (std::size_t i = 0; i < fresh.rw.writes.size(); ++i)
-                fresh.writesInl[i] =
-                    static_cast<std::uint8_t>(fresh.rw.writes[i]);
-        }
-        if (fresh.depReads.size() <= InstRecord::kInlineDeps) {
-            fresh.nDepInl =
-                static_cast<std::uint8_t>(fresh.depReads.size());
-            for (std::size_t i = 0; i < fresh.depReads.size(); ++i)
-                fresh.depInl[i] = fresh.depReads[i];
-        }
-
-        // Port masks of the port-consuming µops (ports() fast path).
-        fresh.portMasks.reserve(fresh.info.portUops.size());
-        for (const auto &u : fresh.info.portUops)
-            if (u.ports)
-                fresh.portMasks.push_back(u.ports);
-
-        // Macro-fusion flags, mirroring uops::macroFusesWith exactly.
-        {
-            using isa::Cond;
-            using isa::Mnemonic;
-            const bool hasMem = dec.inst.hasMemOperand();
-            const bool hasImm =
-                !dec.inst.ops.empty() && dec.inst.ops.back().isImm();
-            const bool memBlocked =
-                hasMem &&
-                (hasImm || impl_->cfg.family == uarch::UArchFamily::SnB);
-            if (!memBlocked) {
-                switch (dec.inst.mnem) {
-                  case Mnemonic::TEST:
-                  case Mnemonic::AND:
-                    fresh.fuseClass = FuseClass::All;
-                    break;
-                  case Mnemonic::CMP:
-                  case Mnemonic::ADD:
-                  case Mnemonic::SUB:
-                    fresh.fuseClass = FuseClass::NoSOP;
-                    break;
-                  case Mnemonic::INC:
-                  case Mnemonic::DEC:
-                    fresh.fuseClass = FuseClass::NoCarryNoSOP;
-                    break;
-                  default:
-                    break;
-                }
-            }
-            fresh.isJcc = dec.inst.mnem == Mnemonic::JCC;
-            switch (dec.inst.cc) {
-              case Cond::B: case Cond::NB: case Cond::BE: case Cond::NBE:
-                fresh.jccReadsCf = true;
-                break;
-              default:
-                break;
-            }
-            switch (dec.inst.cc) {
-              case Cond::S: case Cond::NS: case Cond::P: case Cond::NP:
-              case Cond::O: case Cond::NO:
-                fresh.jccTestsSOP = true;
-                break;
-              default:
-                break;
+        bool haveFresh = false;
+        if (RecordSource *src =
+                impl_->source.load(std::memory_order_acquire)) {
+            if (src->lookup(data + pos, dec.length, fresh)) {
+                impl_->borrowed.fetch_add(1, std::memory_order_relaxed);
+                haveFresh = true;
             }
         }
-
-        fresh.dec = std::move(dec);
+        if (!haveFresh)
+            analyzeCold(dec, fresh);
         impl_->misses.fetch_add(1, std::memory_order_relaxed);
 
         std::lock_guard<std::mutex> lock(shard.mu);
@@ -427,6 +352,108 @@ InstInterner::internAt(const std::uint8_t *data, std::size_t size,
     ws.way[0].key = winKey;
     ws.way[0].rec = rec;
     return rec;
+}
+
+/**
+ * The analysis cold path: everything derived from one decoded
+ * instruction on this µarch. Factored out of internAt so the borrowed
+ * (snapshot-backed) path can bypass it wholesale. Consumes @p dec.
+ */
+void
+InstInterner::analyzeCold(isa::DecodedInst &dec, InstRecord &fresh)
+{
+    fresh.info = uops::lookup(dec.inst, impl_->cfg);
+    isa::instRw(dec.inst, fresh.rw);
+
+    // Precedence edge templates: per-read producer-edge latencies
+    // (identical arithmetic to the historical per-block
+    // derivation, so edge weights stay bit-identical).
+    const isa::MemOp *m = dec.inst.memOperand();
+    const bool loads = dec.inst.isLoad();
+    fresh.stackOp = dec.inst.mnem == isa::Mnemonic::PUSH ||
+                    dec.inst.mnem == isa::Mnemonic::POP ||
+                    dec.inst.mnem == isa::Mnemonic::CALL ||
+                    dec.inst.mnem == isa::Mnemonic::RET;
+    fresh.depReads.reserve(fresh.rw.reads.size());
+    for (int r : fresh.rw.reads) {
+        double lat = static_cast<double>(fresh.info.latency);
+        if (m && loads &&
+            ((m->base.valid() && m->base.family() == r) ||
+             (m->index.valid() && m->index.family() == r)))
+            lat += impl_->cfg.loadLatency;
+        fresh.depReads.push_back({r, lat});
+    }
+
+    // Inline dependence data (see InstRecord::kInlineDeps).
+    fresh.depBreaking = fresh.rw.depBreaking;
+    if (fresh.rw.writes.size() <= InstRecord::kInlineDeps) {
+        fresh.nWritesInl =
+            static_cast<std::uint8_t>(fresh.rw.writes.size());
+        for (std::size_t i = 0; i < fresh.rw.writes.size(); ++i)
+            fresh.writesInl[i] =
+                static_cast<std::uint8_t>(fresh.rw.writes[i]);
+    }
+    if (fresh.depReads.size() <= InstRecord::kInlineDeps) {
+        fresh.nDepInl =
+            static_cast<std::uint8_t>(fresh.depReads.size());
+        for (std::size_t i = 0; i < fresh.depReads.size(); ++i)
+            fresh.depInl[i] = fresh.depReads[i];
+    }
+
+    // Port masks of the port-consuming µops (ports() fast path).
+    fresh.portMasks.reserve(fresh.info.portUops.size());
+    for (const auto &u : fresh.info.portUops)
+        if (u.ports)
+            fresh.portMasks.push_back(u.ports);
+
+    // Macro-fusion flags, mirroring uops::macroFusesWith exactly.
+    {
+        using isa::Cond;
+        using isa::Mnemonic;
+        const bool hasMem = dec.inst.hasMemOperand();
+        const bool hasImm =
+            !dec.inst.ops.empty() && dec.inst.ops.back().isImm();
+        const bool memBlocked =
+            hasMem &&
+            (hasImm || impl_->cfg.family == uarch::UArchFamily::SnB);
+        if (!memBlocked) {
+            switch (dec.inst.mnem) {
+              case Mnemonic::TEST:
+              case Mnemonic::AND:
+                fresh.fuseClass = FuseClass::All;
+                break;
+              case Mnemonic::CMP:
+              case Mnemonic::ADD:
+              case Mnemonic::SUB:
+                fresh.fuseClass = FuseClass::NoSOP;
+                break;
+              case Mnemonic::INC:
+              case Mnemonic::DEC:
+                fresh.fuseClass = FuseClass::NoCarryNoSOP;
+                break;
+              default:
+                break;
+            }
+        }
+        fresh.isJcc = dec.inst.mnem == Mnemonic::JCC;
+        switch (dec.inst.cc) {
+          case Cond::B: case Cond::NB: case Cond::BE: case Cond::NBE:
+            fresh.jccReadsCf = true;
+            break;
+          default:
+            break;
+        }
+        switch (dec.inst.cc) {
+          case Cond::S: case Cond::NS: case Cond::P: case Cond::NP:
+          case Cond::O: case Cond::NO:
+            fresh.jccTestsSOP = true;
+            break;
+          default:
+            break;
+        }
+    }
+
+    fresh.dec = std::move(dec);
 }
 
 FusedRecords
@@ -589,6 +616,29 @@ InstInterner::importRecord(const std::uint8_t *bytes, std::size_t len,
     return &shard.arena.back();
 }
 
+void
+InstInterner::bindRecordSource(RecordSource *source)
+{
+    impl_->source.store(source, std::memory_order_release);
+}
+
+void
+InstInterner::materializeBoundSource()
+{
+    RecordSource *src = impl_->source.load(std::memory_order_acquire);
+    if (!src)
+        return;
+    std::vector<const InstRecord *> byIndex;
+    src->visitAll([&](const std::uint8_t *bytes, std::size_t len,
+                      InstRecord &&rec) {
+        byIndex.push_back(importRecord(bytes, len, std::move(rec)));
+    });
+    src->visitAllPairs([&](std::uint32_t fi, std::uint32_t si) {
+        if (fi < byIndex.size() && si < byIndex.size())
+            internFused(byIndex[fi], byIndex[si]);
+    });
+}
+
 InternStats
 InstInterner::stats() const
 {
@@ -598,6 +648,7 @@ InstInterner::stats() const
     st.misses = impl_->misses.load(std::memory_order_relaxed);
     st.fusedHits = impl_->fusedHits.load(std::memory_order_relaxed);
     st.fusedMisses = impl_->fusedMisses.load(std::memory_order_relaxed);
+    st.borrowed = impl_->borrowed.load(std::memory_order_relaxed);
     return st;
 }
 
@@ -611,6 +662,7 @@ InstInterner::statsAllArchs()
         total.misses += st.misses;
         total.fusedHits += st.fusedHits;
         total.fusedMisses += st.fusedMisses;
+        total.borrowed += st.borrowed;
     }
     return total;
 }

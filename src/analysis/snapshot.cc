@@ -1,15 +1,20 @@
 #include "analysis/snapshot.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 
+#include "corpus/sections.h"
 #include "engine/engine.h"
 // The prediction-cache section reuses the wire codec (one Prediction
 // body layout in the repo, not two drifting copies).
@@ -21,7 +26,9 @@ namespace facile::analysis {
 namespace {
 
 constexpr char kMagic[8] = {'F', 'A', 'C', 'S', 'N', 'A', 'P', '\n'};
-constexpr std::size_t kHeaderSize = 32;
+constexpr char kMagicV2[8] = {'F', 'A', 'C', 'S', 'N', 'P', '2', '\n'};
+constexpr std::size_t kHeaderSize = 32;   // v1
+constexpr std::size_t kHeaderSizeV2 = 64; // v2
 
 enum class SectionType : std::uint32_t {
     Records = 1,
@@ -286,119 +293,22 @@ readFile(const std::string &path)
 }
 
 /**
- * Best-effort directory fsync after a rename: without it the rename
- * itself may not survive a power loss even though the file data would.
- * Failure is ignored — some filesystems refuse O_DIRECTORY fsync, and
- * the fallback generations cover the residual window.
+ * Format sniff: read just the 8 magic bytes so the v2 path never
+ * read()s the whole image (that would defeat the O(pages-touched)
+ * warm start). Deliberately NOT behind the "snapshot.read" fault
+ * site: v1 loads keep exactly one site consultation per generation
+ * attempt, as the existing fault matrices pin.
+ * @return 1 magic read, 0 file shorter than 8 bytes, -1 cannot open.
  */
-void
-fsyncParentDir(const std::string &path)
+int
+readMagic8(const std::string &path, std::uint8_t out[8])
 {
-    const std::size_t slash = path.find_last_of('/');
-    const std::string dir =
-        slash == std::string::npos ? "." : path.substr(0, slash + 1);
-    const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-    if (dfd >= 0) {
-        ::fsync(dfd);
-        ::close(dfd);
-    }
-}
-
-void
-writeFileAtomic(const std::string &path, const std::uint8_t *data,
-                std::size_t len, int generations)
-{
-    // Write-then-fsync-then-rename so a crash mid-save (SIGKILL, OOM
-    // kill, power loss) never replaces the previous good snapshot with
-    // a truncated one — the server saves to the same
-    // operator-configured path on every SIGUSR1 and shutdown. The temp
-    // name is pid-suffixed so concurrent savers (two processes sharing
-    // a snapshot path) cannot tear each other's staging file.
-    const std::string tmp =
-        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-    std::FILE *f;
-    {
-        const auto fa = testing::faultPoint("snapshot.open", 0);
-        if (fa.err) {
-            errno = fa.err;
-            f = nullptr;
-        } else {
-            f = std::fopen(tmp.c_str(), "wb");
-        }
-    }
+    std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        throw SnapshotError("cannot create " + tmp);
-
-    // Torn-write injection point: a clamp cuts the staging file short,
-    // an errno fails the write outright — either way nothing has
-    // touched `path` yet and every existing generation stays loadable.
-    bool ok;
-    {
-        const auto fa = testing::faultPoint("snapshot.write", len);
-        if (fa.err) {
-            errno = fa.err;
-            ok = false;
-        } else {
-            const std::size_t n = std::min(len, fa.clamp);
-            ok = std::fwrite(data, 1, n, f) == n && n == len;
-        }
-    }
-    // Durability before visibility: the bytes must be on stable
-    // storage before the rename can make them the file readers see.
-    if (ok) {
-        const auto fa = testing::faultPoint("snapshot.fsync", 0);
-        if (fa.err) {
-            errno = fa.err;
-            ok = false;
-        } else {
-            ok = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
-        }
-    }
-    if (std::fclose(f) != 0)
-        ok = false;
-    if (!ok) {
-        std::remove(tmp.c_str());
-        throw SnapshotError("short write on " + tmp);
-    }
-
-    // Rotate prior generations (path -> .g1 -> .g2, oldest renamed
-    // first). A missing generation is fine; any other failure aborts
-    // the save with every existing generation intact.
-    for (int g = generations - 1; g >= 1; --g) {
-        const std::string from = snapshotGenerationPath(path, g - 1);
-        const std::string to = snapshotGenerationPath(path, g);
-        int rc;
-        const auto fa = testing::faultPoint("snapshot.rotate", 0);
-        if (fa.err) {
-            errno = fa.err;
-            rc = -1;
-        } else {
-            rc = std::rename(from.c_str(), to.c_str());
-        }
-        if (rc != 0 && errno != ENOENT) {
-            std::remove(tmp.c_str());
-            throw SnapshotError("cannot rotate " + from + " to " + to);
-        }
-    }
-
-    // The commit point. If this fails after a rotation, the primary
-    // name is vacant but `path.g1` holds the previous good image and
-    // the loader's generation walk finds it.
-    int rc;
-    {
-        const auto fa = testing::faultPoint("snapshot.rename", 0);
-        if (fa.err) {
-            errno = fa.err;
-            rc = -1;
-        } else {
-            rc = std::rename(tmp.c_str(), path.c_str());
-        }
-    }
-    if (rc != 0) {
-        std::remove(tmp.c_str());
-        throw SnapshotError("cannot rename " + tmp + " to " + path);
-    }
-    fsyncParentDir(path);
+        return -1;
+    const bool ok = std::fread(out, 1, 8, f) == 8;
+    std::fclose(f);
+    return ok ? 1 : 0;
 }
 
 } // namespace
@@ -406,7 +316,7 @@ writeFileAtomic(const std::string &path, const std::uint8_t *data,
 std::string
 snapshotGenerationPath(const std::string &path, int gen)
 {
-    return gen <= 0 ? path : path + ".g" + std::to_string(gen);
+    return corpus::generationPath(path, gen);
 }
 
 std::uint64_t
@@ -594,114 +504,738 @@ InstRecordSnapshotCodec::decode(const std::uint8_t *data, std::size_t size,
     return rec;
 }
 
-SnapshotStats
-saveSnapshot(const std::string &path, const SnapshotOptions &opts)
-{
-    SnapshotStats st;
-    std::vector<std::uint8_t> payload;
-    std::uint32_t sections = 0;
-
-    for (uarch::UArch arch : uarch::allUArchs()) {
-        const InstInterner &in = InstInterner::forArch(arch);
-
-        // Records first; remember each record's index for the pairs.
-        std::vector<std::uint8_t> recSec;
-        std::unordered_map<const InstRecord *, std::uint32_t> indexOf;
-        std::uint32_t count = 0;
-        in.exportRecords([&](const std::uint8_t *bytes, std::size_t len,
-                             const InstRecord &rec) {
-            indexOf.emplace(&rec, count++);
-            putU8(recSec, static_cast<std::uint8_t>(len));
-            recSec.insert(recSec.end(), bytes, bytes + len);
-            InstRecordSnapshotCodec::encode(recSec, rec);
-        });
-        if (count == 0)
-            continue; // this arch saw no traffic
-        st.records += count;
-
-        std::vector<std::uint8_t> pairSec;
-        std::uint32_t pairs = 0;
-        in.exportFusedPairs([&](const InstRecord *first,
-                                const InstRecord *second) {
-            auto fi = indexOf.find(first);
-            auto si = indexOf.find(second);
-            if (fi == indexOf.end() || si == indexOf.end())
-                return; // unreachable: bases are canonical records
-            putU32(pairSec, fi->second);
-            putU32(pairSec, si->second);
-            ++pairs;
-        });
-        st.fusedPairs += pairs;
-
-        putU32(payload, static_cast<std::uint32_t>(SectionType::Records));
-        putU32(payload, static_cast<std::uint32_t>(arch));
-        putU64(payload, recSec.size() + 4);
-        putU32(payload, count);
-        payload.insert(payload.end(), recSec.begin(), recSec.end());
-        ++sections;
-
-        putU32(payload,
-               static_cast<std::uint32_t>(SectionType::FusedPairs));
-        putU32(payload, static_cast<std::uint32_t>(arch));
-        putU64(payload, pairSec.size() + 4);
-        putU32(payload, pairs);
-        payload.insert(payload.end(), pairSec.begin(), pairSec.end());
-        ++sections;
-    }
-
-    if (opts.engine) {
-        std::vector<std::uint8_t> predSec;
-        std::uint32_t count = 0;
-        opts.engine->exportPredictionCache(
-            [&](const std::string &key, const model::Prediction &p) {
-                putU32(predSec, static_cast<std::uint32_t>(key.size()));
-                const auto *kp =
-                    reinterpret_cast<const std::uint8_t *>(key.data());
-                if (!key.empty())
-                    predSec.insert(predSec.end(), kp, kp + key.size());
-                std::vector<std::uint8_t> enc;
-                encodePrediction(enc, p);
-                putU32(predSec, static_cast<std::uint32_t>(enc.size()));
-                predSec.insert(predSec.end(), enc.begin(), enc.end());
-                ++count;
-            });
-        st.predictions = count;
-        putU32(payload,
-               static_cast<std::uint32_t>(SectionType::Predictions));
-        putU32(payload, 0);
-        putU64(payload, predSec.size() + 4);
-        putU32(payload, count);
-        payload.insert(payload.end(), predSec.begin(), predSec.end());
-        ++sections;
-    }
-
-    std::vector<std::uint8_t> file;
-    file.reserve(kHeaderSize + payload.size());
-    const auto *magic = reinterpret_cast<const std::uint8_t *>(kMagic);
-    file.insert(file.end(), magic, magic + sizeof kMagic);
-    putU32(file, kSnapshotVersion);
-    putU32(file, sections);
-    putU64(file, payload.size());
-    putU64(file, fnv1a64(payload.data(), payload.size()));
-    file.insert(file.end(), payload.begin(), payload.end());
-    writeFileAtomic(path, file.data(), file.size(),
-                    std::max(1, opts.generations));
-    st.bytes = file.size();
-    return st;
-}
+// ---- v2 flat record layout -------------------------------------------------
+//
+// Everything below is position-independent POD: offsets and counts
+// instead of pointers, natural alignment throughout, zero padding in
+// every gap so canonically-written images are deterministic byte
+// streams. All structs are memcpy'd, never overlaid — the mmap view
+// stays const and no alignment faults are possible even on a forged
+// image.
 
 namespace {
 
+/** Flag bits of FlatRecordHead::flags. Other bits must be zero. */
+constexpr std::uint8_t kFlagIsJcc = 1;
+constexpr std::uint8_t kFlagJccReadsCf = 2;
+constexpr std::uint8_t kFlagJccTestsSOP = 4;
+constexpr std::uint8_t kFlagWritesSpilled = 8;
+constexpr std::uint8_t kFlagDepsSpilled = 16;
+constexpr std::uint8_t kFlagAll = 31;
+
 /**
- * The shared load path: validate the header, stage every section
- * (phase 1), and — only when @p commit is set — publish the staged
- * state to the process-wide arenas (phase 2). @p name labels error
- * messages (a path for file loads, "<memory>" for wire images).
+ * Fixed 64-byte head of one flat record. Trailing arrays follow in
+ * this order: FlatDepRead × nDepReads, FlatOperand × nOps, FlatUop ×
+ * nPortUops, u16 × nPortMasks, u8 × nReads, u8 × nWrites, zero pad to
+ * an 8-byte boundary (totalBytes covers head + arrays + pad).
+ *
+ * The inline dependence mirrors (InstRecord::writesInl/depInl) are
+ * NOT stored: they are rebuilt from the arrays on materialize, which
+ * is exactly how the cold path builds them. The spilled flags record
+ * the one piece of state that is not derivable — a v1 image may carry
+ * kSpilled with small vectors, and that (valid) state must round-trip
+ * without changing prediction behavior.
  */
-SnapshotStats
-loadImage(const std::uint8_t *data, std::size_t size,
-          const SnapshotOptions &opts, bool commit,
-          const std::string &name)
+struct FlatRecordHead
+{
+    std::uint32_t totalBytes; // head + arrays + pad, 8-byte multiple
+    std::uint8_t keyLen;      // 1..15
+    std::uint8_t key[15];     // exact encoded bytes, zero-padded
+    std::uint16_t mnem;
+    std::uint8_t cc;
+    std::uint8_t nopLen;
+    std::uint8_t nOps;
+    std::uint8_t decLength;
+    std::uint8_t opcodeOffset;
+    std::uint8_t lcp;
+    std::int32_t fusedUops;
+    std::int32_t issueUops;
+    std::int32_t latency;
+    std::int32_t nAvailSimple;
+    std::uint8_t needsComplex;
+    std::uint8_t macroFusible;
+    std::uint8_t eliminated;
+    std::uint8_t rwDepBreaking;
+    std::uint8_t stackOp;
+    std::uint8_t depBreaking;
+    std::uint8_t fuseClass;
+    std::uint8_t flags;
+    std::uint16_t nPortUops;
+    std::uint16_t nDepReads;
+    std::uint16_t nPortMasks;
+    std::uint8_t nReads;
+    std::uint8_t nWrites;
+    std::uint8_t pad[4];
+};
+static_assert(sizeof(FlatRecordHead) == 64,
+              "FlatRecordHead is the on-disk layout");
+
+struct FlatDepRead
+{
+    std::int32_t value;
+    std::uint32_t pad;
+    std::uint64_t latencyBits; // raw IEEE-754
+};
+static_assert(sizeof(FlatDepRead) == 16, "on-disk layout");
+
+struct FlatOperand
+{
+    std::uint8_t kind;
+    std::uint8_t regCls, regIdx;         // kind == Reg
+    std::uint8_t memBaseCls, memBaseIdx; // kind == Mem ...
+    std::uint8_t memIndexCls, memIndexIdx;
+    std::uint8_t memScale;
+    std::int32_t memDisp;
+    std::uint8_t memWidth;
+    std::uint8_t immWidth; // kind == Imm
+    std::uint8_t pad[2];
+    std::int64_t imm; // kind == Imm
+};
+static_assert(sizeof(FlatOperand) == 24, "on-disk layout");
+
+struct FlatUop
+{
+    std::uint16_t ports;
+    std::uint8_t kind;
+    std::uint8_t pad;
+};
+static_assert(sizeof(FlatUop) == 4, "on-disk layout");
+
+/**
+ * 64-byte head of a Records section: [head][records][index], where
+ * records occupy recordsBytes starting at recordsOffset (always 64)
+ * and the open-addressed index starts at indexOffset == 64 +
+ * recordsBytes and runs to the section end.
+ */
+struct RecordsSectionHead
+{
+    std::uint64_t recordCount;
+    std::uint64_t indexSlots; // power of two, >= max(8, 2*recordCount)
+    std::uint64_t recordsOffset;
+    std::uint64_t recordsBytes;
+    std::uint64_t indexOffset;
+    std::uint64_t reserved[3];
+};
+static_assert(sizeof(RecordsSectionHead) == 64, "on-disk layout");
+
+/** One open-addressed index slot; recOffset 0 means empty. */
+struct IndexSlot
+{
+    std::uint64_t keyLo;
+    std::uint64_t keyHi;
+    std::uint64_t recOffset; // from section start, into records area
+};
+static_assert(sizeof(IndexSlot) == 24, "on-disk layout");
+
+/**
+ * Pack the exact encoded instruction bytes into the 16-byte lookup
+ * key: zero-padded bytes in [0,15), length at [15] — the same packing
+ * the interner's canonical maps hash, so index probes and shard-map
+ * probes agree on equality by construction.
+ */
+void
+packKey16(const std::uint8_t *bytes, std::size_t len,
+          std::uint8_t out[16])
+{
+    std::memset(out, 0, 16);
+    std::memcpy(out, bytes, len);
+    out[15] = static_cast<std::uint8_t>(len);
+}
+
+/** Flat-encoded size of @p rec. @throws SnapshotError on overflow. */
+std::uint64_t
+flatRecordSize(const InstRecord &rec)
+{
+    if (rec.dec.inst.ops.size() > 255 ||
+        rec.info.portUops.size() > 65535 ||
+        rec.depReads.size() > 65535 || rec.portMasks.size() > 65535 ||
+        rec.rw.reads.size() > 255 || rec.rw.writes.size() > 255)
+        throw SnapshotError("record too large for flat encoding");
+    return corpus::alignUp(
+        sizeof(FlatRecordHead) + 16 * rec.depReads.size() +
+            24 * rec.dec.inst.ops.size() +
+            4 * rec.info.portUops.size() + 2 * rec.portMasks.size() +
+            rec.rw.reads.size() + rec.rw.writes.size(),
+        8);
+}
+
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    return bits;
+}
+
+/**
+ * Append the flat encoding of (@p key16, @p rec) to @p out — exactly
+ * flatRecordSize(rec) bytes. @throws SnapshotError when the record is
+ * not representable: oversized counts, or inline dependence mirrors
+ * that do not match the vectors they claim to mirror (possible only
+ * in a forged v1 image; refusing to encode beats silently changing
+ * what precedence() would stream after a convert).
+ */
+void
+encodeFlatRecord(std::vector<std::uint8_t> &out,
+                 const std::uint8_t key16[16], const InstRecord &rec)
+{
+    const std::uint64_t total = flatRecordSize(rec);
+    FlatRecordHead h;
+    std::memset(&h, 0, sizeof h);
+    h.totalBytes = static_cast<std::uint32_t>(total);
+    h.keyLen = key16[15];
+    std::memcpy(h.key, key16, 15);
+    h.mnem = static_cast<std::uint16_t>(rec.dec.inst.mnem);
+    h.cc = static_cast<std::uint8_t>(rec.dec.inst.cc);
+    h.nopLen = rec.dec.inst.nopLen;
+    h.nOps = static_cast<std::uint8_t>(rec.dec.inst.ops.size());
+    h.decLength = rec.dec.length;
+    h.opcodeOffset = rec.dec.opcodeOffset;
+    h.lcp = rec.dec.lcp ? 1 : 0;
+    h.fusedUops = rec.info.fusedUops;
+    h.issueUops = rec.info.issueUops;
+    h.latency = rec.info.latency;
+    h.nAvailSimple = rec.info.nAvailableSimpleDecoders;
+    h.needsComplex = rec.info.needsComplexDecoder ? 1 : 0;
+    h.macroFusible = rec.info.macroFusible ? 1 : 0;
+    h.eliminated = rec.info.eliminated ? 1 : 0;
+    h.rwDepBreaking = rec.rw.depBreaking ? 1 : 0;
+    h.stackOp = rec.stackOp ? 1 : 0;
+    h.depBreaking = rec.depBreaking ? 1 : 0;
+    h.fuseClass = static_cast<std::uint8_t>(rec.fuseClass);
+    h.flags = (rec.isJcc ? kFlagIsJcc : 0) |
+              (rec.jccReadsCf ? kFlagJccReadsCf : 0) |
+              (rec.jccTestsSOP ? kFlagJccTestsSOP : 0);
+    h.nPortUops = static_cast<std::uint16_t>(rec.info.portUops.size());
+    h.nDepReads = static_cast<std::uint16_t>(rec.depReads.size());
+    h.nPortMasks = static_cast<std::uint16_t>(rec.portMasks.size());
+    h.nReads = static_cast<std::uint8_t>(rec.rw.reads.size());
+    h.nWrites = static_cast<std::uint8_t>(rec.rw.writes.size());
+
+    // The spilled flags: the mirrors themselves are rebuilt on
+    // materialize, so a mirror that disagrees with its vector has no
+    // flat representation — reject it.
+    if (rec.nWritesInl == InstRecord::kSpilled) {
+        h.flags |= kFlagWritesSpilled;
+    } else {
+        if (rec.nWritesInl > InstRecord::kInlineDeps ||
+            rec.nWritesInl != rec.rw.writes.size())
+            throw SnapshotError("inline write mirror mismatch");
+        for (std::uint8_t i = 0; i < rec.nWritesInl; ++i)
+            if (rec.writesInl[i] !=
+                static_cast<std::uint8_t>(rec.rw.writes[i]))
+                throw SnapshotError("inline write mirror mismatch");
+    }
+    if (rec.nDepInl == InstRecord::kSpilled) {
+        h.flags |= kFlagDepsSpilled;
+    } else {
+        if (rec.nDepInl > InstRecord::kInlineDeps ||
+            rec.nDepInl != rec.depReads.size())
+            throw SnapshotError("inline dep mirror mismatch");
+        for (std::uint8_t i = 0; i < rec.nDepInl; ++i)
+            if (rec.depInl[i].value != rec.depReads[i].value ||
+                doubleBits(rec.depInl[i].latency) !=
+                    doubleBits(rec.depReads[i].latency))
+                throw SnapshotError("inline dep mirror mismatch");
+    }
+
+    const std::size_t start = out.size();
+    out.reserve(start + total);
+    auto putPod = [&out](const void *p, std::size_t n) {
+        const auto *b = static_cast<const std::uint8_t *>(p);
+        out.insert(out.end(), b, b + n);
+    };
+    putPod(&h, sizeof h);
+    for (const DepRead &d : rec.depReads) {
+        FlatDepRead fd{d.value, 0, doubleBits(d.latency)};
+        putPod(&fd, sizeof fd);
+    }
+    for (const isa::Operand &op : rec.dec.inst.ops) {
+        FlatOperand fo;
+        std::memset(&fo, 0, sizeof fo);
+        fo.kind = static_cast<std::uint8_t>(op.kind);
+        switch (op.kind) {
+          case isa::Operand::Kind::Reg:
+            fo.regCls = static_cast<std::uint8_t>(op.reg.cls);
+            fo.regIdx = op.reg.idx;
+            break;
+          case isa::Operand::Kind::Mem:
+            fo.memBaseCls = static_cast<std::uint8_t>(op.mem.base.cls);
+            fo.memBaseIdx = op.mem.base.idx;
+            fo.memIndexCls = static_cast<std::uint8_t>(op.mem.index.cls);
+            fo.memIndexIdx = op.mem.index.idx;
+            fo.memScale = op.mem.scale;
+            fo.memDisp = op.mem.disp;
+            fo.memWidth = op.mem.width;
+            break;
+          case isa::Operand::Kind::Imm:
+            fo.imm = op.imm;
+            fo.immWidth = op.immWidth;
+            break;
+          case isa::Operand::Kind::None:
+            break;
+        }
+        putPod(&fo, sizeof fo);
+    }
+    for (const uops::Uop &u : rec.info.portUops) {
+        FlatUop fu{u.ports, static_cast<std::uint8_t>(u.kind), 0};
+        putPod(&fu, sizeof fu);
+    }
+    for (uarch::PortMask m : rec.portMasks) {
+        const std::uint16_t v = m;
+        putPod(&v, 2);
+    }
+    for (int v : rec.rw.reads)
+        out.push_back(static_cast<std::uint8_t>(v));
+    for (int v : rec.rw.writes)
+        out.push_back(static_cast<std::uint8_t>(v));
+    out.resize(start + total, 0); // zero pad to the 8-byte boundary
+}
+
+/** Validate one decoded reg class byte and build the isa::Reg. */
+isa::Reg
+flatReg(std::uint8_t cls, std::uint8_t idx)
+{
+    if (cls > static_cast<std::uint8_t>(isa::RegClass::Ymm))
+        throw SnapshotError("bad register class");
+    return isa::Reg{static_cast<isa::RegClass>(cls), idx};
+}
+
+/**
+ * Decode the flat record at @p off of section @p sec (records area
+ * bounded by @p limit = indexOffset), filling @p rec and the packed
+ * key @p keyOut. Every field is validated exactly as hard as the v1
+ * codec — a hit through the lazy source must be just as trustworthy
+ * as an eager parse. @return the record's totalBytes.
+ * @throws SnapshotError; @p rec may be partially filled then (callers
+ * materialize into a scratch record, never directly into a caller's
+ * out-param).
+ */
+std::uint64_t
+materializeFlatRecord(const std::uint8_t *sec, std::uint64_t limit,
+                      std::uint64_t off, std::uint8_t keyOut[16],
+                      InstRecord &rec)
+{
+    if (off < sizeof(RecordsSectionHead) || off % 8 != 0 ||
+        off + sizeof(FlatRecordHead) > limit)
+        throw SnapshotError("flat record out of bounds");
+    FlatRecordHead h;
+    std::memcpy(&h, sec + off, sizeof h);
+
+    const std::uint64_t need = corpus::alignUp(
+        sizeof(FlatRecordHead) + 16ULL * h.nDepReads + 24ULL * h.nOps +
+            4ULL * h.nPortUops + 2ULL * h.nPortMasks + h.nReads +
+            h.nWrites,
+        8);
+    if (h.totalBytes != need || off + need > limit)
+        throw SnapshotError("flat record size mismatch");
+    if (h.keyLen < 1 || h.keyLen > 15)
+        throw SnapshotError("bad key length");
+    for (int i = h.keyLen; i < 15; ++i)
+        if (h.key[i] != 0)
+            throw SnapshotError("bad key padding");
+    if (h.flags & ~kFlagAll)
+        throw SnapshotError("bad record flags");
+    for (std::uint8_t p : h.pad)
+        if (p != 0)
+            throw SnapshotError("bad record padding");
+    if (h.mnem >=
+        static_cast<std::uint16_t>(isa::Mnemonic::kNumMnemonics))
+        throw SnapshotError("bad mnemonic");
+    if (h.cc > static_cast<std::uint8_t>(isa::Cond::NLE) &&
+        h.cc != static_cast<std::uint8_t>(isa::Cond::None))
+        throw SnapshotError("bad condition code");
+    if (h.fuseClass > static_cast<std::uint8_t>(FuseClass::NoCarryNoSOP))
+        throw SnapshotError("bad fuse class");
+    if (!(h.flags & kFlagWritesSpilled) &&
+        h.nWrites > InstRecord::kInlineDeps)
+        throw SnapshotError("bad inline write count");
+    if (!(h.flags & kFlagDepsSpilled) &&
+        h.nDepReads > InstRecord::kInlineDeps)
+        throw SnapshotError("bad inline dep count");
+
+    std::memcpy(keyOut, h.key, 15);
+    keyOut[15] = h.keyLen;
+
+    rec.dec.inst.mnem = static_cast<isa::Mnemonic>(h.mnem);
+    rec.dec.inst.cc = static_cast<isa::Cond>(h.cc);
+    rec.dec.inst.nopLen = h.nopLen;
+    rec.dec.length = h.decLength;
+    rec.dec.opcodeOffset = h.opcodeOffset;
+    rec.dec.lcp = h.lcp != 0;
+    rec.info.fusedUops = h.fusedUops;
+    rec.info.issueUops = h.issueUops;
+    rec.info.latency = h.latency;
+    rec.info.nAvailableSimpleDecoders = h.nAvailSimple;
+    rec.info.needsComplexDecoder = h.needsComplex != 0;
+    rec.info.macroFusible = h.macroFusible != 0;
+    rec.info.eliminated = h.eliminated != 0;
+    rec.rw.depBreaking = h.rwDepBreaking != 0;
+    rec.stackOp = h.stackOp != 0;
+    rec.depBreaking = h.depBreaking != 0;
+    rec.fuseClass = static_cast<FuseClass>(h.fuseClass);
+    rec.isJcc = (h.flags & kFlagIsJcc) != 0;
+    rec.jccReadsCf = (h.flags & kFlagJccReadsCf) != 0;
+    rec.jccTestsSOP = (h.flags & kFlagJccTestsSOP) != 0;
+
+    const std::uint8_t *p = sec + off + sizeof(FlatRecordHead);
+    rec.depReads.reserve(h.nDepReads);
+    for (std::uint32_t i = 0; i < h.nDepReads; ++i) {
+        FlatDepRead fd;
+        std::memcpy(&fd, p, sizeof fd);
+        p += sizeof fd;
+        DepRead d;
+        d.value = fd.value;
+        std::memcpy(&d.latency, &fd.latencyBits, 8);
+        rec.depReads.push_back(d);
+    }
+    rec.dec.inst.ops.reserve(h.nOps);
+    for (std::uint32_t i = 0; i < h.nOps; ++i) {
+        FlatOperand fo;
+        std::memcpy(&fo, p, sizeof fo);
+        p += sizeof fo;
+        if (fo.kind > static_cast<std::uint8_t>(isa::Operand::Kind::Imm))
+            throw SnapshotError("bad operand kind");
+        isa::Operand op;
+        op.kind = static_cast<isa::Operand::Kind>(fo.kind);
+        switch (op.kind) {
+          case isa::Operand::Kind::Reg:
+            op.reg = flatReg(fo.regCls, fo.regIdx);
+            break;
+          case isa::Operand::Kind::Mem:
+            op.mem.base = flatReg(fo.memBaseCls, fo.memBaseIdx);
+            op.mem.index = flatReg(fo.memIndexCls, fo.memIndexIdx);
+            op.mem.scale = fo.memScale;
+            op.mem.disp = fo.memDisp;
+            op.mem.width = fo.memWidth;
+            break;
+          case isa::Operand::Kind::Imm:
+            op.imm = fo.imm;
+            op.immWidth = fo.immWidth;
+            break;
+          case isa::Operand::Kind::None:
+            break;
+        }
+        rec.dec.inst.ops.push_back(op);
+    }
+    rec.info.portUops.reserve(h.nPortUops);
+    for (std::uint32_t i = 0; i < h.nPortUops; ++i) {
+        FlatUop fu;
+        std::memcpy(&fu, p, sizeof fu);
+        p += sizeof fu;
+        if (fu.kind >
+            static_cast<std::uint8_t>(uops::UopKind::StoreData))
+            throw SnapshotError("bad uop kind");
+        uops::Uop u;
+        u.ports = fu.ports;
+        u.kind = static_cast<uops::UopKind>(fu.kind);
+        rec.info.portUops.push_back(u);
+    }
+    rec.portMasks.reserve(h.nPortMasks);
+    for (std::uint32_t i = 0; i < h.nPortMasks; ++i) {
+        std::uint16_t m;
+        std::memcpy(&m, p, 2);
+        p += 2;
+        rec.portMasks.push_back(m);
+    }
+    rec.rw.reads.reserve(h.nReads);
+    for (std::uint32_t i = 0; i < h.nReads; ++i)
+        rec.rw.reads.push_back(*p++);
+    rec.rw.writes.reserve(h.nWrites);
+    for (std::uint32_t i = 0; i < h.nWrites; ++i)
+        rec.rw.writes.push_back(*p++);
+    for (const std::uint8_t *end = sec + off + need; p < end; ++p)
+        if (*p != 0)
+            throw SnapshotError("bad record padding");
+
+    // Rebuild the inline mirrors exactly as the cold path would.
+    if (h.flags & kFlagWritesSpilled) {
+        rec.nWritesInl = InstRecord::kSpilled;
+    } else {
+        rec.nWritesInl = h.nWrites;
+        for (std::uint32_t i = 0; i < h.nWrites; ++i)
+            rec.writesInl[i] =
+                static_cast<std::uint8_t>(rec.rw.writes[i]);
+    }
+    if (h.flags & kFlagDepsSpilled) {
+        rec.nDepInl = InstRecord::kSpilled;
+    } else {
+        rec.nDepInl = static_cast<std::uint8_t>(h.nDepReads);
+        for (std::uint32_t i = 0; i < h.nDepReads; ++i)
+            rec.depInl[i] = rec.depReads[i];
+    }
+    return need;
+}
+
+/**
+ * Validate the head of a Records section payload (@p sec, @p len
+ * bytes) and fill @p h. Checks structure only — record bytes are the
+ * caller's business (walked eagerly, or trusted lazily after the
+ * section hash passed).
+ */
+void
+validateRecordsHead(const std::uint8_t *sec, std::uint64_t len,
+                    RecordsSectionHead &h)
+{
+    if (len < sizeof(RecordsSectionHead) || len % 8 != 0)
+        throw SnapshotError("truncated records section");
+    std::memcpy(&h, sec, sizeof h);
+    if (h.recordsOffset != sizeof(RecordsSectionHead) || h.reserved[0] ||
+        h.reserved[1] || h.reserved[2])
+        throw SnapshotError("bad records section head");
+    if (h.recordsBytes > len - sizeof(RecordsSectionHead) ||
+        h.indexOffset != sizeof(RecordsSectionHead) + h.recordsBytes)
+        throw SnapshotError("bad records section layout");
+    // Every record is at least one 64-byte head, so a forged count
+    // cannot claim more records than the area could hold.
+    if (h.recordCount > h.recordsBytes / sizeof(FlatRecordHead))
+        throw SnapshotError("bad record count");
+    const std::uint64_t indexBytes = len - h.indexOffset;
+    if (h.indexSlots < 8 || (h.indexSlots & (h.indexSlots - 1)) != 0 ||
+        h.indexSlots < 2 * h.recordCount ||
+        h.indexSlots > indexBytes / sizeof(IndexSlot) ||
+        h.indexSlots * sizeof(IndexSlot) != indexBytes)
+        throw SnapshotError("bad index geometry");
+}
+
+/**
+ * The deep eager walk of one Records section: decode every record
+ * sequentially (full field validation), then prove the index is
+ * exactly the records' index — every non-empty slot points at a
+ * record start with a matching key, every record is reachable by its
+ * own linear probe, and the slot population equals the record count.
+ * This is what makes `facile_snaptool verify` strictly stronger than
+ * the lazy load path. @p cb receives each record in file order.
+ */
+void
+walkRecordsSection(
+    const std::uint8_t *sec, const corpus::SectionEntry &e,
+    const std::function<void(const std::uint8_t keyOut[16],
+                             InstRecord &&rec)> &cb)
+{
+    RecordsSectionHead h;
+    validateRecordsHead(sec, e.length, h);
+    if (e.itemCount != h.recordCount)
+        throw SnapshotError("record count disagrees with table");
+
+    std::unordered_map<std::uint64_t, std::array<std::uint8_t, 16>>
+        atOffset;
+    atOffset.reserve(h.recordCount);
+    std::uint64_t off = h.recordsOffset;
+    for (std::uint64_t i = 0; i < h.recordCount; ++i) {
+        InstRecord rec;
+        std::uint8_t key[16];
+        const std::uint64_t n =
+            materializeFlatRecord(sec, h.indexOffset, off, key, rec);
+        std::array<std::uint8_t, 16> k;
+        std::memcpy(k.data(), key, 16);
+        atOffset.emplace(off, k);
+        cb(key, std::move(rec));
+        off += n;
+    }
+    if (off != h.indexOffset)
+        throw SnapshotError("records area size mismatch");
+
+    const std::uint8_t *idx = sec + h.indexOffset;
+    const std::uint64_t mask = h.indexSlots - 1;
+    std::uint64_t nonEmpty = 0;
+    for (std::uint64_t s = 0; s < h.indexSlots; ++s) {
+        IndexSlot sl;
+        std::memcpy(&sl, idx + s * sizeof(IndexSlot), sizeof sl);
+        if (sl.recOffset == 0)
+            continue;
+        ++nonEmpty;
+        const auto it = atOffset.find(sl.recOffset);
+        if (it == atOffset.end())
+            throw SnapshotError("index slot points between records");
+        std::uint64_t lo, hi;
+        std::memcpy(&lo, it->second.data(), 8);
+        std::memcpy(&hi, it->second.data() + 8, 8);
+        if (lo != sl.keyLo || hi != sl.keyHi)
+            throw SnapshotError("index key disagrees with record");
+    }
+    if (nonEmpty != h.recordCount)
+        throw SnapshotError("index population mismatch");
+    for (const auto &[recOff, key] : atOffset) {
+        std::uint64_t lo, hi;
+        std::memcpy(&lo, key.data(), 8);
+        std::memcpy(&hi, key.data() + 8, 8);
+        const std::uint64_t hash = corpus::xxh64(key.data(), 16);
+        bool found = false;
+        for (std::uint64_t i = 0; i <= mask; ++i) {
+            IndexSlot sl;
+            std::memcpy(&sl,
+                        idx + ((hash + i) & mask) * sizeof(IndexSlot),
+                        sizeof sl);
+            if (sl.recOffset == 0)
+                break; // probe chain ends before the record: unreachable
+            if (sl.keyLo != lo || sl.keyHi != hi)
+                continue;
+            if (sl.recOffset != recOff)
+                throw SnapshotError("duplicate record key");
+            found = true;
+            break;
+        }
+        if (!found)
+            throw SnapshotError("record unreachable from index");
+    }
+}
+
+/**
+ * Validate the fixed v2 header + section table of (@p data, @p size)
+ * and return the decoded, layout-checked table: ascending,
+ * non-overlapping payloads that all start after the table. @p name
+ * labels errors.
+ */
+std::vector<corpus::SectionEntry>
+parseV2HeaderAndTable(const std::uint8_t *data, std::size_t size,
+                      const std::string &name)
+{
+    if (size < kHeaderSizeV2)
+        throw SnapshotError("truncated header in " + name);
+    if (std::memcmp(data, kMagicV2, sizeof kMagicV2) != 0)
+        throw SnapshotError("bad magic in " + name);
+    std::uint64_t headerHash;
+    std::memcpy(&headerHash, data + 48, 8);
+    if (corpus::xxh64(data, 48) != headerHash)
+        throw SnapshotError("header checksum mismatch in " + name);
+
+    Reader hd{data, size, sizeof kMagicV2};
+    const std::uint32_t version = hd.u32();
+    if (version != kSnapshotVersionV2)
+        throw SnapshotError("unsupported version " +
+                            std::to_string(version) + " in " + name);
+    if (hd.u32() != corpus::kLittleEndianTag)
+        throw SnapshotError("foreign-endian image " + name);
+    if (hd.u32() != corpus::kSectionAlign)
+        throw SnapshotError("unsupported page size in " + name);
+    const std::uint32_t sectionCount = hd.u32();
+    if (hd.u64() != size)
+        throw SnapshotError("file size mismatch in " + name);
+    if (hd.u64() != kHeaderSizeV2)
+        throw SnapshotError("bad table offset in " + name);
+    const std::uint64_t tableHash = hd.u64();
+    std::uint64_t reserved;
+    std::memcpy(&reserved, data + 56, 8);
+    if (reserved != 0)
+        throw SnapshotError("nonzero reserved header field in " + name);
+
+    const std::uint64_t tableBytes =
+        std::uint64_t{sectionCount} * sizeof(corpus::SectionEntry);
+    if (size - kHeaderSizeV2 < tableBytes)
+        throw SnapshotError("truncated section table in " + name);
+    if (corpus::xxh64(data + kHeaderSizeV2, tableBytes) != tableHash)
+        throw SnapshotError("table checksum mismatch in " + name);
+    std::vector<corpus::SectionEntry> entries;
+    try {
+        entries = corpus::decodeSectionTable(
+            data + kHeaderSizeV2, size - kHeaderSizeV2, sectionCount,
+            size);
+    } catch (const corpus::SectionError &e) {
+        throw SnapshotError(std::string(e.what()) + " in " + name);
+    }
+
+    // Layout: strictly ascending, non-overlapping, nothing under the
+    // header + table. (Alignment is NOT required here — an unaligned
+    // image is legal-but-unmappable and takes the eager path.)
+    std::uint64_t prevEnd = kHeaderSizeV2 + tableBytes;
+    bool sawPredictions = false;
+    std::array<bool, 32> sawRecords{}; // indexed by arch, 9 in use
+    for (const corpus::SectionEntry &e : entries) {
+        if (e.offset < prevEnd)
+            throw SnapshotError("overlapping sections in " + name);
+        prevEnd = e.offset + e.length;
+        switch (static_cast<SectionType>(e.type)) {
+          case SectionType::Records:
+          case SectionType::FusedPairs: {
+            if (e.tag >= uarch::allUArchs().size())
+                throw SnapshotError("bad arch in " + name);
+            const bool records =
+                e.type ==
+                static_cast<std::uint32_t>(SectionType::Records);
+            if (records && sawRecords[e.tag])
+                throw SnapshotError("duplicate records section in " +
+                                    name);
+            if (!records && !sawRecords[e.tag])
+                throw SnapshotError("fused pairs before records in " +
+                                    name);
+            if (records)
+                sawRecords[e.tag] = true;
+            break;
+          }
+          case SectionType::Predictions:
+            if (e.tag != 0 || sawPredictions)
+                throw SnapshotError("bad predictions section in " +
+                                    name);
+            sawPredictions = true;
+            break;
+          default:
+            throw SnapshotError("unknown section type " +
+                                std::to_string(e.type) + " in " + name);
+        }
+    }
+    return entries;
+}
+
+/**
+ * Parse the shared (v1-codec) tail payloads. Pairs: u32 count + index
+ * pairs, bounds-checked against @p recordCount. @p expect is the
+ * table's itemCount (v1 passes the count again; the check is a no-op
+ * there).
+ */
+void
+parsePairsPayload(
+    Reader &rd, std::size_t sectionEnd, std::uint64_t expect,
+    std::size_t recordCount, const std::string &name,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> &out)
+{
+    const std::uint32_t count = rd.u32();
+    if (count != expect)
+        throw SnapshotError("pair count disagrees with table in " +
+                            name);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint32_t fi = rd.u32();
+        const std::uint32_t si = rd.u32();
+        if (fi >= recordCount || si >= recordCount)
+            throw SnapshotError("bad fused pair index in " + name);
+        out.emplace_back(fi, si);
+    }
+    if (rd.pos != sectionEnd)
+        throw SnapshotError("section length mismatch in " + name);
+}
+
+/** Predictions: u32 count, then (key, payload) entries, validated. */
+void
+parsePredictionsPayload(
+    Reader &rd, std::size_t sectionEnd, std::uint64_t expect,
+    const std::string &name,
+    std::vector<std::pair<std::string, std::vector<std::uint8_t>>> &out)
+{
+    const std::uint32_t count = rd.u32();
+    if (count != expect)
+        throw SnapshotError(
+            "prediction count disagrees with table in " + name);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint32_t keyLen = rd.u32();
+        const std::uint8_t *key = rd.bytes(keyLen);
+        const std::uint32_t predLen = rd.u32();
+        const std::uint8_t *pred = rd.bytes(predLen);
+        decodePrediction(pred, predLen); // validate; discard
+        out.emplace_back(
+            std::string(reinterpret_cast<const char *>(key), keyLen),
+            std::vector<std::uint8_t>(pred, pred + predLen));
+    }
+    if (rd.pos != sectionEnd)
+        throw SnapshotError("section length mismatch in " + name);
+}
+
+/**
+ * Deep-parse a v1 image into a SnapshotModel: header, checksum, and
+ * every section fully validated; nothing committed anywhere.
+ */
+SnapshotModel
+parseV1Model(const std::uint8_t *data, std::size_t size,
+             const std::string &name)
 {
     if (size < kHeaderSize)
         throw SnapshotError("truncated header in " + name);
@@ -721,24 +1255,11 @@ loadImage(const std::uint8_t *data, std::size_t size,
     if (fnv1a64(data + kHeaderSize, payloadLen) != checksum)
         throw SnapshotError("checksum mismatch in " + name);
 
-    SnapshotStats st;
-    st.bytes = size;
+    SnapshotModel model;
+    model.sourceVersion = kSnapshotVersion;
+    std::unordered_map<std::uint32_t, std::size_t> archIndex;
     Reader rd{data + kHeaderSize, static_cast<std::size_t>(payloadLen),
               0};
-
-    // Phase 1 — parse and validate EVERYTHING into staging before a
-    // single record is published: the checksum only proves the bytes
-    // match what was written, so logical validation failures (bad
-    // enum, bad pair index, section-length mismatch) must also leave
-    // the process untouched, as snapshot.h promises.
-    struct StagedArch
-    {
-        std::vector<std::pair<std::vector<std::uint8_t>, InstRecord>>
-            records; ///< (exact encoded bytes, decoded record)
-        std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
-    };
-    std::unordered_map<std::uint32_t, StagedArch> staged;
-    std::vector<std::pair<std::string, model::Prediction>> stagedPreds;
 
     for (std::uint32_t s = 0; s < sections; ++s) {
         const std::uint32_t type = rd.u32();
@@ -752,12 +1273,20 @@ loadImage(const std::uint8_t *data, std::size_t size,
             if (archWord >= uarch::allUArchs().size())
                 throw SnapshotError("bad arch in " + name);
             const std::uint32_t count = rd.u32();
-            auto &arch = staged[archWord];
+            auto [it, fresh] =
+                archIndex.emplace(archWord, model.arches.size());
+            if (fresh) {
+                model.arches.emplace_back();
+                model.arches.back().arch = archWord;
+            }
+            auto &records = model.arches[it->second].records;
             // Clamp the hint: `count` comes from the file, and each
             // record costs at least 8 section bytes, so a forged count
             // cannot reserve more memory than the section could hold.
-            arch.records.reserve(std::min<std::size_t>(
-                count, (sectionEnd - rd.pos) / 8 + 1));
+            records.reserve(
+                records.size() +
+                std::min<std::size_t>(count,
+                                      (sectionEnd - rd.pos) / 8 + 1));
             for (std::uint32_t i = 0; i < count; ++i) {
                 const std::uint8_t keyLen = rd.u8();
                 if (keyLen == 0 || keyLen > 15)
@@ -767,46 +1296,37 @@ loadImage(const std::uint8_t *data, std::size_t size,
                 InstRecord rec = InstRecordSnapshotCodec::decode(
                     rd.data, sectionEnd, pos);
                 rd.pos = pos;
-                arch.records.emplace_back(
+                records.emplace_back(
                     std::vector<std::uint8_t>(key, key + keyLen),
                     std::move(rec));
             }
-            st.records += count;
             break;
           }
           case SectionType::FusedPairs: {
             if (archWord >= uarch::allUArchs().size())
                 throw SnapshotError("bad arch in " + name);
-            const auto it = staged.find(archWord);
+            const auto it = archIndex.find(archWord);
             const std::uint32_t count = rd.u32();
-            for (std::uint32_t i = 0; i < count; ++i) {
-                const std::uint32_t fi = rd.u32();
-                const std::uint32_t si = rd.u32();
-                if (it == staged.end() ||
-                    fi >= it->second.records.size() ||
-                    si >= it->second.records.size())
+            rd.pos -= 4; // parsePairsPayload re-reads the count
+            if (it == archIndex.end()) {
+                if (count > 0)
                     throw SnapshotError("bad fused pair index in " +
                                         name);
-                it->second.pairs.emplace_back(fi, si);
+                rd.pos += 4; // empty section for an absent arch: v1
+                break;       // tolerated this; nothing to record
             }
-            st.fusedPairs += count;
+            auto &arch = model.arches[it->second];
+            parsePairsPayload(rd, sectionEnd, count,
+                              arch.records.size(), name,
+                              arch.fusedPairs);
             break;
           }
           case SectionType::Predictions: {
+            model.hasPredictions = true;
             const std::uint32_t count = rd.u32();
-            for (std::uint32_t i = 0; i < count; ++i) {
-                const std::uint32_t keyLen = rd.u32();
-                const std::uint8_t *key = rd.bytes(keyLen);
-                const std::uint32_t predLen = rd.u32();
-                model::Prediction p =
-                    decodePrediction(rd.bytes(predLen), predLen);
-                if (opts.engine)
-                    stagedPreds.emplace_back(
-                        std::string(reinterpret_cast<const char *>(key),
-                                    keyLen),
-                        std::move(p));
-            }
-            st.predictions += count;
+            rd.pos -= 4;
+            parsePredictionsPayload(rd, sectionEnd, count, name,
+                                    model.predictions);
             break;
           }
           default:
@@ -818,15 +1338,94 @@ loadImage(const std::uint8_t *data, std::size_t size,
     }
     if (rd.pos != payloadLen)
         throw SnapshotError("trailing garbage in " + name);
+    return model;
+}
 
-    if (!commit)
-        return st; // validation-only: nothing published, newRecords 0
+/**
+ * Deep-parse a v2 image into a SnapshotModel: header, table, every
+ * section hash, every record, full index-consistency probing.
+ */
+SnapshotModel
+parseV2Model(const std::uint8_t *data, std::size_t size,
+             const std::string &name)
+{
+    const std::vector<corpus::SectionEntry> entries =
+        parseV2HeaderAndTable(data, size, name);
 
-    // Phase 2 — commit. Nothing below can fail validation; imports go
-    // through the same shard maps internAt fills (existing keys win).
-    for (auto &[archWord, arch] : staged) {
+    SnapshotModel model;
+    model.sourceVersion = kSnapshotVersionV2;
+    std::unordered_map<std::uint32_t, std::size_t> archIndex;
+
+    for (const corpus::SectionEntry &e : entries) {
+        const std::uint8_t *sec = data + e.offset;
+        if (corpus::xxh64(sec, e.length) != e.hash)
+            throw SnapshotError("section checksum mismatch in " + name);
+        switch (static_cast<SectionType>(e.type)) {
+          case SectionType::Records: {
+            model.arches.emplace_back();
+            SnapshotModel::Arch &arch = model.arches.back();
+            arch.arch = e.tag;
+            archIndex.emplace(e.tag, model.arches.size() - 1);
+            // Clamp the hint: itemCount is cross-checked inside the
+            // walk, but only after this reserve would have run.
+            arch.records.reserve(std::min<std::size_t>(
+                e.itemCount, e.length / sizeof(FlatRecordHead)));
+            walkRecordsSection(
+                sec, e,
+                [&arch](const std::uint8_t key[16], InstRecord &&rec) {
+                    arch.records.emplace_back(
+                        std::vector<std::uint8_t>(key, key + key[15]),
+                        std::move(rec));
+                });
+            break;
+          }
+          case SectionType::FusedPairs: {
+            SnapshotModel::Arch &arch =
+                model.arches[archIndex.at(e.tag)];
+            Reader rd{sec, static_cast<std::size_t>(e.length), 0};
+            parsePairsPayload(rd, e.length, e.itemCount,
+                              arch.records.size(), name,
+                              arch.fusedPairs);
+            break;
+          }
+          case SectionType::Predictions: {
+            model.hasPredictions = true;
+            Reader rd{sec, static_cast<std::size_t>(e.length), 0};
+            parsePredictionsPayload(rd, e.length, e.itemCount, name,
+                                    model.predictions);
+            break;
+          }
+          default:
+            break; // unreachable: the table walk rejected it
+        }
+    }
+    return model;
+}
+
+/** Fill the record/pair/prediction totals of @p m into @p st. */
+void
+countsOf(const SnapshotModel &m, SnapshotStats &st)
+{
+    for (const SnapshotModel::Arch &a : m.arches) {
+        st.records += a.records.size();
+        st.fusedPairs += a.fusedPairs.size();
+    }
+    st.predictions = m.predictions.size();
+}
+
+/**
+ * Phase 2 — commit a fully-validated model to the process-wide arenas
+ * (and @p opts.engine's prediction cache). Nothing in here can fail
+ * validation; imports go through the same shard maps internAt fills
+ * (existing keys win). Consumes the model.
+ */
+void
+commitModel(SnapshotModel &&m, const SnapshotOptions &opts,
+            SnapshotStats &st)
+{
+    for (SnapshotModel::Arch &arch : m.arches) {
         InstInterner &in =
-            InstInterner::forArch(static_cast<uarch::UArch>(archWord));
+            InstInterner::forArch(static_cast<uarch::UArch>(arch.arch));
         std::vector<const InstRecord *> byIndex;
         byIndex.reserve(arch.records.size());
         for (auto &[key, rec] : arch.records) {
@@ -836,32 +1435,819 @@ loadImage(const std::uint8_t *data, std::size_t size,
                                               &inserted));
             st.newRecords += inserted ? 1 : 0;
         }
-        for (const auto &[fi, si] : arch.pairs)
+        for (const auto &[fi, si] : arch.fusedPairs)
             in.internFused(byIndex[fi], byIndex[si]);
     }
-    for (auto &[key, pred] : stagedPreds)
-        opts.engine->importPredictionCacheEntry(std::move(key),
-                                                std::move(pred));
+    if (opts.engine)
+        for (auto &[key, payload] : m.predictions)
+            opts.engine->importPredictionCacheEntry(
+                std::move(key),
+                decodePrediction(payload.data(), payload.size()));
+}
+
+/** The v1 load path: deep parse, then commit unless validating. */
+SnapshotStats
+loadImageV1(const std::uint8_t *data, std::size_t size,
+            const SnapshotOptions &opts, bool commit,
+            const std::string &name)
+{
+    SnapshotModel m = parseV1Model(data, size, name);
+    SnapshotStats st;
+    st.bytes = size;
+    st.formatVersion = kSnapshotVersion;
+    countsOf(m, st);
+    if (commit) {
+        commitModel(std::move(m), opts, st);
+        st.loadMode = SnapshotLoadMode::ParseV1;
+    }
+    return st;
+}
+
+/** The eager v2 load path (unaligned / mmap failed / forced / wire). */
+SnapshotStats
+loadImageV2Eager(const std::uint8_t *data, std::size_t size,
+                 const SnapshotOptions &opts, bool commit,
+                 const std::string &name)
+{
+    SnapshotModel m = parseV2Model(data, size, name);
+    SnapshotStats st;
+    st.bytes = size;
+    st.formatVersion = kSnapshotVersionV2;
+    countsOf(m, st);
+    if (commit) {
+        commitModel(std::move(m), opts, st);
+        st.loadMode = SnapshotLoadMode::EagerV2;
+    }
+    return st;
+}
+
+// ---- writers ---------------------------------------------------------------
+
+/**
+ * What to write, gathered before any byte is produced: per-arch record
+ * pointers (with packed keys) and pair indices, plus pre-encoded
+ * prediction entries. Borrowed pointers — the source (live interner
+ * arenas, or a SnapshotModel) must outlive the plan.
+ *
+ * Predictions are pre-encoded at plan time because
+ * exportPredictionCache holds engine shard locks across its visits:
+ * visitors must be brief and must certainly not sit behind
+ * fault-injectable file IO.
+ */
+struct PlanArch
+{
+    std::uint32_t archWord = 0;
+    std::vector<std::pair<std::array<std::uint8_t, 16>,
+                          const InstRecord *>>
+        recs;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+};
+
+struct WritePlan
+{
+    std::vector<PlanArch> arches;
+    bool hasPredictions = false;
+    std::vector<std::pair<std::string, std::vector<std::uint8_t>>>
+        predictions; // (key, pre-encoded payload)
+};
+
+WritePlan
+planFromLive(engine::PredictionEngine *eng)
+{
+    WritePlan plan;
+    // A process warm-started from an mmap'd v2 image serves most
+    // records through the lazily bound RecordSource, which
+    // exportRecords cannot see — pull everything into the canonical
+    // arenas first so the save persists the image's whole universe.
+    for (uarch::UArch arch : uarch::allUArchs())
+        InstInterner::forArch(arch).materializeBoundSource();
+    for (uarch::UArch arch : uarch::allUArchs()) {
+        const InstInterner &in = InstInterner::forArch(arch);
+        PlanArch pa;
+        pa.archWord = static_cast<std::uint32_t>(arch);
+        std::unordered_map<const InstRecord *, std::uint32_t> indexOf;
+        in.exportRecords([&](const std::uint8_t *bytes, std::size_t len,
+                             const InstRecord &rec) {
+            std::array<std::uint8_t, 16> k;
+            packKey16(bytes, len, k.data());
+            indexOf.emplace(&rec,
+                            static_cast<std::uint32_t>(pa.recs.size()));
+            pa.recs.emplace_back(k, &rec);
+        });
+        if (pa.recs.empty())
+            continue; // this arch saw no traffic
+        in.exportFusedPairs([&](const InstRecord *first,
+                                const InstRecord *second) {
+            auto fi = indexOf.find(first);
+            auto si = indexOf.find(second);
+            if (fi == indexOf.end() || si == indexOf.end())
+                return; // unreachable: bases are canonical records
+            pa.pairs.emplace_back(fi->second, si->second);
+        });
+        plan.arches.push_back(std::move(pa));
+    }
+    if (eng) {
+        plan.hasPredictions = true;
+        eng->exportPredictionCache(
+            [&](const std::string &key, const model::Prediction &p) {
+                std::vector<std::uint8_t> enc;
+                encodePrediction(enc, p);
+                plan.predictions.emplace_back(key, std::move(enc));
+            });
+    }
+    return plan;
+}
+
+WritePlan
+planFromModel(const SnapshotModel &model)
+{
+    WritePlan plan;
+    for (const SnapshotModel::Arch &arch : model.arches) {
+        PlanArch pa;
+        pa.archWord = arch.arch;
+        pa.recs.reserve(arch.records.size());
+        for (const auto &[key, rec] : arch.records) {
+            if (key.empty() || key.size() > 15)
+                throw SnapshotError("bad key length");
+            std::array<std::uint8_t, 16> k;
+            packKey16(key.data(), key.size(), k.data());
+            pa.recs.emplace_back(k, &rec);
+        }
+        pa.pairs = arch.fusedPairs;
+        for (const auto &[fi, si] : pa.pairs)
+            if (fi >= pa.recs.size() || si >= pa.recs.size())
+                throw SnapshotError("bad fused pair index");
+        plan.arches.push_back(std::move(pa));
+    }
+    plan.hasPredictions = model.hasPredictions;
+    for (const auto &[key, payload] : model.predictions) {
+        decodePrediction(payload.data(), payload.size()); // validate
+        plan.predictions.emplace_back(key, payload);
+    }
+    return plan;
+}
+
+void
+statsOfPlan(const WritePlan &plan, SnapshotStats &st)
+{
+    for (const PlanArch &pa : plan.arches) {
+        st.records += pa.recs.size();
+        st.fusedPairs += pa.pairs.size();
+    }
+    st.predictions = plan.predictions.size();
+}
+
+/**
+ * Byte destination of a writer: an in-memory vector
+ * (buildSnapshotImage) or the durable temp file (saveSnapshot). The
+ * writeAt hole-patching is what lets both formats stream: headers and
+ * tables whose contents depend on the payload are zero-filled first
+ * and patched once the payload has gone out.
+ */
+class Sink
+{
+  public:
+    virtual ~Sink() = default;
+    virtual void write(const void *p, std::size_t n) = 0;
+    virtual void writeAt(std::uint64_t off, const void *p,
+                         std::size_t n) = 0;
+    virtual std::uint64_t offset() const = 0;
+
+    void
+    padTo(std::uint64_t align)
+    {
+        static const std::uint8_t zeros[512] = {};
+        std::uint64_t need = corpus::alignUp(offset(), align) - offset();
+        while (need > 0) {
+            const std::size_t n = static_cast<std::size_t>(
+                std::min<std::uint64_t>(need, sizeof zeros));
+            write(zeros, n);
+            need -= n;
+        }
+    }
+};
+
+class VecSink final : public Sink
+{
+  public:
+    explicit VecSink(std::vector<std::uint8_t> &buf) : buf_(buf) {}
+
+    void
+    write(const void *p, std::size_t n) override
+    {
+        const auto *b = static_cast<const std::uint8_t *>(p);
+        buf_.insert(buf_.end(), b, b + n);
+    }
+
+    void
+    writeAt(std::uint64_t off, const void *p, std::size_t n) override
+    {
+        std::memcpy(buf_.data() + off, p, n);
+    }
+
+    std::uint64_t offset() const override { return buf_.size(); }
+
+  private:
+    std::vector<std::uint8_t> &buf_;
+};
+
+class FileSink final : public Sink
+{
+  public:
+    explicit FileSink(corpus::AtomicFileWriter &w) : w_(w) {}
+
+    void
+    write(const void *p, std::size_t n) override
+    {
+        w_.write(p, n);
+    }
+
+    void
+    writeAt(std::uint64_t off, const void *p, std::size_t n) override
+    {
+        w_.writeAt(off, p, n);
+    }
+
+    std::uint64_t offset() const override { return w_.offset(); }
+
+  private:
+    corpus::AtomicFileWriter &w_;
+};
+
+/**
+ * Stream a v1 image: zero header, sections one at a time (one
+ * section's bytes is the peak buffered memory — the old writer
+ * materialized the whole payload), running FNV-1a over the payload as
+ * it goes out, 32-byte header patched at the end. Byte-identical to
+ * the historical in-memory builder.
+ */
+void
+writeV1(Sink &sink, const WritePlan &plan)
+{
+    const std::uint8_t zeros[kHeaderSize] = {};
+    sink.write(zeros, kHeaderSize);
+    std::uint64_t fnv = 0xcbf29ce484222325ULL;
+    std::uint32_t sections = 0;
+    auto emit = [&](const std::vector<std::uint8_t> &v) {
+        fnv = fnv1a64(v.data(), v.size(), fnv);
+        sink.write(v.data(), v.size());
+    };
+    auto emitSection = [&](SectionType type, std::uint32_t arch,
+                           std::uint32_t count,
+                           const std::vector<std::uint8_t> &body) {
+        std::vector<std::uint8_t> hdr;
+        putU32(hdr, static_cast<std::uint32_t>(type));
+        putU32(hdr, arch);
+        putU64(hdr, body.size() + 4);
+        putU32(hdr, count);
+        emit(hdr);
+        emit(body);
+        ++sections;
+    };
+
+    for (const PlanArch &pa : plan.arches) {
+        {
+            std::vector<std::uint8_t> recSec;
+            for (const auto &[key, rec] : pa.recs) {
+                const std::uint8_t keyLen = key[15];
+                putU8(recSec, keyLen);
+                recSec.insert(recSec.end(), key.data(),
+                              key.data() + keyLen);
+                InstRecordSnapshotCodec::encode(recSec, *rec);
+            }
+            emitSection(SectionType::Records, pa.archWord,
+                        static_cast<std::uint32_t>(pa.recs.size()),
+                        recSec);
+        }
+        std::vector<std::uint8_t> pairSec;
+        for (const auto &[fi, si] : pa.pairs) {
+            putU32(pairSec, fi);
+            putU32(pairSec, si);
+        }
+        emitSection(SectionType::FusedPairs, pa.archWord,
+                    static_cast<std::uint32_t>(pa.pairs.size()),
+                    pairSec);
+    }
+    if (plan.hasPredictions) {
+        std::vector<std::uint8_t> predSec;
+        for (const auto &[key, enc] : plan.predictions) {
+            putU32(predSec, static_cast<std::uint32_t>(key.size()));
+            const auto *kp =
+                reinterpret_cast<const std::uint8_t *>(key.data());
+            predSec.insert(predSec.end(), kp, kp + key.size());
+            putU32(predSec, static_cast<std::uint32_t>(enc.size()));
+            predSec.insert(predSec.end(), enc.begin(), enc.end());
+        }
+        emitSection(SectionType::Predictions, 0,
+                    static_cast<std::uint32_t>(plan.predictions.size()),
+                    predSec);
+    }
+
+    std::vector<std::uint8_t> head;
+    const auto *magic = reinterpret_cast<const std::uint8_t *>(kMagic);
+    head.insert(head.end(), magic, magic + sizeof kMagic);
+    putU32(head, kSnapshotVersion);
+    putU32(head, sections);
+    putU64(head, sink.offset() - kHeaderSize);
+    putU64(head, fnv);
+    sink.writeAt(0, head.data(), head.size());
+}
+
+/**
+ * Stream a v2 image: zero header + table holes, then per arch a
+ * page-aligned Records section (records streamed one at a time
+ * through an incremental xxh64, index accumulated in memory and
+ * appended — peak buffered memory is one record plus the index) and a
+ * FusedPairs section, then the predictions tail, then the table and
+ * header patched into their holes. Deterministic for equal plans.
+ */
+void
+writeV2(Sink &sink, const WritePlan &plan)
+{
+    const std::size_t nSections =
+        2 * plan.arches.size() + (plan.hasPredictions ? 1 : 0);
+    {
+        std::vector<std::uint8_t> zeros(
+            kHeaderSizeV2 + nSections * sizeof(corpus::SectionEntry),
+            0);
+        sink.write(zeros.data(), zeros.size());
+    }
+
+    std::vector<corpus::SectionEntry> entries;
+    entries.reserve(nSections);
+    auto beginSection = [&](SectionType type, std::uint32_t tag,
+                            std::uint64_t itemCount) {
+        sink.padTo(corpus::kSectionAlign);
+        corpus::SectionEntry e;
+        e.type = static_cast<std::uint32_t>(type);
+        e.tag = tag;
+        e.offset = sink.offset();
+        e.itemCount = itemCount;
+        return e;
+    };
+
+    for (const PlanArch &pa : plan.arches) {
+        for (const PlanArch &other : plan.arches)
+            if (&other != &pa && other.archWord == pa.archWord)
+                throw SnapshotError("duplicate arch in image");
+
+        // Records section. Sizes first (they fix the whole geometry),
+        // then head, records, and the index built alongside.
+        corpus::SectionEntry e = beginSection(
+            SectionType::Records, pa.archWord, pa.recs.size());
+        RecordsSectionHead h;
+        std::memset(&h, 0, sizeof h);
+        h.recordCount = pa.recs.size();
+        h.recordsOffset = sizeof(RecordsSectionHead);
+        for (const auto &[key, rec] : pa.recs)
+            h.recordsBytes += flatRecordSize(*rec);
+        h.indexOffset = h.recordsOffset + h.recordsBytes;
+        h.indexSlots = 8;
+        while (h.indexSlots < 2 * h.recordCount)
+            h.indexSlots <<= 1;
+
+        corpus::Xxh64State hash;
+        auto put = [&](const void *p, std::size_t n) {
+            hash.update(p, n);
+            sink.write(p, n);
+        };
+        put(&h, sizeof h);
+
+        std::vector<IndexSlot> index(h.indexSlots);
+        std::memset(index.data(), 0, index.size() * sizeof(IndexSlot));
+        const std::uint64_t mask = h.indexSlots - 1;
+        std::uint64_t off = h.recordsOffset;
+        std::vector<std::uint8_t> buf;
+        for (const auto &[key, rec] : pa.recs) {
+            std::uint64_t lo, hi;
+            std::memcpy(&lo, key.data(), 8);
+            std::memcpy(&hi, key.data() + 8, 8);
+            const std::uint64_t kh = corpus::xxh64(key.data(), 16);
+            std::uint64_t slot = kh & mask;
+            while (index[slot].recOffset != 0) {
+                if (index[slot].keyLo == lo && index[slot].keyHi == hi)
+                    throw SnapshotError("duplicate record key");
+                slot = (slot + 1) & mask;
+            }
+            index[slot] = IndexSlot{lo, hi, off};
+            buf.clear();
+            encodeFlatRecord(buf, key.data(), *rec);
+            put(buf.data(), buf.size());
+            off += buf.size();
+        }
+        put(index.data(), index.size() * sizeof(IndexSlot));
+        e.length = sizeof(RecordsSectionHead) + h.recordsBytes +
+                   h.indexSlots * sizeof(IndexSlot);
+        e.hash = hash.digest();
+        entries.push_back(e);
+
+        // FusedPairs tail (v1 payload codec).
+        corpus::SectionEntry pe = beginSection(
+            SectionType::FusedPairs, pa.archWord, pa.pairs.size());
+        std::vector<std::uint8_t> pairSec;
+        putU32(pairSec, static_cast<std::uint32_t>(pa.pairs.size()));
+        for (const auto &[fi, si] : pa.pairs) {
+            putU32(pairSec, fi);
+            putU32(pairSec, si);
+        }
+        pe.length = pairSec.size();
+        pe.hash = corpus::xxh64(pairSec.data(), pairSec.size());
+        entries.push_back(pe);
+        sink.write(pairSec.data(), pairSec.size());
+    }
+
+    if (plan.hasPredictions) {
+        corpus::SectionEntry e = beginSection(
+            SectionType::Predictions, 0, plan.predictions.size());
+        std::vector<std::uint8_t> predSec;
+        putU32(predSec,
+               static_cast<std::uint32_t>(plan.predictions.size()));
+        for (const auto &[key, enc] : plan.predictions) {
+            putU32(predSec, static_cast<std::uint32_t>(key.size()));
+            const auto *kp =
+                reinterpret_cast<const std::uint8_t *>(key.data());
+            predSec.insert(predSec.end(), kp, kp + key.size());
+            putU32(predSec, static_cast<std::uint32_t>(enc.size()));
+            predSec.insert(predSec.end(), enc.begin(), enc.end());
+        }
+        e.length = predSec.size();
+        e.hash = corpus::xxh64(predSec.data(), predSec.size());
+        entries.push_back(e);
+        sink.write(predSec.data(), predSec.size());
+    }
+
+    const std::vector<std::uint8_t> table =
+        corpus::encodeSectionTable(entries);
+    sink.writeAt(kHeaderSizeV2, table.data(), table.size());
+
+    std::vector<std::uint8_t> head;
+    const auto *magic = reinterpret_cast<const std::uint8_t *>(kMagicV2);
+    head.insert(head.end(), magic, magic + sizeof kMagicV2);
+    putU32(head, kSnapshotVersionV2);
+    putU32(head, corpus::kLittleEndianTag);
+    putU32(head, corpus::kSectionAlign);
+    putU32(head, static_cast<std::uint32_t>(nSections));
+    putU64(head, sink.offset());
+    putU64(head, kHeaderSizeV2);
+    putU64(head, corpus::xxh64(table.data(), table.size()));
+    putU64(head, corpus::xxh64(head.data(), 48));
+    putU64(head, 0); // reserved
+    sink.writeAt(0, head.data(), head.size());
+}
+
+// ---- lazy mmap machinery ---------------------------------------------------
+
+struct SourceCounters
+{
+    std::atomic<std::uint64_t> imagesBound{0};
+    std::atomic<std::uint64_t> sectionsVerified{0};
+    std::atomic<std::uint64_t> sectionsPoisoned{0};
+};
+
+SourceCounters &
+sourceCounters()
+{
+    static SourceCounters c;
+    return c;
+}
+
+/**
+ * One mmap'd Records section bound into an InstInterner. The section
+ * hash is verified on the FIRST lookup (one O(section) pass, after
+ * which every record the image holds is trusted); a section that
+ * fails the check — or ever yields a malformed record despite it — is
+ * poisoned: every lookup returns false and the interner's cold path
+ * takes over, keeping predictions bit-identical to a cold start.
+ */
+class ArchRecordSource final : public RecordSource
+{
+  public:
+    ArchRecordSource(
+        const corpus::MappedFile *file, corpus::SectionEntry entry,
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs)
+        : file_(file), entry_(entry), pairs_(std::move(pairs))
+    {}
+
+    bool
+    lookup(const std::uint8_t *bytes, std::size_t len,
+           InstRecord &out) override
+    {
+        if (len == 0 || len > 15 || !verifyOnce())
+            return false;
+        std::uint8_t key16[16];
+        packKey16(bytes, len, key16);
+        std::uint64_t lo, hi;
+        std::memcpy(&lo, key16, 8);
+        std::memcpy(&hi, key16 + 8, 8);
+
+        const std::uint8_t *sec = file_->data() + entry_.offset;
+        const std::uint8_t *idx = sec + head_.indexOffset;
+        const std::uint64_t mask = head_.indexSlots - 1;
+        const std::uint64_t hash = corpus::xxh64(key16, 16);
+        for (std::uint64_t i = 0; i <= mask; ++i) {
+            IndexSlot sl;
+            std::memcpy(&sl, idx + ((hash + i) & mask) * sizeof sl,
+                        sizeof sl);
+            if (sl.recOffset == 0)
+                return false;
+            if (sl.keyLo != lo || sl.keyHi != hi)
+                continue;
+            // Materialize into a scratch record: on ANY failure the
+            // caller's out-param must stay untouched (internAt would
+            // otherwise run the cold path over half-filled state).
+            try {
+                InstRecord rec;
+                std::uint8_t key[16];
+                materializeFlatRecord(sec, head_.indexOffset,
+                                      sl.recOffset, key, rec);
+                if (std::memcmp(key, key16, 16) != 0)
+                    throw SnapshotError("index key mismatch");
+                out = std::move(rec);
+                return true;
+            } catch (const SnapshotError &) {
+                poison();
+                return false;
+            }
+        }
+        return false;
+    }
+
+    void
+    visitAll(const std::function<void(const std::uint8_t *,
+                                      std::size_t, InstRecord &&)>
+                 &visit) override
+    {
+        if (!verifyOnce())
+            return;
+        try {
+            walkRecordsSection(
+                file_->data() + entry_.offset, entry_,
+                [&](const std::uint8_t key[16], InstRecord &&rec) {
+                    visit(key, key[15], std::move(rec));
+                });
+        } catch (const SnapshotError &) {
+            poison(); // records already visited stay valid
+        }
+    }
+
+    void
+    visitAllPairs(const std::function<void(std::uint32_t,
+                                           std::uint32_t)> &visit)
+        override
+    {
+        // The pair list was parsed and bounds-checked eagerly at
+        // load; it only makes sense over a healthy records section.
+        if (!verifyOnce())
+            return;
+        for (const auto &[fi, si] : pairs_)
+            visit(fi, si);
+    }
+
+  private:
+    bool
+    verifyOnce()
+    {
+        const int s = state_.load(std::memory_order_acquire);
+        if (s != 0)
+            return s == 1;
+        std::lock_guard<std::mutex> lock(mu_);
+        const int again = state_.load(std::memory_order_relaxed);
+        if (again != 0)
+            return again == 1;
+        const std::uint8_t *sec = file_->data() + entry_.offset;
+        bool ok = corpus::xxh64(sec, entry_.length) == entry_.hash;
+        if (ok) {
+            try {
+                validateRecordsHead(sec, entry_.length, head_);
+                ok = head_.recordCount == entry_.itemCount;
+            } catch (const SnapshotError &) {
+                ok = false;
+            }
+        }
+        if (ok)
+            sourceCounters().sectionsVerified.fetch_add(
+                1, std::memory_order_relaxed);
+        else
+            sourceCounters().sectionsPoisoned.fetch_add(
+                1, std::memory_order_relaxed);
+        state_.store(ok ? 1 : 2, std::memory_order_release);
+        return ok;
+    }
+
+    void
+    poison()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (state_.load(std::memory_order_relaxed) != 2) {
+            sourceCounters().sectionsPoisoned.fetch_add(
+                1, std::memory_order_relaxed);
+            state_.store(2, std::memory_order_release);
+        }
+    }
+
+    const corpus::MappedFile *file_;
+    corpus::SectionEntry entry_;
+    // This arch's fused pairs (indices into the section's record
+    // order), kept so materializeBoundSource can persist them through
+    // a save — they are not imported at bind time.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs_;
+    RecordsSectionHead head_{}; // valid once state_ == 1
+    std::atomic<int> state_{0}; // 0 unverified, 1 good, 2 poisoned
+    std::mutex mu_;
+};
+
+/**
+ * A bound v2 image: the mapping plus its per-arch sources. Immortal
+ * by design (RecordSource contract) — allocated once per successful
+ * mmap load and deliberately leaked; rebinding on a later load merely
+ * redirects future misses.
+ */
+struct MappedSnapshotV2
+{
+    corpus::MappedFile file;
+    std::deque<ArchRecordSource> sources; // stable addresses
+};
+
+/**
+ * The lazy v2 file load. Eager work is O(header + table + small
+ * tails): validate the header/table, verify + parse the fused-pair
+ * and prediction tails (staged, then imported only after everything
+ * eager has passed — nothing is imported from a failing file), then
+ * madvise + bind each Records section. Record bytes are not touched.
+ *
+ * Fallback ladder handled here: an unmappable file (mmap syscall
+ * failure) or an unaligned Records section takes the eager parse of
+ * the same bytes; header/table/tail corruption throws, sending the
+ * caller's generation walk to the next candidate.
+ */
+SnapshotStats
+loadV2File(const std::string &path, const SnapshotOptions &opts)
+{
+    auto mapped = std::make_unique<MappedSnapshotV2>();
+    bool haveMap;
+    try {
+        haveMap = mapped->file.open(path, "snapshot.mmap");
+    } catch (const corpus::SectionError &) {
+        haveMap = false; // file exists but cannot be mapped
+    }
+    if (!haveMap) {
+        const std::vector<std::uint8_t> file = readFile(path);
+        return loadImageV2Eager(file.data(), file.size(), opts,
+                                /*commit=*/true, path);
+    }
+
+    const std::uint8_t *data = mapped->file.data();
+    const std::size_t size = mapped->file.size();
+    const std::vector<corpus::SectionEntry> entries =
+        parseV2HeaderAndTable(data, size, path);
+
+    bool aligned = true;
+    for (const corpus::SectionEntry &e : entries)
+        if (e.type ==
+                static_cast<std::uint32_t>(SectionType::Records) &&
+            e.offset % corpus::kSectionAlign != 0)
+            aligned = false;
+    if (!aligned || opts.eagerLoad)
+        return loadImageV2Eager(data, size, opts, /*commit=*/true,
+                                path);
+
+    SnapshotStats st;
+    st.bytes = size;
+    st.formatVersion = kSnapshotVersionV2;
+
+    // Eagerly verify + parse the small tails; stage, don't import yet.
+    std::vector<std::pair<std::string, std::vector<std::uint8_t>>>
+        stagedPreds;
+    std::map<std::uint32_t,
+             std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+        pairsByTag;
+    for (const corpus::SectionEntry &e : entries) {
+        const std::uint8_t *sec = data + e.offset;
+        switch (static_cast<SectionType>(e.type)) {
+          case SectionType::Records:
+            st.records += e.itemCount;
+            break;
+          case SectionType::FusedPairs: {
+            if (corpus::xxh64(sec, e.length) != e.hash)
+                throw SnapshotError("section checksum mismatch in " +
+                                    path);
+            // Bounds against the sibling Records section's itemCount
+            // (the layout walk guaranteed it precedes this section).
+            std::uint64_t recordCount = 0;
+            for (const corpus::SectionEntry &r : entries)
+                if (r.type == static_cast<std::uint32_t>(
+                                  SectionType::Records) &&
+                    r.tag == e.tag)
+                    recordCount = r.itemCount;
+            Reader rd{sec, static_cast<std::size_t>(e.length), 0};
+            std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+            parsePairsPayload(rd, e.length, e.itemCount,
+                              recordCount, path, pairs);
+            st.fusedPairs += pairs.size();
+            pairsByTag[e.tag] = std::move(pairs);
+            break;
+          }
+          case SectionType::Predictions: {
+            if (corpus::xxh64(sec, e.length) != e.hash)
+                throw SnapshotError("section checksum mismatch in " +
+                                    path);
+            Reader rd{sec, static_cast<std::size_t>(e.length), 0};
+            parsePredictionsPayload(rd, e.length, e.itemCount, path,
+                                    stagedPreds);
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    st.predictions = stagedPreds.size();
+
+    // Point of no return: bind. Fused pairs are NOT imported in mmap
+    // mode — internFused re-derives them bit-identically on demand,
+    // and importing them would materialize every record up front,
+    // defeating the O(pages-touched) start. The parsed pair list
+    // rides along in the source so materializeBoundSource (the save
+    // path) can still persist it.
+    for (const corpus::SectionEntry &e : entries) {
+        if (e.type != static_cast<std::uint32_t>(SectionType::Records))
+            continue;
+        mapped->file.willNeed(e.offset, e.length);
+        mapped->sources.emplace_back(&mapped->file, e,
+                                     std::move(pairsByTag[e.tag]));
+        InstInterner::forArch(static_cast<uarch::UArch>(e.tag))
+            .bindRecordSource(&mapped->sources.back());
+    }
+    if (opts.engine)
+        for (auto &[key, payload] : stagedPreds)
+            opts.engine->importPredictionCacheEntry(
+                std::move(key),
+                decodePrediction(payload.data(), payload.size()));
+
+    sourceCounters().imagesBound.fetch_add(1,
+                                           std::memory_order_relaxed);
+    mapped.release(); // immortal: sources are bound into interners
+    st.newRecords = 0;
+    st.loadMode = SnapshotLoadMode::MmapV2;
     return st;
 }
 
 } // namespace
 
+// ---- public API ------------------------------------------------------------
+
+SnapshotStats
+saveSnapshot(const std::string &path, const SnapshotOptions &opts)
+{
+    if (opts.format != SnapshotFormat::V1 &&
+        opts.format != SnapshotFormat::V2)
+        throw SnapshotError("unknown snapshot format");
+    const WritePlan plan = planFromLive(opts.engine);
+    SnapshotStats st;
+    statsOfPlan(plan, st);
+    try {
+        corpus::AtomicFileWriter writer(path, "snapshot",
+                                        std::max(1, opts.generations));
+        FileSink sink(writer);
+        if (opts.format == SnapshotFormat::V1)
+            writeV1(sink, plan);
+        else
+            writeV2(sink, plan);
+        st.bytes = sink.offset();
+        writer.commit();
+    } catch (const corpus::SectionError &e) {
+        // Keep the subsystem's exception type: callers (and the fault
+        // matrices) catch SnapshotError for every failed save.
+        throw SnapshotError(e.what());
+    }
+    st.formatVersion = static_cast<std::uint32_t>(opts.format);
+    return st;
+}
+
 SnapshotStats
 loadSnapshot(const std::string &path, const SnapshotOptions &opts)
 {
     // Walk the generation chain newest-first and warm-start from the
-    // first image that validates end to end. Staging (phase 1) commits
-    // nothing on failure, so a torn primary costs only the attempt —
-    // the fallback load starts from pristine state.
+    // first image that validates. Staging commits nothing on failure,
+    // so a torn primary costs only the attempt — the fallback load
+    // starts from pristine state.
     const int gens = std::max(1, opts.generations);
     std::string firstError;
     for (int g = 0; g < gens; ++g) {
         const std::string cand = snapshotGenerationPath(path, g);
         try {
-            const std::vector<std::uint8_t> file = readFile(cand);
-            SnapshotStats st = loadImage(file.data(), file.size(), opts,
-                                         /*commit=*/true, cand);
+            std::uint8_t magic[8];
+            const int sniff = readMagic8(cand, magic);
+            if (sniff < 0)
+                throw SnapshotError("cannot open " + cand);
+            SnapshotStats st;
+            if (sniff > 0 &&
+                std::memcmp(magic, kMagicV2, sizeof kMagicV2) == 0) {
+                st = loadV2File(cand, opts);
+            } else {
+                const std::vector<std::uint8_t> file = readFile(cand);
+                st = loadImageV1(file.data(), file.size(), opts,
+                                 /*commit=*/true, cand);
+            }
             st.generation = static_cast<std::size_t>(g);
             return st;
         } catch (const SnapshotError &e) {
@@ -877,13 +2263,70 @@ SnapshotStats
 loadSnapshotFromMemory(const std::uint8_t *data, std::size_t size,
                        const SnapshotOptions &opts)
 {
-    return loadImage(data, size, opts, /*commit=*/true, "<memory>");
+    if (size >= sizeof kMagicV2 &&
+        std::memcmp(data, kMagicV2, sizeof kMagicV2) == 0)
+        return loadImageV2Eager(data, size, opts, /*commit=*/true,
+                                "<memory>");
+    return loadImageV1(data, size, opts, /*commit=*/true, "<memory>");
 }
 
 SnapshotStats
 validateSnapshot(const std::uint8_t *data, std::size_t size)
 {
-    return loadImage(data, size, {}, /*commit=*/false, "<memory>");
+    if (size >= sizeof kMagicV2 &&
+        std::memcmp(data, kMagicV2, sizeof kMagicV2) == 0)
+        return loadImageV2Eager(data, size, {}, /*commit=*/false,
+                                "<memory>");
+    return loadImageV1(data, size, {}, /*commit=*/false, "<memory>");
+}
+
+SnapshotFormat
+snapshotImageFormat(const std::uint8_t *data, std::size_t size)
+{
+    if (size >= sizeof kMagic &&
+        std::memcmp(data, kMagic, sizeof kMagic) == 0)
+        return SnapshotFormat::V1;
+    if (size >= sizeof kMagicV2 &&
+        std::memcmp(data, kMagicV2, sizeof kMagicV2) == 0)
+        return SnapshotFormat::V2;
+    throw SnapshotError("unrecognized snapshot magic");
+}
+
+SnapshotSourceStats
+snapshotSourceStats()
+{
+    const SourceCounters &c = sourceCounters();
+    SnapshotSourceStats st;
+    st.imagesBound = c.imagesBound.load(std::memory_order_relaxed);
+    st.sectionsVerified =
+        c.sectionsVerified.load(std::memory_order_relaxed);
+    st.sectionsPoisoned =
+        c.sectionsPoisoned.load(std::memory_order_relaxed);
+    return st;
+}
+
+SnapshotModel
+parseSnapshotModel(const std::uint8_t *data, std::size_t size)
+{
+    if (size >= sizeof kMagicV2 &&
+        std::memcmp(data, kMagicV2, sizeof kMagicV2) == 0)
+        return parseV2Model(data, size, "<memory>");
+    return parseV1Model(data, size, "<memory>");
+}
+
+std::vector<std::uint8_t>
+buildSnapshotImage(const SnapshotModel &model, SnapshotFormat format)
+{
+    const WritePlan plan = planFromModel(model);
+    std::vector<std::uint8_t> out;
+    VecSink sink(out);
+    if (format == SnapshotFormat::V1)
+        writeV1(sink, plan);
+    else if (format == SnapshotFormat::V2)
+        writeV2(sink, plan);
+    else
+        throw SnapshotError("unknown snapshot format");
+    return out;
 }
 
 } // namespace facile::analysis

@@ -150,6 +150,7 @@ appendStatsResponse(std::vector<std::uint8_t> &buf, std::uint64_t id,
     putU64(p, stats.retriedRequests);
     putU64(p, stats.drainSheds);
     putU64(p, stats.snapshotFallbacks);
+    putU64(p, stats.snapshotLoadMode);
 }
 
 void
@@ -269,6 +270,8 @@ decodeStatsPayload(const std::uint8_t *p, std::size_t len)
         s.drainSheds = getU64(p + 160);
     if (fields > 21)
         s.snapshotFallbacks = getU64(p + 168);
+    if (fields > 22)
+        s.snapshotLoadMode = getU64(p + 176);
     return s;
 }
 

@@ -59,7 +59,7 @@
  *   i32  criticalChain[nCriticalChain]
  *   i32  contendingInsts[nContendingInsts]
  *
- * STATS response payload: ServerStats as kStatsFields (22) u64 fields
+ * STATS response payload: ServerStats as kStatsFields (23) u64 fields
  * in declaration order. The payload is append-only — decoders accept
  * any whole-u64 payload of at least kStatsFieldsV1 (15) fields, so
  * mixed-version client/server pairs interoperate. PING response
@@ -240,6 +240,14 @@ struct ServerStats
     std::uint64_t retriedRequests = 0;   ///< client: requests re-sent
     std::uint64_t drainSheds = 0;        ///< PREDICTs answered DRAINING
     std::uint64_t snapshotFallbacks = 0; ///< warm-start generations skipped
+
+    // Appended in PR 9 (mmap-native snapshot v2).
+    /**
+     * How the warm-start snapshot was brought in, as the numeric
+     * value of analysis::SnapshotLoadMode: 0 none/cold, 1 v1 parse,
+     * 2 eager v2 parse, 3 v2 mmap bind (O(pages-touched) start).
+     */
+    std::uint64_t snapshotLoadMode = 0;
 };
 
 /**
@@ -250,7 +258,7 @@ struct ServerStats
  * extras are ignored), so client and server can be upgraded
  * independently.
  */
-inline constexpr std::size_t kStatsFields = 22;
+inline constexpr std::size_t kStatsFields = 23;
 inline constexpr std::size_t kStatsFieldsV1 = 15;
 
 // ---- little-endian append/read helpers ------------------------------------

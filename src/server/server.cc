@@ -177,6 +177,7 @@ struct PredictionServer::Impl
     std::atomic<std::uint64_t> ringFull{0};
     std::atomic<std::uint64_t> drainSheds{0};
     std::atomic<std::uint64_t> snapshotFallbacks{0};
+    std::atomic<std::uint64_t> snapshotLoadMode{0};
 
     mutable std::mutex statsMu;
     ServerStats counters; ///< batch-grained; merged on read
@@ -983,15 +984,30 @@ struct PredictionServer::Impl
                 opts.snapshotLoadPath, {engine, opts.snapshotGenerations});
             snapshotFallbacks.fetch_add(st.generation,
                                         std::memory_order_relaxed);
+            // A v2 image that could not be mmap-bound (failed mmap,
+            // unaligned foreign image) still warm-starts via the
+            // eager parse — count the lost O(pages-touched) start as
+            // a degradation alongside generation fallbacks.
+            if (st.formatVersion == 2 &&
+                st.loadMode == analysis::SnapshotLoadMode::EagerV2)
+                snapshotFallbacks.fetch_add(1, std::memory_order_relaxed);
+            snapshotLoadMode.store(
+                static_cast<std::uint64_t>(st.loadMode),
+                std::memory_order_relaxed);
+            static const char *kModes[] = {"cold", "v1 parse",
+                                           "v2 eager parse", "v2 mmap"};
             std::fprintf(
                 stderr,
                 "warm start: %zu records, %zu predictions from %s"
-                " (generation %zu)\n",
+                " (generation %zu, %s)\n",
                 st.records, st.predictions,
                 analysis::snapshotGenerationPath(
                     opts.snapshotLoadPath, static_cast<int>(st.generation))
                     .c_str(),
-                st.generation);
+                st.generation,
+                kModes[static_cast<std::size_t>(st.loadMode) < 4
+                           ? static_cast<std::size_t>(st.loadMode)
+                           : 0]);
         } catch (const std::exception &e) {
             snapshotFallbacks.fetch_add(
                 static_cast<std::uint64_t>(
@@ -1010,7 +1026,8 @@ struct PredictionServer::Impl
         std::lock_guard<std::mutex> lock(snapshotMu);
         try {
             analysis::saveSnapshot(opts.snapshotPath,
-                                   {engine, opts.snapshotGenerations});
+                                   {engine, opts.snapshotGenerations,
+                                    opts.snapshotFormat});
             return true;
         } catch (const std::exception &e) {
             std::fprintf(stderr, "snapshot save failed: %s\n", e.what());
@@ -1050,6 +1067,8 @@ struct PredictionServer::Impl
         s.drainSheds = drainSheds.load(std::memory_order_relaxed);
         s.snapshotFallbacks =
             snapshotFallbacks.load(std::memory_order_relaxed);
+        s.snapshotLoadMode =
+            snapshotLoadMode.load(std::memory_order_relaxed);
         s.uptimeMs = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::milliseconds>(
                 Clock::now() - startTime)

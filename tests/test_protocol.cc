@@ -181,7 +181,7 @@ TEST(Protocol, StatsPayloadRoundTripsAllCounters)
           &s.quotaClosed, &s.connectionsShed, &s.connectionsAccepted,
           &s.connectionsOpen, &s.uptimeMs, &s.epollWakeups,
           &s.shortWrites, &s.ringFull, &s.reconnects, &s.retriedRequests,
-          &s.drainSheds, &s.snapshotFallbacks})
+          &s.drainSheds, &s.snapshotFallbacks, &s.snapshotLoadMode})
         *field = v++;
 
     std::vector<std::uint8_t> frame;
@@ -205,6 +205,7 @@ TEST(Protocol, StatsPayloadRoundTripsAllCounters)
     EXPECT_EQ(back->retriedRequests, 20u);
     EXPECT_EQ(back->drainSheds, 21u);
     EXPECT_EQ(back->snapshotFallbacks, 22u);
+    EXPECT_EQ(back->snapshotLoadMode, 23u);
 }
 
 TEST(Protocol, StatsPayloadIsAppendOnlyAcrossVersions)
@@ -232,6 +233,12 @@ TEST(Protocol, StatsPayloadIsAppendOnlyAcrossVersions)
     EXPECT_EQ(v18->epollWakeups, 99u);
     EXPECT_EQ(v18->drainSheds, 0u);
     EXPECT_EQ(v18->snapshotFallbacks, 0u);
+
+    // A PR 8-era (22-field) payload decodes with the PR 9 snapshot
+    // load-mode field reading zero.
+    auto v22 = decodeStatsPayload(payload, 22 * 8);
+    ASSERT_TRUE(v22.has_value());
+    EXPECT_EQ(v22->snapshotLoadMode, 0u);
 
     // A future server may append more fields; unknown extras are
     // ignored, not rejected.
