@@ -25,6 +25,9 @@
 #include <memory>
 #include <thread>
 
+#include "analysis/snapshot.h"
+#include "cluster/membership.h"
+#include "cluster/router.h"
 #include "facile/component.h"
 #include "facile/predictor.h"
 #include "server/client.h"
@@ -103,6 +106,55 @@ connectTo(const server::PredictionServer &srv)
     if (!srv.unixPath().empty())
         return server::Client::connectUnix(srv.unixPath());
     return server::Client::connectTcp("127.0.0.1", srv.tcpPort());
+}
+
+/** The endpoint a router should dial to reach @p srv. */
+cluster::Endpoint
+endpointOf(const server::PredictionServer &srv)
+{
+    if (!srv.unixPath().empty())
+        return cluster::parseEndpoint("unix:" + srv.unixPath());
+    return cluster::parseEndpoint("127.0.0.1:" +
+                                  std::to_string(srv.tcpPort()));
+}
+
+/** Start @p router on the first bindable UDS candidate, else TCP. */
+bool
+startRouterWithFallback(std::unique_ptr<cluster::Router> &router,
+                        cluster::RouterOptions opts, const char *suffix)
+{
+    for (const std::string &path : socketPathCandidates(suffix)) {
+        opts.unixPath = path;
+        opts.tcpPort = -1;
+        router = std::make_unique<cluster::Router>(opts);
+        try {
+            router->start();
+            return true;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "note: cannot route on %s (%s); "
+                                 "retrying\n",
+                         path.c_str(), e.what());
+        }
+    }
+    opts.unixPath.clear();
+    opts.tcpPort = 0;
+    router = std::make_unique<cluster::Router>(opts);
+    try {
+        router->start();
+        return true;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "note: cannot bind router listener (%s)\n",
+                     e.what());
+        return false;
+    }
+}
+
+server::Client
+connectToRouter(const cluster::Router &router)
+{
+    if (!router.unixPath().empty())
+        return server::Client::connectUnix(router.unixPath());
+    return server::Client::connectTcp("127.0.0.1", router.tcpPort());
 }
 
 } // namespace
@@ -324,6 +376,153 @@ main()
     server::ServerStats st = srv.stats();
     srv.stop();
 
+    // ---- cluster scaling phase (facile_lb router) --------------------------
+    // N independent backends (one engine each) behind the rendezvous-
+    // hash router; the same 4-driver offered load as the single-server
+    // row, pushed through the one router socket. Sharding means each
+    // backend's caches hold ~1/N of the suite, so the aggregate rate
+    // measures the router data plane plus real shard parallelism.
+    std::vector<std::pair<int, double>> lbRows;
+    {
+        const std::vector<int> fleets = bench::quickMode()
+                                            ? std::vector<int>{2}
+                                            : std::vector<int>{2, 4, 8};
+        for (const int nBackends : fleets) {
+            std::vector<std::unique_ptr<engine::PredictionEngine>>
+                engines;
+            std::vector<std::unique_ptr<server::PredictionServer>>
+                backends;
+            cluster::RouterOptions ro;
+            bool ok = true;
+            for (int i = 0; i < nBackends && ok; ++i) {
+                engine::PredictionEngine::Options eo;
+                eo.numThreads = 2;
+                engines.push_back(
+                    std::make_unique<engine::PredictionEngine>(eo));
+                server::ServerOptions bo;
+                bo.engine = engines.back().get();
+                bo.maxPending = 1u << 18;
+                const std::string suffix = "_lb" +
+                                           std::to_string(nBackends) +
+                                           "_" + std::to_string(i);
+                std::unique_ptr<server::PredictionServer> b;
+                ok = startWithFallback(b, bo, suffix.c_str());
+                if (ok) {
+                    ro.backends.push_back(endpointOf(*b));
+                    backends.push_back(std::move(b));
+                }
+            }
+            std::unique_ptr<cluster::Router> router;
+            const std::string rsuffix =
+                "_router" + std::to_string(nBackends);
+            if (!ok ||
+                !startRouterWithFallback(router, ro, rsuffix.c_str())) {
+                std::fprintf(stderr, "note: skipping %d-backend router "
+                                     "row (cannot bind)\n",
+                             nBackends);
+                for (auto &b : backends)
+                    b->stop();
+                continue;
+            }
+            {
+                auto warm = connectToRouter(*router);
+                auto out = warm.predictMany(batch);
+                for (std::size_t i = 0; i < batch.size(); ++i)
+                    if (!samePrediction(out[i], serial[i])) {
+                        std::fprintf(stderr,
+                                     "MISMATCH via router at block "
+                                     "%zu\n",
+                                     i);
+                        identical = false;
+                    }
+            }
+            double bestMs = 1e300;
+            for (int rep = 0; rep < 3; ++rep) {
+                std::atomic<int> errors{0};
+                auto t0 = std::chrono::steady_clock::now();
+                std::vector<std::thread> clients;
+                for (int c = 0; c < kClients; ++c)
+                    clients.emplace_back([&] {
+                        try {
+                            auto cl = connectToRouter(*router);
+                            std::vector<model::Prediction> res;
+                            for (int p = 0; p < kPasses; ++p) {
+                                cl.predictManyInto(batch, res);
+                                if (!samePrediction(res.front(),
+                                                    serial.front()))
+                                    ++errors;
+                            }
+                        } catch (const std::exception &e) {
+                            std::fprintf(stderr, "router client "
+                                                 "error: %s\n",
+                                         e.what());
+                            ++errors;
+                        }
+                    });
+                for (auto &t : clients)
+                    t.join();
+                auto t1 = std::chrono::steady_clock::now();
+                if (errors.load() > 0)
+                    identical = false;
+                bestMs = std::min(
+                    bestMs,
+                    std::chrono::duration<double, std::milli>(t1 - t0)
+                        .count());
+            }
+            lbRows.emplace_back(nBackends, 1000.0 * nBlocks * kClients *
+                                               kPasses / bestMs);
+            router->stop();
+            for (auto &b : backends)
+                b->stop();
+        }
+    }
+
+    // ---- wire-bootstrap gate -----------------------------------------------
+    // A replica bootstrapping from a peer must receive EXACTLY the
+    // bytes a local saveSnapshot would have produced, and a fresh
+    // engine loaded from the wire image must serve the whole suite
+    // from its prediction cache, bit-identically.
+    bool wireBootstrapIdentical = true;
+    {
+        engine::PredictionEngine::Options eo;
+        eo.numThreads = 2;
+        engine::PredictionEngine bootEngine(eo);
+        server::ServerOptions bo;
+        bo.engine = &bootEngine;
+        std::unique_ptr<server::PredictionServer> bootSrv;
+        if (startWithFallback(bootSrv, bo, "_boot")) {
+            auto cl = connectTo(*bootSrv);
+            cl.predictMany(batch);
+            const std::vector<std::uint8_t> wire = cl.fetchSnapshot();
+            const std::vector<std::uint8_t> local =
+                analysis::saveSnapshotToMemory(
+                    {&bootEngine, 1, analysis::SnapshotFormat::V2});
+            if (wire != local) {
+                std::fprintf(stderr, "wire snapshot differs from local "
+                                     "save (%zu vs %zu bytes)\n",
+                             wire.size(), local.size());
+                wireBootstrapIdentical = false;
+            }
+            engine::PredictionEngine freshEngine(eo);
+            analysis::loadSnapshotFromMemory(wire.data(), wire.size(),
+                                             {&freshEngine});
+            engine::BatchStats bs;
+            auto out = freshEngine.predictBatch(batch, &bs);
+            for (std::size_t i = 0; i < batch.size(); ++i)
+                if (!samePrediction(out[i], serial[i]))
+                    wireBootstrapIdentical = false;
+            if (bs.predictionCacheHits != batch.size()) {
+                std::fprintf(stderr, "wire-bootstrapped engine served "
+                                     "%zu/%zu from cache\n",
+                             bs.predictionCacheHits, batch.size());
+                wireBootstrapIdentical = false;
+            }
+            bootSrv->stop();
+        }
+        if (!wireBootstrapIdentical)
+            identical = false;
+    }
+
     std::printf("%-34s %12s %10s\n", "Configuration", "blocks/s",
                 "vs serial");
     bench::printRule();
@@ -336,7 +535,15 @@ main()
                 serverBps, serverBps / serialBps);
     std::printf("%-34s %12.0f %9.2fx\n", "server loopback, 256 conns",
                 serverBpsC256, serverBpsC256 / serialBps);
+    for (const auto &[n, bps] : lbRows) {
+        char label[48];
+        std::snprintf(label, sizeof label, "router, %d backends", n);
+        std::printf("%-34s %12.0f %9.2fx\n", label, bps,
+                    bps / serialBps);
+    }
     bench::printRule();
+    std::printf("wire-bootstrap image identical to local save: %s\n",
+                wireBootstrapIdentical ? "yes" : "NO");
     std::printf("server vs in-process cached: %.0f%% (target >= 50%%)\n",
                 100.0 * serverBps / inprocBps);
     std::printf("round-trip latency: p50 %.1f us, p99 %.1f us\n", p50,
@@ -400,9 +607,15 @@ main()
     report.row("server_loopback_c256");
     report.metric("connections", kManyClients);
     report.metric("blocks_per_sec", serverBpsC256);
+    for (const auto &[n, bps] : lbRows) {
+        report.row("lb_backends_" + std::to_string(n));
+        report.metric("backends", n);
+        report.metric("blocks_per_sec", bps);
+    }
     report.scalar("p50_us", p50);
     report.scalar("p99_us", p99);
     report.boolean("bit_identical", identical);
+    report.boolean("wire_bootstrap_identical", wireBootstrapIdentical);
     report.write();
     return identical ? 0 : 1;
 }

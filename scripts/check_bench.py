@@ -73,6 +73,7 @@ BOOLEAN_GATES = [
     "v2_first_predict_identical",
     "v2_load_speedup_met",
     "v2_load_sublinear",
+    "wire_bootstrap_identical",
 ]
 
 

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""CI docs gate: dead links and undocumented subsystems.
+
+Two checks, both over the working tree (no network):
+
+  1. Every relative link or path-like reference in the repo's markdown
+     (README.md, docs/, src/*/README.md, fuzz/README.md, ...) must
+     resolve to an existing file or directory. Markdown links
+     `[text](target)` are checked exactly; backtick-quoted repo paths
+     like `src/server/protocol.h` are checked when they look like
+     paths (contain a '/' and one of the repo's top-level dirs).
+     Absolute URLs (http/https/mailto) and intra-page anchors are
+     ignored.
+
+  2. Every subdirectory of src/ must carry a README.md — a subsystem
+     without one is invisible to the top-level map in README.md.
+
+Exit 0 when clean; prints one line per violation and exits 1
+otherwise. Run from anywhere: paths resolve against the repo root
+(the parent of this script's directory).
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# [text](target) — excluding absolute URLs and pure anchors.
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# `path/like.this` backtick references; conservative on purpose.
+TICK_PATH = re.compile(r"`([A-Za-z0-9_./-]+/[A-Za-z0-9_.-]+)`")
+# Top-level dirs a backtick path must start with to be checked
+# (anything else — flag syntax, example paths like /tmp/x — is prose).
+CHECKED_ROOTS = ("src/", "docs/", "scripts/", "tests/", "bench/",
+                 "fuzz/", "examples/", ".github/")
+
+
+def md_files():
+    for dirpath, dirnames, filenames in os.walk(REPO):
+        dirnames[:] = [d for d in dirnames
+                       if d not in (".git", "build", "related")
+                       and not d.startswith("build")]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_target(md_path, target):
+    """Resolve `target` against the md file's dir, then the repo root."""
+    target = target.split("#", 1)[0]
+    if not target:
+        return True  # pure anchor
+    if re.match(r"^[a-z]+:", target):
+        return True  # URL
+    base = os.path.dirname(md_path)
+    candidates = [target]
+    # Repo idioms: `foo.h/.cc` names the header+source pair, and
+    # extension-less refs like `fuzz/fuzz_snapshot` name a build
+    # target whose source carries an extension.
+    if re.search(r"\.(h|cc)/\.(h|cc)$", target):
+        candidates.append(target.rsplit("/", 1)[0])
+    if not os.path.splitext(target)[1]:
+        candidates += [target + ".h", target + ".cc"]
+    for cand in candidates:
+        if (os.path.exists(os.path.join(base, cand))
+                or os.path.exists(os.path.join(REPO, cand))):
+            return True
+    return False
+
+
+def main():
+    problems = []
+
+    for path in sorted(md_files()):
+        rel = os.path.relpath(path, REPO)
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+        # Strip fenced code blocks: diagrams and shell transcripts are
+        # full of path-shaped strings that are not references.
+        prose = re.sub(r"```.*?```", "", text, flags=re.S)
+        for m in MD_LINK.finditer(prose):
+            if not check_target(path, m.group(1)):
+                problems.append(f"{rel}: dead link ({m.group(1)})")
+        for m in TICK_PATH.finditer(prose):
+            t = m.group(1)
+            if t.startswith(CHECKED_ROOTS) and not check_target(path, t):
+                problems.append(f"{rel}: dead path reference (`{t}`)")
+
+    src = os.path.join(REPO, "src")
+    for d in sorted(os.listdir(src)):
+        full = os.path.join(src, d)
+        if os.path.isdir(full) and \
+                not os.path.exists(os.path.join(full, "README.md")):
+            problems.append(f"src/{d}/: no README.md")
+
+    for p in problems:
+        print(f"FAIL: {p}")
+    if problems:
+        print(f"docs gate: {len(problems)} problem(s)")
+        return 1
+    print("docs gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2223,6 +2223,22 @@ saveSnapshot(const std::string &path, const SnapshotOptions &opts)
     return st;
 }
 
+std::vector<std::uint8_t>
+saveSnapshotToMemory(const SnapshotOptions &opts)
+{
+    if (opts.format != SnapshotFormat::V1 &&
+        opts.format != SnapshotFormat::V2)
+        throw SnapshotError("unknown snapshot format");
+    const WritePlan plan = planFromLive(opts.engine);
+    std::vector<std::uint8_t> out;
+    VecSink sink(out);
+    if (opts.format == SnapshotFormat::V1)
+        writeV1(sink, plan);
+    else
+        writeV2(sink, plan);
+    return out;
+}
+
 SnapshotStats
 loadSnapshot(const std::string &path, const SnapshotOptions &opts)
 {
@@ -2327,6 +2343,71 @@ buildSnapshotImage(const SnapshotModel &model, SnapshotFormat format)
     else
         throw SnapshotError("unknown snapshot format");
     return out;
+}
+
+void
+SnapshotModelSet::accumulate(const SnapshotModel &m,
+                             const std::string &name)
+{
+    for (const SnapshotModel::Arch &a : m.arches) {
+        ArchSet &dst = arches[a.arch];
+        for (const auto &[key, rec] : a.records) {
+            std::vector<std::uint8_t> enc;
+            InstRecordSnapshotCodec::encode(enc, rec);
+            auto [it, inserted] = dst.records.try_emplace(key, enc, rec);
+            if (!inserted && it->second.first != enc)
+                throw SnapshotError(
+                    "merge conflict: arch " + std::to_string(a.arch) +
+                    " has two different records for one key (from " +
+                    name + ")");
+        }
+        for (const auto &[ia, ib] : a.fusedPairs)
+            dst.pairs.emplace(a.records[ia].first, a.records[ib].first);
+    }
+    hasPredictions = hasPredictions || m.hasPredictions;
+    for (const auto &[key, payload] : m.predictions) {
+        auto [it, inserted] = predictions.try_emplace(key, payload);
+        if (!inserted && it->second != payload)
+            throw SnapshotError(
+                "merge conflict: two different cached predictions for "
+                "one key (from " +
+                name + ")");
+    }
+}
+
+SnapshotModel
+SnapshotModelSet::canonical() const
+{
+    SnapshotModel m;
+    m.sourceVersion = 2;
+    for (const auto &[archWord, as] : arches) {
+        if (as.records.empty())
+            continue;
+        SnapshotModel::Arch arch;
+        arch.arch = archWord;
+        std::map<Key, std::uint32_t> index;
+        for (const auto &[key, encRec] : as.records) {
+            index.emplace(
+                key, static_cast<std::uint32_t>(arch.records.size()));
+            arch.records.emplace_back(key, encRec.second);
+        }
+        for (const auto &[ka, kb] : as.pairs)
+            arch.fusedPairs.emplace_back(index.at(ka), index.at(kb));
+        m.arches.push_back(std::move(arch));
+    }
+    m.hasPredictions = hasPredictions;
+    for (const auto &[key, payload] : predictions)
+        m.predictions.emplace_back(key, payload);
+    return m;
+}
+
+SnapshotModel
+mergeSnapshotModels(const std::vector<SnapshotModel> &models)
+{
+    SnapshotModelSet set;
+    for (std::size_t i = 0; i < models.size(); ++i)
+        set.accumulate(models[i], "input " + std::to_string(i));
+    return set.canonical();
 }
 
 } // namespace facile::analysis

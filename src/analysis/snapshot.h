@@ -115,6 +115,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -227,6 +229,17 @@ SnapshotStats saveSnapshot(const std::string &path,
                            const SnapshotOptions &opts = {});
 
 /**
+ * As saveSnapshot, but into a byte vector instead of a file — the
+ * entry point for snapshots that leave over a wire rather than to
+ * disk (the SNAPSHOT-fetch admin op, replica convergence). The image
+ * is byte-identical to what saveSnapshot would have written for the
+ * same live state, so a replica that loads it warm-starts with a
+ * bit-identical universe.
+ */
+std::vector<std::uint8_t>
+saveSnapshotToMemory(const SnapshotOptions &opts = {});
+
+/**
  * Validate and load @p path, appending to the process-wide arenas.
  * The format is detected from the magic: v1 images take the record-by-
  * record parse; v2 images are mmap'd and bound lazily (or parsed
@@ -328,6 +341,60 @@ SnapshotModel parseSnapshotModel(const std::uint8_t *data,
  */
 std::vector<std::uint8_t> buildSnapshotImage(const SnapshotModel &model,
                                              SnapshotFormat format);
+
+/**
+ * Order-independent set view over one or more SnapshotModels — the
+ * merge layer behind `facile_snaptool merge|diff|compact` and the
+ * cluster replica-convergence loop. accumulate() folds models in;
+ * canonical() rebuilds a deterministic model, so the same input set
+ * yields the same image whatever order the inputs arrived in (merge
+ * commutativity — the property the convergence cadence relies on).
+ */
+class SnapshotModelSet
+{
+  public:
+    /** Exact encoded instruction bytes: the comparison key. */
+    using Key = std::vector<std::uint8_t>;
+
+    /** One arch's contents keyed for order-independent set ops. */
+    struct ArchSet
+    {
+        /** key → (encoded record bytes, record). */
+        std::map<Key, std::pair<std::vector<std::uint8_t>, InstRecord>>
+            records;
+        /** Macro-fused pairs as (key, key) — index-free. */
+        std::set<std::pair<Key, Key>> pairs;
+    };
+
+    std::map<std::uint32_t, ArchSet> arches;
+    bool hasPredictions = false;
+    std::map<std::string, std::vector<std::uint8_t>> predictions;
+
+    /**
+     * Fold @p m in; @p name labels the source in error messages.
+     * @throws SnapshotError (message contains "merge conflict") when
+     * two sources carry different content behind one key — two
+     * records for one encoding, or two cached predictions for one
+     * engine key. Union-compatible inputs (the normal replica case:
+     * same analysis code, disjoint-or-equal universes) never conflict.
+     */
+    void accumulate(const SnapshotModel &m, const std::string &name);
+
+    /**
+     * Rebuild a SnapshotModel in canonical order: arches ascending,
+     * records sorted by key bytes, pairs sorted, predictions sorted.
+     * sourceVersion is 2 (the canonical on-disk format).
+     */
+    SnapshotModel canonical() const;
+};
+
+/**
+ * accumulate() every model of @p models (named by index) into one set
+ * and return its canonical union — commutative and associative.
+ * @throws SnapshotError on content conflicts.
+ */
+SnapshotModel
+mergeSnapshotModels(const std::vector<SnapshotModel> &models);
 
 // ---- building blocks (exposed for tests) ----------------------------------
 

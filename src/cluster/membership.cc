@@ -1,0 +1,90 @@
+#include "cluster/membership.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "corpus/sections.h"
+
+namespace facile::cluster {
+
+std::string
+Endpoint::label() const
+{
+    if (isUnix())
+        return "unix:" + path;
+    return host + ":" + std::to_string(port);
+}
+
+Endpoint
+parseEndpoint(const std::string &spec)
+{
+    Endpoint ep;
+    if (spec.rfind("unix:", 0) == 0) {
+        ep.path = spec.substr(5);
+        if (ep.path.empty())
+            throw std::invalid_argument("empty unix socket path in '" +
+                                        spec + "'");
+        return ep;
+    }
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == spec.size())
+        throw std::invalid_argument(
+            "endpoint '" + spec + "' is neither unix:PATH nor HOST:PORT");
+    ep.host = spec.substr(0, colon);
+    try {
+        std::size_t used = 0;
+        ep.port = std::stoi(spec.substr(colon + 1), &used);
+        if (used != spec.size() - colon - 1)
+            throw std::invalid_argument("");
+    } catch (const std::exception &) {
+        throw std::invalid_argument("bad port in endpoint '" + spec +
+                                    "'");
+    }
+    if (ep.port < 0 || ep.port > 65535)
+        throw std::invalid_argument("port out of range in endpoint '" +
+                                    spec + "'");
+    return ep;
+}
+
+std::uint64_t
+routeKey(std::uint8_t arch, const std::uint8_t *data, std::size_t len)
+{
+    std::uint8_t tuple[9];
+    tuple[0] = arch;
+    const std::uint64_t content = corpus::xxh64(data, len);
+    std::memcpy(tuple + 1, &content, sizeof content);
+    return corpus::xxh64(tuple, sizeof tuple);
+}
+
+BackendPool::BackendPool(std::vector<Endpoint> endpoints)
+{
+    entries_.reserve(endpoints.size());
+    for (Endpoint &ep : endpoints) {
+        Entry e;
+        const std::string label = ep.label();
+        e.seed = corpus::xxh64(label.data(), label.size());
+        e.ep = std::move(ep);
+        entries_.push_back(std::move(e));
+    }
+}
+
+std::size_t
+BackendPool::pick(std::uint64_t key, std::size_t exclude) const
+{
+    std::size_t best = npos;
+    std::uint64_t bestScore = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (i == exclude || entries_[i].state != BackendState::Up)
+            continue;
+        const std::uint64_t score =
+            corpus::xxh64(&key, sizeof key, entries_[i].seed);
+        if (best == npos || score > bestScore) {
+            best = i;
+            bestScore = score;
+        }
+    }
+    return best;
+}
+
+} // namespace facile::cluster

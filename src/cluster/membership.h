@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Cluster membership and request routing primitives: backend
+ * endpoints, the attribute-based routing key, and the rendezvous
+ * (highest-random-weight) hash that assigns keys to backends.
+ *
+ * Routing is keyed on request ATTRIBUTES, not connection identity:
+ * every PREDICT hashes (arch, xxh64(block bytes)), so the same block
+ * always lands on the same backend regardless of which client sent it
+ * — that backend's analysis and prediction caches stay hot for its
+ * shard of the instruction universe, and N backends approximate one
+ * N-times-larger cache instead of N copies of the same one.
+ *
+ * Rendezvous hashing beats a ring of virtual nodes here because the
+ * backend count is small (2-16 local processes): score every backend
+ * per key with an xxh64 seeded by the backend's label and take the
+ * max. When a backend leaves, exactly the keys whose max it was move
+ * (each to its second-highest scorer); every other key's argmax is
+ * unchanged — the minimal-disruption property tests/test_cluster.cc
+ * pins. Membership itself is static configuration (the backend list)
+ * plus liveness (the router's HEALTH probing flips states); there is
+ * no gossip or discovery protocol.
+ */
+#ifndef FACILE_CLUSTER_MEMBERSHIP_H
+#define FACILE_CLUSTER_MEMBERSHIP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace facile::cluster {
+
+/** One backend address: TCP (host:port) or Unix-domain (unix:PATH). */
+struct Endpoint
+{
+    std::string host; ///< dotted-quad; empty for UDS
+    int port = -1;
+    std::string path; ///< UDS socket path; empty for TCP
+
+    bool isUnix() const { return !path.empty(); }
+
+    /**
+     * Canonical display form ("unix:PATH" or "host:port") — also the
+     * backend's rendezvous identity, so a backend keeps its share of
+     * the key space across router restarts.
+     */
+    std::string label() const;
+};
+
+/**
+ * Parse "unix:PATH" or "HOST:PORT" (dotted-quad host).
+ * @throws std::invalid_argument on anything else.
+ */
+Endpoint parseEndpoint(const std::string &spec);
+
+/** Liveness as the router sees it. */
+enum class BackendState : std::uint8_t {
+    Up,       ///< routable: connected (or connecting) and not draining
+    Down,     ///< dead or unreachable; reconnect pending
+    Draining, ///< answered HEALTH=Draining: finish in-flight work,
+              ///< route nothing new to it
+};
+
+/**
+ * Routing key for one PREDICT: xxh64 over the 9-byte tuple
+ * (arch, xxh64(block bytes)). Hashing the content hash rather than
+ * the raw bytes keeps the outer hash O(1) per backend-score while
+ * still keying on the full block identity.
+ */
+std::uint64_t routeKey(std::uint8_t arch, const std::uint8_t *data,
+                       std::size_t len);
+
+/**
+ * The rendezvous pool: a fixed endpoint list with mutable liveness.
+ * Not thread-safe — the router owns one and touches it only from its
+ * io thread.
+ */
+class BackendPool
+{
+  public:
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    explicit BackendPool(std::vector<Endpoint> endpoints);
+
+    std::size_t size() const { return entries_.size(); }
+    const Endpoint &endpoint(std::size_t i) const
+    {
+        return entries_[i].ep;
+    }
+    BackendState state(std::size_t i) const { return entries_[i].state; }
+    void setState(std::size_t i, BackendState s)
+    {
+        entries_[i].state = s;
+    }
+
+    /**
+     * Highest-scoring Up backend for @p key, optionally excluding one
+     * index (failover: re-pick for a request whose first choice just
+     * died). npos when no backend is routable.
+     */
+    std::size_t pick(std::uint64_t key, std::size_t exclude = npos) const;
+
+  private:
+    struct Entry
+    {
+        Endpoint ep;
+        std::uint64_t seed = 0; ///< xxh64(label): per-backend score seed
+        BackendState state = BackendState::Up;
+    };
+    std::vector<Entry> entries_;
+};
+
+} // namespace facile::cluster
+
+#endif // FACILE_CLUSTER_MEMBERSHIP_H

@@ -102,6 +102,17 @@ class Client
      */
     bool snapshot();
 
+    /**
+     * Fetch the server's live universe as a v2 snapshot image (the
+     * SNAPSHOT-fetch subop): the chunk stream is reassembled and the
+     * whole image returned, ready for analysis::loadSnapshotFromMemory
+     * or an AtomicFileWriter spill to disk for the mmap warm-start
+     * path. The image digests identically to a local v2 save of the
+     * same server state. Throws ProtocolError against servers too old
+     * to know the subop (they answer BadRequest).
+     */
+    std::vector<std::uint8_t> fetchSnapshot();
+
     /** Requests in flight per window of predictMany(). */
     static constexpr std::size_t kPipelineWindow = 4096;
 

@@ -232,4 +232,10 @@ HealthState ResilientClient::health()
     return withRetries("health", [](Client &c) { return c.health(); });
 }
 
+std::vector<std::uint8_t> ResilientClient::fetchSnapshot()
+{
+    return withRetries("fetchSnapshot",
+                       [](Client &c) { return c.fetchSnapshot(); });
+}
+
 } // namespace facile::server

@@ -139,6 +139,13 @@ class ResilientClient
     bool snapshot();
     HealthState health();
 
+    /**
+     * Client::fetchSnapshot with the full retry taxonomy — the call a
+     * bootstrapping replica makes against a peer that may itself be
+     * starting, draining, or overloaded.
+     */
+    std::vector<std::uint8_t> fetchSnapshot();
+
     const SelfHealStats &selfHealStats() const { return heal_; }
     const RetryPolicy &policy() const { return policy_; }
 

@@ -178,6 +178,7 @@ struct PredictionServer::Impl
     std::atomic<std::uint64_t> drainSheds{0};
     std::atomic<std::uint64_t> snapshotFallbacks{0};
     std::atomic<std::uint64_t> snapshotLoadMode{0};
+    std::atomic<std::uint64_t> snapshotFetches{0};
 
     mutable std::mutex statsMu;
     ServerStats counters; ///< batch-grained; merged on read
@@ -683,14 +684,27 @@ struct PredictionServer::Impl
             appendStatsResponse(reply, h.id, snapshotStats());
             return;
           case Op::Snapshot:
-            // Admin frame: path is operator-configured, never wire-
-            // supplied. The save runs on this io thread — rare by
-            // construction; it stalls this loop's connections for the
-            // few ms of the save while other loops and the collector
-            // keep serving.
-            appendStatusResponse(reply, h.id, Op::Snapshot,
-                                 saveSnapshotNow() ? Status::Ok
-                                                   : Status::BadRequest);
+            // Admin frame, dispatched on the first payload byte (an
+            // empty payload is the pre-subop SAVE encoding). Both
+            // subops run on this io thread — rare by construction;
+            // they stall this loop's connections for the few ms of
+            // the save while other loops and the collector keep
+            // serving.
+            if (h.len == 0 || payload[0] == kSnapshotSubopSave) {
+                // SAVE: path is operator-configured, never
+                // wire-supplied.
+                appendStatusResponse(reply, h.id, Op::Snapshot,
+                                     saveSnapshotNow()
+                                         ? Status::Ok
+                                         : Status::BadRequest);
+            } else if (payload[0] == kSnapshotSubopFetch) {
+                serveSnapshotFetch(h.id, reply);
+            } else {
+                // A subop this build doesn't know: reject rather
+                // than guess (the requester may be newer than us).
+                appendStatusResponse(reply, h.id, Op::Snapshot,
+                                     Status::BadRequest);
+            }
             return;
           case Op::Health:
             appendHealthResponse(reply, h.id,
@@ -1035,6 +1049,35 @@ struct PredictionServer::Impl
         }
     }
 
+    /**
+     * SNAPSHOT-fetch subop: serialize the live universe to a v2 image
+     * in memory and stream it back as chunk frames. Always v2
+     * regardless of the configured on-disk format — the requester is
+     * a bootstrapping replica that wants the mmap-native image, and
+     * v2 is byte-deterministic, so a wire fetch digests identically
+     * to a local save of the same state.
+     */
+    void
+    serveSnapshotFetch(std::uint64_t id, std::vector<std::uint8_t> &reply)
+    {
+        std::vector<std::uint8_t> img;
+        {
+            std::lock_guard<std::mutex> lock(snapshotMu);
+            try {
+                img = analysis::saveSnapshotToMemory(
+                    {engine, 1, analysis::SnapshotFormat::V2});
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "snapshot fetch failed: %s\n",
+                             e.what());
+                appendStatusResponse(reply, id, Op::Snapshot,
+                                     Status::BadRequest);
+                return;
+            }
+        }
+        appendSnapshotStream(reply, id, img.data(), img.size());
+        snapshotFetches.fetch_add(1, std::memory_order_relaxed);
+    }
+
     // ---- stats ------------------------------------------------------------
 
     ServerStats
@@ -1069,6 +1112,11 @@ struct PredictionServer::Impl
             snapshotFallbacks.load(std::memory_order_relaxed);
         s.snapshotLoadMode =
             snapshotLoadMode.load(std::memory_order_relaxed);
+        s.snapshotFetchesServed =
+            snapshotFetches.load(std::memory_order_relaxed);
+        // routedPredicts/backendFailovers/convergenceMerges are
+        // router- and replica-daemon-side counters (cluster::Router,
+        // cluster::ConvergenceLoop); a backend server reports 0.
         s.uptimeMs = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::milliseconds>(
                 Clock::now() - startTime)

@@ -118,99 +118,15 @@ parseFormat(const std::string &s)
     throw UsageError("unknown format '" + s + "' (expected v1 or v2)");
 }
 
-/** Encoded-record bytes: the bit-exact comparison key for diff/merge. */
-std::vector<std::uint8_t>
-encodeRecord(const facile::analysis::InstRecord &rec)
-{
-    std::vector<std::uint8_t> buf;
-    facile::analysis::InstRecordSnapshotCodec::encode(buf, rec);
-    return buf;
-}
-
 // ---- canonical model (merge / compact) -------------------------------------
+//
+// The set/union layer itself lives in the library
+// (analysis::SnapshotModelSet) — it doubles as the cluster-mode
+// replica-convergence primitive, so the tool and the ConvergenceLoop
+// merge identically by construction.
 
-using Key = std::vector<std::uint8_t>;
-
-/** One arch's contents keyed for order-independent set operations. */
-struct ArchSet
-{
-    /** key → (encoded record bytes, record). */
-    std::map<Key, std::pair<std::vector<std::uint8_t>,
-                            facile::analysis::InstRecord>>
-        records;
-    /** Macro-fused pairs as (key, key) — index-free. */
-    std::set<std::pair<Key, Key>> pairs;
-};
-
-struct ModelSet
-{
-    std::map<std::uint32_t, ArchSet> arches;
-    bool hasPredictions = false;
-    std::map<std::string, std::vector<std::uint8_t>> predictions;
-};
-
-/** Fold @p m into @p out; throws SnapshotError on a content conflict. */
-void
-accumulate(ModelSet &out, const SnapshotModel &m, const std::string &name)
-{
-    for (const SnapshotModel::Arch &a : m.arches) {
-        ArchSet &dst = out.arches[a.arch];
-        for (const auto &[key, rec] : a.records) {
-            std::vector<std::uint8_t> enc = encodeRecord(rec);
-            auto [it, inserted] =
-                dst.records.try_emplace(key, std::move(enc), rec);
-            if (!inserted && it->second.first != encodeRecord(rec))
-                throw SnapshotError(
-                    "merge conflict: arch " +
-                    std::string(archName(a.arch)) +
-                    " has two different records for one key (from " +
-                    name + ")");
-        }
-        for (const auto &[ia, ib] : a.fusedPairs)
-            dst.pairs.emplace(a.records[ia].first, a.records[ib].first);
-    }
-    out.hasPredictions = out.hasPredictions || m.hasPredictions;
-    for (const auto &[key, payload] : m.predictions) {
-        auto [it, inserted] = out.predictions.try_emplace(key, payload);
-        if (!inserted && it->second != payload)
-            throw SnapshotError(
-                "merge conflict: two different cached predictions for "
-                "one key (from " +
-                name + ")");
-    }
-}
-
-/**
- * Rebuild a SnapshotModel in canonical order: arches ascending,
- * records sorted by key bytes, pairs sorted, predictions sorted —
- * the same input set always produces the same image, whatever order
- * the inputs were given in (merge commutativity).
- */
-SnapshotModel
-canonicalModel(const ModelSet &set)
-{
-    SnapshotModel m;
-    m.sourceVersion = 2;
-    for (const auto &[archWord, as] : set.arches) {
-        if (as.records.empty())
-            continue;
-        SnapshotModel::Arch arch;
-        arch.arch = archWord;
-        std::map<Key, std::uint32_t> index;
-        for (const auto &[key, encRec] : as.records) {
-            index.emplace(key,
-                          static_cast<std::uint32_t>(arch.records.size()));
-            arch.records.emplace_back(key, encRec.second);
-        }
-        for (const auto &[ka, kb] : as.pairs)
-            arch.fusedPairs.emplace_back(index.at(ka), index.at(kb));
-        m.arches.push_back(std::move(arch));
-    }
-    m.hasPredictions = set.hasPredictions;
-    for (const auto &[key, payload] : set.predictions)
-        m.predictions.emplace_back(key, payload);
-    return m;
-}
+using ModelSet = facile::analysis::SnapshotModelSet;
+using ArchSet = ModelSet::ArchSet;
 
 // ---- subcommands -----------------------------------------------------------
 
@@ -318,12 +234,12 @@ cmdDiff(const std::vector<std::string> &args)
     const std::vector<std::uint8_t> ia = slurp(args[0]);
     const std::vector<std::uint8_t> ib = slurp(args[1]);
     ModelSet sa, sb;
-    accumulate(sa, facile::analysis::parseSnapshotModel(ia.data(),
-                                                        ia.size()),
-               args[0]);
-    accumulate(sb, facile::analysis::parseSnapshotModel(ib.data(),
-                                                        ib.size()),
-               args[1]);
+    sa.accumulate(facile::analysis::parseSnapshotModel(ia.data(),
+                                                       ia.size()),
+                  args[0]);
+    sb.accumulate(facile::analysis::parseSnapshotModel(ib.data(),
+                                                       ib.size()),
+                  args[1]);
 
     std::size_t differences = 0;
     auto report = [&](const char *what, std::size_t n, const char *dir) {
@@ -466,15 +382,14 @@ cmdMerge(const std::vector<std::string> &args)
     ModelSet set;
     for (const std::string &in : inputs) {
         const std::vector<std::uint8_t> img = slurp(in);
-        accumulate(set,
-                   facile::analysis::parseSnapshotModel(img.data(),
-                                                        img.size()),
-                   in);
+        set.accumulate(facile::analysis::parseSnapshotModel(img.data(),
+                                                            img.size()),
+                       in);
     }
     const SnapshotFormat fmt = parseFormat(to);
     return emitImage(
-        facile::analysis::buildSnapshotImage(canonicalModel(set), fmt),
-        out, fmt, dryRun);
+        facile::analysis::buildSnapshotImage(set.canonical(), fmt), out,
+        fmt, dryRun);
 }
 
 int
@@ -504,16 +419,15 @@ cmdCompact(const std::vector<std::string> &args)
     const SnapshotFormat fmt =
         facile::analysis::snapshotImageFormat(img.data(), img.size());
     ModelSet set;
-    accumulate(set,
-               facile::analysis::parseSnapshotModel(img.data(),
-                                                    img.size()),
-               in);
+    set.accumulate(facile::analysis::parseSnapshotModel(img.data(),
+                                                        img.size()),
+                   in);
     if (dropPredictions) {
         set.hasPredictions = false;
         set.predictions.clear();
     }
     const std::vector<std::uint8_t> rebuilt =
-        facile::analysis::buildSnapshotImage(canonicalModel(set), fmt);
+        facile::analysis::buildSnapshotImage(set.canonical(), fmt);
     std::printf("compact %s: %zu -> %zu bytes\n", in.c_str(), img.size(),
                 rebuilt.size());
     return emitImage(rebuilt, out, fmt, dryRun);
